@@ -1,0 +1,59 @@
+package dsidx
+
+import (
+	"time"
+
+	"dsidx/internal/cluster"
+)
+
+// Cluster is the distributed extension of §V: the collection is
+// partitioned across simulated nodes, each holding a local MESSI index;
+// queries are answered exactly by scatter-gather. Complementary to the
+// single-machine indexes, as the paper describes the DPiSAX line.
+type Cluster struct {
+	inner *cluster.Cluster
+}
+
+// ClusterOptions configures a distributed build.
+type ClusterOptions struct {
+	// Nodes is the number of partitions (default 4).
+	Nodes int
+	// WorkersPerNode bounds each node's local parallelism (default 1).
+	WorkersPerNode int
+	// NetworkLatency simulates the one-way coordinator↔node message cost.
+	NetworkLatency time.Duration
+}
+
+// NewCluster partitions coll round-robin across simulated nodes and builds
+// the local indexes in parallel.
+func NewCluster(coll *Collection, copts ClusterOptions, opts ...Option) (*Cluster, error) {
+	o := buildOptions(opts)
+	inner, err := cluster.Build(coll, cluster.Options{
+		Nodes:          copts.Nodes,
+		WorkersPerNode: copts.WorkersPerNode,
+		NetworkLatency: copts.NetworkLatency,
+		Index:          o.coreConfig(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner}, nil
+}
+
+// Search returns the exact global nearest neighbor of q.
+func (c *Cluster) Search(q Series) (Match, error) {
+	r, _, err := c.inner.Search(q)
+	return matchOf(r), err
+}
+
+// SearchKNN returns the exact global k nearest neighbors of q.
+func (c *Cluster) SearchKNN(q Series, k int) ([]Match, error) {
+	rs, _, err := c.inner.SearchKNN(q, k)
+	return matchesOf(rs), err
+}
+
+// Len returns the total number of indexed series.
+func (c *Cluster) Len() int { return c.inner.Len() }
+
+// Nodes returns the partition count.
+func (c *Cluster) Nodes() int { return c.inner.Nodes() }

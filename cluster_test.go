@@ -1,0 +1,66 @@
+package dsidx_test
+
+import (
+	"math"
+	"testing"
+
+	"dsidx"
+)
+
+func TestClusterPublicAPI(t *testing.T) {
+	coll := dsidx.Generate(dsidx.Synthetic, 1200, 128, 31)
+	c, err := dsidx.NewCluster(coll, dsidx.ClusterOptions{Nodes: 4},
+		dsidx.WithLeafCapacity(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1200 || c.Nodes() != 4 {
+		t.Fatalf("Len=%d Nodes=%d", c.Len(), c.Nodes())
+	}
+	queries := dsidx.GenerateQueries(dsidx.Synthetic, 4, 128, 31)
+	for qi := 0; qi < queries.Len(); qi++ {
+		q := queries.At(qi)
+		want := dsidx.ScanNearest(coll, q)
+		got, err := c.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Distance-want.Distance) > 1e-6*math.Max(1, want.Distance) {
+			t.Fatalf("query %d: cluster %v != scan %v", qi, got.Distance, want.Distance)
+		}
+		knn, err := c.SearchKNN(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantKNN := dsidx.ScanKNN(coll, q, 5)
+		for i := range wantKNN {
+			if math.Abs(knn[i].Distance-wantKNN[i].Distance) > 1e-6*math.Max(1, wantKNN[i].Distance) {
+				t.Fatalf("query %d rank %d: %v != %v", qi, i, knn[i].Distance, wantKNN[i].Distance)
+			}
+		}
+	}
+}
+
+func TestWindowsPublicAPI(t *testing.T) {
+	long := dsidx.Generate(dsidx.Synthetic, 1, 2048, 33).At(0)
+	windows, offsets, err := dsidx.Windows(long, 256, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windows.Len() != len(offsets) || windows.Len() == 0 {
+		t.Fatalf("windows=%d offsets=%d", windows.Len(), len(offsets))
+	}
+	idx, err := dsidx.NewMESSI(windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query with one of the windows: it must find itself at distance 0.
+	q := windows.At(7).Clone()
+	m, err := idx.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Pos != 7 || m.Distance > 1e-6 {
+		t.Fatalf("self-query answered %+v", m)
+	}
+}

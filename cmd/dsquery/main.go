@@ -1,0 +1,189 @@
+// Command dsquery builds an index over a series file and answers nearest
+// neighbor queries against it.
+//
+// Usage:
+//
+//	dsquery -data data.dsf -index messi -queries 10
+//	dsquery -data data.dsf -index paris+ -profile hdd -queries 5
+//	dsquery -data data.dsf -index messi -k 5
+//	dsquery -data data.dsf -index messi -dtw 16
+//
+// Queries are fresh series from the same family (use -qseed to vary). The
+// tool reports each answer and summary timing statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dsidx"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dsquery: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		data    = flag.String("data", "", "series file path (required)")
+		index   = flag.String("index", "messi", "index: messi, paris, paris+, adsplus, scan")
+		profile = flag.String("profile", "unthrottled", "device profile for on-disk indexes: hdd, ssd, unthrottled")
+		queries = flag.Int("queries", 10, "number of queries")
+		k       = flag.Int("k", 1, "neighbors per query (MESSI only)")
+		dtwWin  = flag.Int("dtw", -1, "DTW window; -1 means Euclidean (MESSI only)")
+		kindArg = flag.String("kind", "synthetic", "query family: synthetic, sald, seismic")
+		qseed   = flag.Int64("qseed", 99, "query generator seed")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = all cores)")
+		saveIx  = flag.String("saveindex", "", "after building, save the index to this path")
+		loadIx  = flag.String("loadindex", "", "load a previously saved index instead of building")
+	)
+	flag.Parse()
+	if *data == "" {
+		fail("-data is required")
+	}
+
+	var prof dsidx.DiskProfile
+	switch strings.ToLower(*profile) {
+	case "hdd":
+		prof = dsidx.HDD
+	case "ssd":
+		prof = dsidx.SSD
+	case "unthrottled":
+		prof = dsidx.Unthrottled
+	default:
+		fail("unknown profile %q", *profile)
+	}
+	var kind dsidx.DatasetKind
+	switch strings.ToLower(*kindArg) {
+	case "synthetic":
+		kind = dsidx.Synthetic
+	case "sald":
+		kind = dsidx.SALD
+	case "seismic":
+		kind = dsidx.Seismic
+	default:
+		fail("unknown kind %q", *kindArg)
+	}
+
+	dc, err := dsidx.OpenDiskCollection(*data, prof)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer dc.Close()
+	fmt.Printf("collection: %d series of length %d (%s)\n", dc.Len(), dc.SeriesLen(), prof.Name)
+
+	qs := dsidx.GenerateQueries(kind, *queries, dc.SeriesLen(), *qseed)
+
+	// For the in-memory indexes, load the collection into RAM first.
+	loadMemory := func() *dsidx.Collection {
+		coll := dsidx.NewCollection(dc.Len(), dc.SeriesLen())
+		dc.SetLatencyScale(0)
+		for i := 0; i < dc.Len(); i++ {
+			if err := dc.ReadSeries(i, coll.At(i)); err != nil {
+				fail("loading series %d: %v", i, err)
+			}
+		}
+		dc.SetLatencyScale(1)
+		return coll
+	}
+
+	type searcher func(q dsidx.Series) (dsidx.Match, error)
+	var search searcher
+	buildStart := time.Now()
+	switch strings.ToLower(*index) {
+	case "messi":
+		coll := loadMemory()
+		var ix *dsidx.MESSI
+		var err error
+		if *loadIx != "" {
+			ix, err = dsidx.LoadMESSI(*loadIx, coll, dsidx.WithWorkers(*workers))
+		} else {
+			ix, err = dsidx.NewMESSI(coll, dsidx.WithWorkers(*workers))
+		}
+		if err != nil {
+			fail("%v", err)
+		}
+		if *saveIx != "" {
+			if err := ix.Save(*saveIx); err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("index saved to %s\n", *saveIx)
+		}
+		switch {
+		case *dtwWin >= 0:
+			search = func(q dsidx.Series) (dsidx.Match, error) { return ix.SearchDTW(q, *dtwWin) }
+		case *k > 1:
+			search = func(q dsidx.Series) (dsidx.Match, error) {
+				ms, err := ix.SearchKNN(q, *k)
+				if err != nil || len(ms) == 0 {
+					return dsidx.Match{}, err
+				}
+				for i, m := range ms {
+					fmt.Printf("    k=%d: series %d at %.4f\n", i+1, m.Pos, m.Distance)
+				}
+				return ms[0], nil
+			}
+		default:
+			search = ix.Search
+		}
+	case "paris", "paris+":
+		var ix *dsidx.ParIS
+		var err error
+		switch {
+		case *loadIx != "":
+			ix, err = dsidx.LoadParIS(*loadIx, dc, dsidx.WithWorkers(*workers))
+		case strings.ToLower(*index) == "paris":
+			ix, err = dsidx.NewParIS(dc, dsidx.WithWorkers(*workers))
+		default:
+			ix, err = dsidx.NewParISPlus(dc, dsidx.WithWorkers(*workers))
+		}
+		if err != nil {
+			fail("%v", err)
+		}
+		if *saveIx != "" {
+			if err := ix.Save(*saveIx); err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("index saved to %s\n", *saveIx)
+		}
+		search = ix.Search
+	case "adsplus":
+		ix, err := dsidx.NewADSPlus(dc)
+		if err != nil {
+			fail("%v", err)
+		}
+		search = ix.Search
+	case "scan":
+		coll := loadMemory()
+		search = func(q dsidx.Series) (dsidx.Match, error) {
+			return dsidx.ScanNearestParallel(coll, q, *workers), nil
+		}
+	default:
+		fail("unknown index %q", *index)
+	}
+	fmt.Printf("index %s ready in %v\n", *index, time.Since(buildStart).Round(time.Millisecond))
+
+	times := make([]float64, 0, qs.Len())
+	for i := 0; i < qs.Len(); i++ {
+		t0 := time.Now()
+		m, err := search(qs.At(i))
+		if err != nil {
+			fail("query %d: %v", i, err)
+		}
+		el := time.Since(t0)
+		times = append(times, el.Seconds()*1000)
+		fmt.Printf("  query %2d: series %8d at distance %.4f (%v)\n", i, m.Pos, m.Distance, el.Round(time.Microsecond))
+	}
+	sort.Float64s(times)
+	var sum float64
+	for _, v := range times {
+		sum += v
+	}
+	fmt.Printf("queries: %d  mean %.3fms  median %.3fms  max %.3fms\n",
+		len(times), sum/float64(len(times)), times[len(times)/2], times[len(times)-1])
+}

@@ -1,0 +1,103 @@
+package dsidx
+
+import (
+	"fmt"
+
+	"dsidx/internal/storage"
+)
+
+// DiskCollection is a series collection stored behind a (real or simulated)
+// device: the substrate of the on-disk indexes. Use SaveCollection /
+// OpenDiskCollection for real files, or NewSimulatedDisk to hold the bytes
+// in memory while timing behaves like the chosen device profile.
+type DiskCollection struct {
+	disk  *storage.Disk
+	file  *storage.SeriesFile
+	close func() error
+}
+
+// Len returns the number of series stored.
+func (d *DiskCollection) Len() int { return int(d.file.Count()) }
+
+// SeriesLen returns the number of points per series.
+func (d *DiskCollection) SeriesLen() int { return d.file.Length() }
+
+// ReadSeries reads one series by position (charged device time).
+func (d *DiskCollection) ReadSeries(i int, dst Series) error {
+	return d.file.ReadSeries(int64(i), dst)
+}
+
+// IOMetrics reports accumulated device accounting.
+type IOMetrics = storage.Metrics
+
+// Metrics returns a snapshot of the device counters.
+func (d *DiskCollection) Metrics() IOMetrics { return d.disk.Metrics() }
+
+// ResetMetrics zeroes the device counters.
+func (d *DiskCollection) ResetMetrics() { d.disk.ResetMetrics() }
+
+// SetLatencyScale adjusts injected latency: 1 is the profile's realtime
+// behaviour, 0 disables sleeping (counters still accumulate modeled time).
+func (d *DiskCollection) SetLatencyScale(s float64) { d.disk.SetScale(s) }
+
+// Close releases the underlying file, if any.
+func (d *DiskCollection) Close() error {
+	if d.close != nil {
+		return d.close()
+	}
+	return nil
+}
+
+// SaveCollection writes coll to a new series file at path and returns it as
+// a DiskCollection with the given device profile.
+func SaveCollection(path string, coll *Collection, profile DiskProfile) (*DiskCollection, error) {
+	fs, err := storage.OpenFileStore(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.Truncate(0); err != nil {
+		fs.Close()
+		return nil, fmt.Errorf("dsidx: truncating %s: %w", path, err)
+	}
+	disk := storage.NewDisk(fs, profile)
+	disk.SetScale(0) // don't throttle the initial save
+	file, err := storage.WriteCollection(disk, coll)
+	if err != nil {
+		fs.Close()
+		return nil, err
+	}
+	disk.SetScale(1)
+	disk.ResetMetrics()
+	return &DiskCollection{disk: disk, file: file, close: fs.Close}, nil
+}
+
+// OpenDiskCollection opens an existing series file at path with the given
+// device profile.
+func OpenDiskCollection(path string, profile DiskProfile) (*DiskCollection, error) {
+	fs, err := storage.OpenFileStore(path)
+	if err != nil {
+		return nil, err
+	}
+	disk := storage.NewDisk(fs, profile)
+	file, err := storage.OpenSeriesFile(disk)
+	if err != nil {
+		fs.Close()
+		return nil, err
+	}
+	return &DiskCollection{disk: disk, file: file, close: fs.Close}, nil
+}
+
+// NewSimulatedDisk stores coll in memory behind a latency-injecting device
+// with the given profile — the configuration of the paper-reproduction
+// experiments (hermetic bytes, realistic timing).
+func NewSimulatedDisk(coll *Collection, profile DiskProfile) (*DiskCollection, error) {
+	disk := storage.NewDisk(storage.NewMemStore(), profile)
+	disk.SetScale(0)
+	file, err := storage.WriteCollection(disk, coll)
+	if err != nil {
+		return nil, err
+	}
+	disk.SetScale(1)
+	disk.ResetMetrics()
+	return &DiskCollection{disk: disk, file: file}, nil
+}

@@ -1,0 +1,210 @@
+// Package dsidx is a Go implementation of the parallel data series indexes
+// of "Data Series Indexing Gone Parallel" (Peng, ICDE 2020; the
+// ParIS / ParIS+ / MESSI line of work by Peng, Fatourou and Palpanas).
+//
+// Data series similarity search — finding the series in a large collection
+// with the smallest Euclidean (or DTW) distance to a query — is the core
+// operation behind clustering, classification, motif and anomaly detection
+// over sequence data. This package provides:
+//
+//   - MESSI: a parallel in-memory iSAX index answering exact 1-NN, k-NN and
+//     DTW queries in milliseconds on millions of series.
+//   - ParIS and ParIS+: parallel indexes for on-disk collections, with
+//     index construction pipelined against disk I/O.
+//   - ADSPlus: the serial ADS+ baseline.
+//   - UCR-Suite-style scans (serial and parallel) as brute-force baselines.
+//   - Deterministic dataset generators for the paper's three workload
+//     families, and a storage layer with simulated HDD/SSD device profiles
+//     for reproducing the paper's on-disk experiments.
+//
+// # Quick start
+//
+//	coll := dsidx.Generate(dsidx.Synthetic, 100_000, 256, 42)
+//	idx, err := dsidx.NewMESSI(coll)
+//	if err != nil { ... }
+//	q := dsidx.GenerateQueries(dsidx.Synthetic, 1, 256, 42).At(0)
+//	m, err := idx.Search(q)
+//	fmt.Printf("nearest series: #%d at distance %.3f\n", m.Pos, m.Distance)
+//
+// All distances returned through this package are true (not squared)
+// distances. Search, SearchKNN and SearchDTW are exact: they return
+// provably the nearest series. Only the explicitly named
+// SearchApproximate methods trade that guarantee for microsecond
+// latencies.
+package dsidx
+
+import (
+	"math"
+
+	"dsidx/internal/core"
+	"dsidx/internal/gen"
+	"dsidx/internal/series"
+	"dsidx/internal/storage"
+)
+
+// Series is a single data series: an ordered sequence of float32 values.
+type Series = series.Series
+
+// Collection is a contiguous in-memory set of equal-length series.
+type Collection = series.Collection
+
+// NewCollection allocates a collection of n series of the given length.
+func NewCollection(n, length int) *Collection { return series.NewCollection(n, length) }
+
+// CollectionFromValues wraps a flat value slice (length must divide it).
+func CollectionFromValues(values []float32, length int) (*Collection, error) {
+	return series.CollectionFromValues(values, length)
+}
+
+// Match is a search answer: the position of the matching series in its
+// collection and its true (unsquared) distance to the query.
+type Match struct {
+	Pos      int
+	Distance float64
+}
+
+// matchOf converts an internal squared-distance result.
+func matchOf(r core.Result) Match {
+	return Match{Pos: int(r.Pos), Distance: math.Sqrt(r.Dist)}
+}
+
+// matchesOf converts a slice of internal results.
+func matchesOf(rs []core.Result) []Match {
+	out := make([]Match, len(rs))
+	for i, r := range rs {
+		out[i] = matchOf(r)
+	}
+	return out
+}
+
+// DatasetKind selects one of the paper's dataset families.
+type DatasetKind = gen.Kind
+
+// Dataset families (paper §IV): Synthetic is a random walk; SALD and
+// Seismic are synthetic stand-ins for the EEG and seismology collections.
+const (
+	Synthetic = gen.Synthetic
+	SALD      = gen.SALD
+	Seismic   = gen.Seismic
+)
+
+// Generate deterministically produces n series of the given kind and
+// length (length 0 uses the paper's default for the family). The same
+// (kind, n, length, seed) always yields the same collection.
+func Generate(kind DatasetKind, n, length int, seed int64) *Collection {
+	return gen.Generator{Kind: kind, Length: length, Seed: seed}.Collection(n)
+}
+
+// GenerateQueries produces n query series from the same family but disjoint
+// from any Generate output with the same seed.
+func GenerateQueries(kind DatasetKind, n, length int, seed int64) *Collection {
+	return gen.Generator{Kind: kind, Length: length, Seed: seed}.Queries(n)
+}
+
+// GeneratePerturbedQueries produces n queries by adding relative Gaussian
+// noise eps to random members of coll. Perturbed queries have a nearby
+// nearest neighbor, reproducing on small collections the pruning regime
+// that dense, very large collections exhibit naturally — use them for
+// benchmark workloads (see DESIGN.md).
+func GeneratePerturbedQueries(coll *Collection, n int, eps float64, seed int64) *Collection {
+	return gen.Generator{Seed: seed}.PerturbedQueries(coll, n, eps)
+}
+
+// Windows extracts every window of the given length from a long recording,
+// advancing by step points and optionally z-normalizing each window — how
+// streaming series become indexable collections (paper §II: "for streaming
+// series, we create and index subsequences of length n using a sliding
+// window"). It returns the windows and each window's start offset in s.
+func Windows(s Series, length, step int, znormalize bool) (*Collection, []int, error) {
+	return series.Windows(s, length, step, znormalize)
+}
+
+// IndexStats describes the shape of a built index tree.
+type IndexStats struct {
+	Series      int
+	RootNodes   int
+	InnerNodes  int
+	Leaves      int
+	MaxDepth    int
+	LeafFillAvg float64
+}
+
+func statsOf(t *core.Tree) IndexStats {
+	st := t.Stats()
+	return IndexStats{
+		Series:      st.Series,
+		RootNodes:   st.RootNodes,
+		InnerNodes:  st.Inner,
+		Leaves:      st.Leaves,
+		MaxDepth:    st.MaxDepth,
+		LeafFillAvg: st.FillAvg,
+	}
+}
+
+// options collects tunables shared by every index constructor.
+type options struct {
+	segments     int
+	maxBits      int
+	leafCapacity int
+	workers      int
+	queueCount   int
+	batchSeries  int
+}
+
+// Option customizes index construction.
+type Option func(*options)
+
+// WithSegments sets the number of PAA/iSAX segments (default 16, the
+// paper's w). The series length must be a multiple of it.
+func WithSegments(w int) Option { return func(o *options) { o.segments = w } }
+
+// WithMaxCardinalityBits sets the maximum per-segment cardinality in bits
+// (default 8, i.e. 256 regions).
+func WithMaxCardinalityBits(b int) Option { return func(o *options) { o.maxBits = b } }
+
+// WithLeafCapacity sets the maximum leaf size before splitting (default 256).
+func WithLeafCapacity(c int) Option { return func(o *options) { o.leafCapacity = c } }
+
+// WithWorkers sets the number of worker goroutines for index construction
+// and (as the default) query answering. 0 means GOMAXPROCS.
+func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// WithQueueCount sets the number of concurrent priority queues MESSI uses
+// during query answering (default: half the workers).
+func WithQueueCount(n int) Option { return func(o *options) { o.queueCount = n } }
+
+// WithBatchSeries sets the memory budget, in series, of each ParIS
+// bulk-loading cycle (default 65536).
+func WithBatchSeries(n int) Option { return func(o *options) { o.batchSeries = n } }
+
+func buildOptions(opts []Option) options {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+func (o options) coreConfig() core.Config {
+	return core.Config{
+		Segments:     o.segments,
+		MaxBits:      o.maxBits,
+		LeafCapacity: o.leafCapacity,
+	}
+}
+
+// DiskProfile models a storage device's latency and bandwidth. Reads and
+// writes through a DiskCollection sleep according to the profile, so
+// experiments on simulated devices reproduce the cost structure of the
+// paper's HDD/SSD testbed.
+type DiskProfile = storage.Profile
+
+// Predefined device profiles.
+var (
+	// HDD models a 7200rpm spinning disk (expensive seeks).
+	HDD = storage.HDD
+	// SSD models a SATA SSD (cheap random access).
+	SSD = storage.SSD
+	// Unthrottled injects no latency (pure functional testing).
+	Unthrottled = storage.Unthrottled
+)

@@ -1,0 +1,267 @@
+package dsidx_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"dsidx"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := dsidx.Generate(dsidx.Synthetic, 50, 256, 7)
+	b := dsidx.Generate(dsidx.Synthetic, 50, 256, 7)
+	if a.Len() != 50 || a.SeriesLen() != 256 {
+		t.Fatalf("shape (%d,%d)", a.Len(), a.SeriesLen())
+	}
+	for i := 0; i < a.Len(); i++ {
+		av, bv := a.At(i), b.At(i)
+		for j := range av {
+			if av[j] != bv[j] {
+				t.Fatalf("series %d differs at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateDefaultLengths(t *testing.T) {
+	if got := dsidx.Generate(dsidx.SALD, 2, 0, 1).SeriesLen(); got != 128 {
+		t.Errorf("SALD default length = %d, want 128", got)
+	}
+	if got := dsidx.Generate(dsidx.Seismic, 2, 0, 1).SeriesLen(); got != 256 {
+		t.Errorf("Seismic default length = %d, want 256", got)
+	}
+}
+
+func TestMESSIPublicAPI(t *testing.T) {
+	coll := dsidx.Generate(dsidx.Synthetic, 2000, 256, 9)
+	idx, err := dsidx.NewMESSI(coll, dsidx.WithLeafCapacity(64), dsidx.WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 2000 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	st := idx.Stats()
+	if st.Series != 2000 || st.Leaves == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	queries := dsidx.GenerateQueries(dsidx.Synthetic, 5, 256, 9)
+	for qi := 0; qi < queries.Len(); qi++ {
+		q := queries.At(qi)
+		want := dsidx.ScanNearest(coll, q)
+		got, err := idx.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Distance-want.Distance) > 1e-6*math.Max(1, want.Distance) {
+			t.Fatalf("query %d: MESSI %v != scan %v", qi, got.Distance, want.Distance)
+		}
+		// Distances through the public API are true distances (not squared).
+		if got.Distance < 0 {
+			t.Fatal("negative distance")
+		}
+
+		knn, err := idx.SearchKNN(q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(knn) != 3 || math.Abs(knn[0].Distance-got.Distance) > 1e-9 {
+			t.Fatalf("query %d: kNN[0] %v != 1NN %v", qi, knn[0].Distance, got.Distance)
+		}
+
+		dtw, err := idx.SearchDTW(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDTW := dsidx.ScanNearestDTW(coll, q, 10)
+		if math.Abs(dtw.Distance-wantDTW.Distance) > 1e-6*math.Max(1, wantDTW.Distance) {
+			t.Fatalf("query %d: DTW %v != scan %v", qi, dtw.Distance, wantDTW.Distance)
+		}
+		if dtw.Distance > got.Distance+1e-9 {
+			t.Fatalf("query %d: DTW NN %v above ED NN %v", qi, dtw.Distance, got.Distance)
+		}
+	}
+}
+
+func TestParISOnSimulatedDiskPublicAPI(t *testing.T) {
+	coll := dsidx.Generate(dsidx.Seismic, 800, 256, 10)
+	for _, build := range []struct {
+		name string
+		fn   func(*dsidx.DiskCollection, ...dsidx.Option) (*dsidx.ParIS, error)
+	}{
+		{"ParIS", dsidx.NewParIS},
+		{"ParIS+", dsidx.NewParISPlus},
+	} {
+		t.Run(build.name, func(t *testing.T) {
+			dc, err := dsidx.NewSimulatedDisk(coll, dsidx.Unthrottled)
+			if err != nil {
+				t.Fatal(err)
+			}
+			idx, err := build.fn(dc, dsidx.WithLeafCapacity(32), dsidx.WithWorkers(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if idx.Len() != coll.Len() {
+				t.Fatalf("Len = %d", idx.Len())
+			}
+			queries := dsidx.GenerateQueries(dsidx.Seismic, 3, 256, 10)
+			for qi := 0; qi < queries.Len(); qi++ {
+				q := queries.At(qi)
+				want := dsidx.ScanNearest(coll, q)
+				got, err := idx.Search(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(got.Distance-want.Distance) > 1e-6*math.Max(1, want.Distance) {
+					t.Fatalf("query %d: %v != %v", qi, got.Distance, want.Distance)
+				}
+			}
+			m := dc.Metrics()
+			if m.BytesRead == 0 {
+				t.Error("no device reads recorded during build+search")
+			}
+		})
+	}
+}
+
+func TestADSPlusPublicAPI(t *testing.T) {
+	coll := dsidx.Generate(dsidx.SALD, 600, 0, 11)
+	dc, err := dsidx.NewSimulatedDisk(coll, dsidx.Unthrottled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := dsidx.NewADSPlus(dc, dsidx.WithLeafCapacity(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := dsidx.GenerateQueries(dsidx.SALD, 3, 0, 11)
+	for qi := 0; qi < queries.Len(); qi++ {
+		q := queries.At(qi)
+		want := dsidx.ScanNearest(coll, q)
+		got, err := idx.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Distance-want.Distance) > 1e-6*math.Max(1, want.Distance) {
+			t.Fatalf("query %d: %v != %v", qi, got.Distance, want.Distance)
+		}
+	}
+}
+
+func TestSaveAndOpenDiskCollection(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.dsf")
+	coll := dsidx.Generate(dsidx.Synthetic, 100, 64, 12)
+
+	dc, err := dsidx.SaveCollection(path, coll, dsidx.Unthrottled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc.Len() != 100 || dc.SeriesLen() != 64 {
+		t.Fatalf("saved shape (%d,%d)", dc.Len(), dc.SeriesLen())
+	}
+	if err := dc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := dsidx.OpenDiskCollection(path, dsidx.Unthrottled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	buf := make(dsidx.Series, 64)
+	if err := reopened.ReadSeries(42, buf); err != nil {
+		t.Fatal(err)
+	}
+	want := coll.At(42)
+	for j := range want {
+		if buf[j] != want[j] {
+			t.Fatalf("series 42 differs at %d after reopen", j)
+		}
+	}
+}
+
+func TestParISInMemoryPublicAPI(t *testing.T) {
+	coll := dsidx.Generate(dsidx.Synthetic, 700, 256, 13)
+	idx, err := dsidx.NewParISInMemory(coll, dsidx.WithLeafCapacity(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := dsidx.GenerateQueries(dsidx.Synthetic, 1, 256, 13).At(0)
+	want := dsidx.ScanNearestParallel(coll, q, 4)
+	got, err := idx.SearchWithWorkers(q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Distance-want.Distance) > 1e-6*math.Max(1, want.Distance) {
+		t.Fatalf("%v != %v", got.Distance, want.Distance)
+	}
+}
+
+func TestScanDiskSerialPublicAPI(t *testing.T) {
+	coll := dsidx.Generate(dsidx.Synthetic, 300, 128, 14)
+	dc, err := dsidx.NewSimulatedDisk(coll, dsidx.Unthrottled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := dsidx.GenerateQueries(dsidx.Synthetic, 1, 128, 14).At(0)
+	want := dsidx.ScanNearest(coll, q)
+	got, err := dsidx.ScanNearestDiskSerial(dc, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pos != want.Pos || math.Abs(got.Distance-want.Distance) > 1e-9 {
+		t.Fatalf("disk scan %+v != memory %+v", got, want)
+	}
+}
+
+func TestSearchApproximatePublicAPI(t *testing.T) {
+	coll := dsidx.Generate(dsidx.Synthetic, 1000, 256, 15)
+	idx, err := dsidx.NewMESSI(coll, dsidx.WithLeafCapacity(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := dsidx.GeneratePerturbedQueries(coll, 5, 0.05, 15)
+	for qi := 0; qi < queries.Len(); qi++ {
+		q := queries.At(qi)
+		approx, err := idx.SearchApproximate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := idx.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if approx.Distance < exact.Distance-1e-9 {
+			t.Fatalf("query %d: approximate %v below exact %v", qi, approx.Distance, exact.Distance)
+		}
+	}
+}
+
+func TestGeneratePerturbedQueriesClose(t *testing.T) {
+	coll := dsidx.Generate(dsidx.SALD, 500, 0, 16)
+	queries := dsidx.GeneratePerturbedQueries(coll, 5, 0.05, 16)
+	for qi := 0; qi < queries.Len(); qi++ {
+		m := dsidx.ScanNearest(coll, queries.At(qi))
+		// NN of a 5%-perturbed member must be far closer than a random
+		// query's NN (which is ~sqrt(2n) for z-normalized series).
+		if m.Distance > 3 {
+			t.Fatalf("perturbed query %d has NN at %v — not close", qi, m.Distance)
+		}
+	}
+}
+
+func TestCollectionFromValuesPublicAPI(t *testing.T) {
+	coll, err := dsidx.CollectionFromValues([]float32{1, 2, 3, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coll.Len() != 2 {
+		t.Fatalf("Len = %d", coll.Len())
+	}
+	if _, err := dsidx.CollectionFromValues([]float32{1, 2, 3}, 2); err == nil {
+		t.Error("invalid values accepted")
+	}
+}

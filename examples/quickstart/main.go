@@ -1,0 +1,56 @@
+// Quickstart: build a MESSI index over a synthetic collection and answer
+// exact nearest-neighbor queries in milliseconds.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dsidx"
+)
+
+func main() {
+	const (
+		n      = 100_000
+		length = 256
+	)
+	fmt.Printf("generating %d random-walk series of length %d...\n", n, length)
+	coll := dsidx.Generate(dsidx.Synthetic, n, length, 42)
+
+	t0 := time.Now()
+	idx, err := dsidx.NewMESSI(coll)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MESSI index built in %v: %+v\n", time.Since(t0).Round(time.Millisecond), idx.Stats())
+
+	queries := dsidx.GenerateQueries(dsidx.Synthetic, 5, length, 42)
+	for i := 0; i < queries.Len(); i++ {
+		q := queries.At(i)
+		t0 = time.Now()
+		m, err := idx.Search(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(t0)
+
+		// The index is exact: a brute-force scan agrees.
+		check := dsidx.ScanNearest(coll, q)
+		fmt.Printf("query %d: nearest series #%d at distance %.4f in %v (scan agrees: %v)\n",
+			i, m.Pos, m.Distance, elapsed.Round(time.Microsecond), check.Pos == m.Pos)
+	}
+
+	// k-NN on the same index.
+	q := queries.At(0)
+	top, err := idx.SearchKNN(q, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("5 nearest neighbors of query 0:")
+	for rank, m := range top {
+		fmt.Printf("  %d. series #%d at %.4f\n", rank+1, m.Pos, m.Distance)
+	}
+}

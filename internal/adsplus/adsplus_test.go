@@ -1,0 +1,125 @@
+package adsplus
+
+import (
+	"math"
+	"testing"
+
+	"dsidx/internal/core"
+	"dsidx/internal/gen"
+	"dsidx/internal/series"
+	"dsidx/internal/storage"
+)
+
+func buildIndex(t *testing.T, kind gen.Kind, n int) (*Index, *series.Collection, *series.Collection) {
+	t.Helper()
+	g := gen.Generator{Kind: kind, Seed: 51}
+	coll := g.Collection(n)
+	raw, err := storage.WriteCollection(storage.NewMemStore(), coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := storage.NewLeafStore(storage.NewMemStore())
+	ix, err := Build(raw, leaves, core.Config{LeafCapacity: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, coll, g.Queries(8)
+}
+
+func TestBuildShape(t *testing.T) {
+	ix, coll, _ := buildIndex(t, gen.Synthetic, 1200)
+	if ix.Count() != coll.Len() {
+		t.Fatalf("Count = %d, want %d", ix.Count(), coll.Len())
+	}
+	if err := ix.Tree().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Tree().Stats()
+	if st.Series != 1200 || st.Leaves == 0 {
+		t.Fatalf("tree stats %+v", st)
+	}
+	bs := ix.BuildStats()
+	if bs.Total <= 0 {
+		t.Error("Total build time not recorded")
+	}
+}
+
+func TestSearchExactness(t *testing.T) {
+	// The defining property: ADS+ exact search returns the brute-force NN.
+	for _, kind := range []gen.Kind{gen.Synthetic, gen.SALD, gen.Seismic} {
+		t.Run(kind.String(), func(t *testing.T) {
+			ix, coll, queries := buildIndex(t, kind, 800)
+			for qi := 0; qi < queries.Len(); qi++ {
+				q := queries.At(qi)
+				wantPos, wantDist := coll.BruteForce1NN(q)
+				got, stats, err := ix.Search(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(got.Dist-wantDist) > 1e-6*math.Max(1, wantDist) {
+					t.Fatalf("query %d: dist %v, want %v", qi, got.Dist, wantDist)
+				}
+				if int(got.Pos) != wantPos && math.Abs(got.Dist-wantDist) > 1e-9 {
+					t.Fatalf("query %d: pos %d, want %d", qi, got.Pos, wantPos)
+				}
+				if stats.Candidates+stats.PrunedByScan != coll.Len() {
+					t.Fatalf("query %d: candidates %d + pruned %d != %d",
+						qi, stats.Candidates, stats.PrunedByScan, coll.Len())
+				}
+			}
+		})
+	}
+}
+
+func TestSearchPrunes(t *testing.T) {
+	ix, coll, queries := buildIndex(t, gen.Synthetic, 2000)
+	totalPruned := 0
+	for qi := 0; qi < queries.Len(); qi++ {
+		_, stats, err := ix.Search(queries.At(qi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalPruned += stats.PrunedByScan
+		// Exact distances must be far fewer than a full scan.
+		if stats.RawDistances >= coll.Len() {
+			t.Fatalf("query %d computed %d raw distances on %d series",
+				qi, stats.RawDistances, coll.Len())
+		}
+	}
+	if totalPruned == 0 {
+		t.Error("lower-bound scan pruned nothing across all queries")
+	}
+}
+
+func TestSearchQueryLengthValidation(t *testing.T) {
+	ix, _, _ := buildIndex(t, gen.Synthetic, 100)
+	if _, _, err := ix.Search(make(series.Series, 13)); err == nil {
+		t.Error("mismatched query length accepted")
+	}
+}
+
+func TestBuildStatsComponentsPositive(t *testing.T) {
+	// Build against a disk with modeled (unslept) latency: the Read and
+	// Write components must be visible in the wall-clock stats.
+	g := gen.Generator{Kind: gen.Synthetic, Seed: 5}
+	coll := g.Collection(500)
+	raw, err := storage.WriteCollection(storage.NewMemStore(), coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := storage.NewLeafStore(storage.NewMemStore())
+	ix, err := Build(raw, leaves, core.Config{LeafCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := ix.BuildStats()
+	if bs.CPU <= 0 {
+		t.Errorf("CPU component = %v", bs.CPU)
+	}
+	if bs.Read < 0 || bs.Write < 0 {
+		t.Errorf("negative components: %+v", bs)
+	}
+	if bs.Total < bs.CPU {
+		t.Errorf("Total %v below CPU %v", bs.Total, bs.CPU)
+	}
+}

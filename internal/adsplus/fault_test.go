@@ -1,0 +1,69 @@
+package adsplus
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"dsidx/internal/core"
+	"dsidx/internal/gen"
+	"dsidx/internal/storage"
+)
+
+type faultStore struct {
+	storage.Store
+	failReads atomic.Bool
+}
+
+var errInjected = errors.New("injected fault")
+
+func (f *faultStore) ReadAt(p []byte, off int64) (int, error) {
+	if f.failReads.Load() {
+		return 0, errInjected
+	}
+	return f.Store.ReadAt(p, off)
+}
+
+func TestBuildAndSearchPropagateFaults(t *testing.T) {
+	g := gen.Generator{Kind: gen.Synthetic, Seed: 52}
+	coll := g.Collection(300)
+	fs := &faultStore{Store: storage.NewMemStore()}
+	raw, err := storage.WriteCollection(fs, coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(raw, storage.NewLeafStore(storage.NewMemStore()), core.Config{LeafCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs.failReads.Store(true)
+	if _, _, err := ix.Search(g.Queries(1).At(0)); !errors.Is(err, errInjected) {
+		t.Fatalf("Search error = %v, want injected", err)
+	}
+
+	// Build over a failing store errors out too.
+	_, err = Build(raw, storage.NewLeafStore(storage.NewMemStore()), core.Config{LeafCapacity: 16})
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("Build error = %v, want injected", err)
+	}
+}
+
+func TestLeafStoreFaultDuringFlush(t *testing.T) {
+	g := gen.Generator{Kind: gen.Synthetic, Seed: 53}
+	coll := g.Collection(200)
+	raw, err := storage.WriteCollection(storage.NewMemStore(), coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leafStore := storage.NewLeafStore(&failingWriter{})
+	if _, err := Build(raw, leafStore, core.Config{LeafCapacity: 16}); err == nil {
+		t.Fatal("Build with failing leaf store should error")
+	}
+}
+
+type failingWriter struct{ storage.MemStore }
+
+func (f *failingWriter) WriteAt(p []byte, off int64) (int, error) {
+	return 0, errInjected
+}

@@ -1,0 +1,223 @@
+// Package cluster implements the distributed extension the paper's §V
+// describes ("we are also integrating our techniques with a distributed
+// approach [DPiSAX, TKDE'19], which is complementary to the ParIS+ and
+// MESSI solutions"): a collection is partitioned across nodes, each node
+// holds a MESSI index over its partition, and a coordinator answers
+// queries by scatter-gather — broadcast the query, take the minimum of
+// the local exact answers (or merge local k-NN sets).
+//
+// Nodes are simulated in-process: each node is a goroutine-served
+// partition with an optional per-message network latency, so the
+// coordinator-side behaviour (fan-out, stragglers, result merging) is
+// faithful while the whole system stays hermetic. Exactness is preserved
+// by construction: the global NN lives in exactly one partition, and that
+// partition's local exact search returns it.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dsidx/internal/core"
+	"dsidx/internal/messi"
+	"dsidx/internal/series"
+	"dsidx/internal/xsync"
+)
+
+// Options configures a cluster build.
+type Options struct {
+	// Nodes is the number of partitions (default 4).
+	Nodes int
+	// WorkersPerNode bounds each node's local index parallelism
+	// (default GOMAXPROCS / Nodes, minimum 1).
+	WorkersPerNode int
+	// NetworkLatency is the simulated one-way message latency between the
+	// coordinator and a node (0 disables).
+	NetworkLatency time.Duration
+	// Index are the local index settings.
+	Index core.Config
+}
+
+func (o Options) normalize() Options {
+	if o.Nodes <= 0 {
+		o.Nodes = 4
+	}
+	if o.WorkersPerNode <= 0 {
+		o.WorkersPerNode = 1
+	}
+	return o
+}
+
+// node is one partition: a slice of the global collection plus the global
+// positions of its members.
+type node struct {
+	index  *messi.Index
+	global []int32 // global position of local series i
+}
+
+// Cluster is a coordinator plus its nodes.
+type Cluster struct {
+	opt   Options
+	nodes []*node
+	len   int
+}
+
+// Build partitions coll round-robin across the configured nodes and builds
+// each node's local MESSI index in parallel (round-robin keeps partitions
+// statistically identical, the standard choice of the distributed iSAX
+// line).
+func Build(coll *series.Collection, opt Options) (*Cluster, error) {
+	opt = opt.normalize()
+	n := coll.Len()
+	c := &Cluster{opt: opt, nodes: make([]*node, opt.Nodes), len: n}
+
+	// Partition round-robin.
+	parts := make([]*series.Collection, opt.Nodes)
+	globals := make([][]int32, opt.Nodes)
+	for i := range parts {
+		size := n / opt.Nodes
+		if i < n%opt.Nodes {
+			size++
+		}
+		parts[i] = series.NewCollection(size, coll.SeriesLen())
+		globals[i] = make([]int32, 0, size)
+	}
+	counts := make([]int, opt.Nodes)
+	for i := 0; i < n; i++ {
+		p := i % opt.Nodes
+		parts[p].Set(counts[p], coll.At(i))
+		globals[p] = append(globals[p], int32(i))
+		counts[p]++
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, opt.Nodes)
+	for i := 0; i < opt.Nodes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ix, err := messi.Build(parts[i], opt.Index, messi.Options{Workers: opt.WorkersPerNode})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			c.nodes[i] = &node{index: ix, global: globals[i]}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: building node %d: %w", i, err)
+		}
+	}
+	return c, nil
+}
+
+// Len returns the total number of indexed series.
+func (c *Cluster) Len() int { return c.len }
+
+// Nodes returns the partition count.
+func (c *Cluster) Nodes() int { return c.opt.Nodes }
+
+// hop simulates one network message.
+func (c *Cluster) hop() {
+	if c.opt.NetworkLatency > 0 {
+		time.Sleep(c.opt.NetworkLatency)
+	}
+}
+
+// QueryStats aggregates per-node work for one distributed query.
+type QueryStats struct {
+	NodeTimes []time.Duration // local search wall time per node
+	Slowest   time.Duration   // the straggler that bounds query latency
+}
+
+// Search answers an exact 1-NN query by scatter-gather over all nodes.
+func (c *Cluster) Search(q series.Series) (core.Result, *QueryStats, error) {
+	if c.len == 0 {
+		return core.NoResult(), &QueryStats{}, nil
+	}
+	stats := &QueryStats{NodeTimes: make([]time.Duration, len(c.nodes))}
+	best := xsync.NewBest()
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.nodes))
+	for i, nd := range c.nodes {
+		wg.Add(1)
+		go func(i int, nd *node) {
+			defer wg.Done()
+			c.hop() // coordinator → node
+			t0 := time.Now()
+			r, _, err := nd.index.Search(q, 0)
+			stats.NodeTimes[i] = time.Since(t0)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			c.hop() // node → coordinator
+			if r.Pos >= 0 {
+				best.Update(r.Dist, int64(nd.global[r.Pos]))
+			}
+		}(i, nd)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return core.NoResult(), stats, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+	}
+	for _, d := range stats.NodeTimes {
+		if d > stats.Slowest {
+			stats.Slowest = d
+		}
+	}
+	d, p := best.Load()
+	return core.Result{Pos: int32(p), Dist: d}, stats, nil
+}
+
+// SearchKNN answers an exact k-NN query: each node returns its local k
+// best, and the coordinator merges. Correct because the global k nearest
+// are distributed among the nodes' local k-NN sets.
+func (c *Cluster) SearchKNN(q series.Series, k int) ([]core.Result, *QueryStats, error) {
+	if k <= 0 || c.len == 0 {
+		return nil, &QueryStats{}, nil
+	}
+	stats := &QueryStats{NodeTimes: make([]time.Duration, len(c.nodes))}
+	merged := xsync.NewKBest(k)
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.nodes))
+	for i, nd := range c.nodes {
+		wg.Add(1)
+		go func(i int, nd *node) {
+			defer wg.Done()
+			c.hop()
+			t0 := time.Now()
+			rs, _, err := nd.index.SearchKNN(q, k, 0)
+			stats.NodeTimes[i] = time.Since(t0)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			c.hop()
+			for _, r := range rs {
+				merged.Offer(nd.global[r.Pos], r.Dist)
+			}
+		}(i, nd)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, stats, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+	}
+	for _, d := range stats.NodeTimes {
+		if d > stats.Slowest {
+			stats.Slowest = d
+		}
+	}
+	out := make([]core.Result, 0, k)
+	for _, e := range merged.Sorted() {
+		out = append(out, core.Result{Pos: e.Pos, Dist: e.Dist})
+	}
+	return out, stats, nil
+}

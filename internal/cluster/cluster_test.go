@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dsidx/internal/core"
+	"dsidx/internal/gen"
+	"dsidx/internal/series"
+	"dsidx/internal/ucr"
+)
+
+func testData(t *testing.T, n int) (*series.Collection, *series.Collection) {
+	t.Helper()
+	g := gen.Generator{Kind: gen.Synthetic, Length: 128, Seed: 91}
+	return g.Collection(n), g.Queries(6)
+}
+
+func TestBuildPartitionsEverything(t *testing.T) {
+	coll, _ := testData(t, 1000)
+	for _, nodes := range []int{1, 3, 7} {
+		c, err := Build(coll, Options{Nodes: nodes, Index: core.Config{LeafCapacity: 32}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Len() != 1000 || c.Nodes() != nodes {
+			t.Fatalf("nodes=%d: Len=%d Nodes=%d", nodes, c.Len(), c.Nodes())
+		}
+		total := 0
+		for _, nd := range c.nodes {
+			total += nd.index.Count()
+		}
+		if total != 1000 {
+			t.Fatalf("nodes=%d: partitions hold %d series", nodes, total)
+		}
+	}
+}
+
+func TestSearchExactAcrossPartitionCounts(t *testing.T) {
+	coll, queries := testData(t, 1200)
+	for _, nodes := range []int{1, 2, 5, 8} {
+		c, err := Build(coll, Options{Nodes: nodes, Index: core.Config{LeafCapacity: 32}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := 0; qi < queries.Len(); qi++ {
+			q := queries.At(qi)
+			_, wantDist := coll.BruteForce1NN(q)
+			got, stats, err := c.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got.Dist-wantDist) > 1e-6*math.Max(1, wantDist) {
+				t.Fatalf("nodes=%d query %d: %v != %v", nodes, qi, got.Dist, wantDist)
+			}
+			// The returned position is global and correct.
+			if d := series.SquaredED(q, coll.At(int(got.Pos))); math.Abs(d-got.Dist) > 1e-9 {
+				t.Fatalf("nodes=%d query %d: pos %d has dist %v, claimed %v",
+					nodes, qi, got.Pos, d, got.Dist)
+			}
+			if len(stats.NodeTimes) != nodes || stats.Slowest <= 0 {
+				t.Fatalf("nodes=%d: stats %+v", nodes, stats)
+			}
+		}
+	}
+}
+
+func TestSearchKNNMatchesSerial(t *testing.T) {
+	coll, queries := testData(t, 900)
+	c, err := Build(coll, Options{Nodes: 4, Index: core.Config{LeafCapacity: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 9
+	for qi := 0; qi < queries.Len(); qi++ {
+		q := queries.At(qi)
+		want := ucr.ScanKNN(coll, q, k)
+		got, _, err := c.SearchKNN(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != k {
+			t.Fatalf("query %d: %d results", qi, len(got))
+		}
+		for i := range got {
+			if math.Abs(got[i].Dist-want[i].Dist) > 1e-6*math.Max(1, want[i].Dist) {
+				t.Fatalf("query %d rank %d: %v != %v", qi, i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestSearchEmptyAndDegenerate(t *testing.T) {
+	empty, err := Build(series.NewCollection(0, 64), Options{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := empty.Search(make(series.Series, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pos != -1 {
+		t.Fatalf("empty cluster returned %+v", r)
+	}
+	if rs, _, err := empty.SearchKNN(make(series.Series, 64), 3); err != nil || rs != nil {
+		t.Fatalf("empty kNN: %v %v", rs, err)
+	}
+	coll, _ := testData(t, 10)
+	c, err := Build(coll, Options{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs, _, err := c.SearchKNN(coll.At(0), 0); err != nil || rs != nil {
+		t.Fatalf("k=0: %v %v", rs, err)
+	}
+}
+
+func TestMoreNodesThanSeries(t *testing.T) {
+	coll, _ := testData(t, 3)
+	c, err := Build(coll, Options{Nodes: 8, Index: core.Config{LeafCapacity: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := coll.At(1)
+	got, _, err := c.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pos != 1 || got.Dist != 0 {
+		t.Fatalf("self-query answered %+v", got)
+	}
+}
+
+func TestNetworkLatencyCharged(t *testing.T) {
+	coll, queries := testData(t, 200)
+	c, err := Build(coll, Options{Nodes: 2, NetworkLatency: 20 * time.Millisecond,
+		Index: core.Config{LeafCapacity: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	if _, _, err := c.Search(queries.At(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Two hops in parallel across nodes: at least ~40ms.
+	if elapsed := time.Since(t0); elapsed < 35*time.Millisecond {
+		t.Fatalf("query took %v, expected ≥40ms of network latency", elapsed)
+	}
+}

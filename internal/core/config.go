@@ -1,0 +1,79 @@
+// Package core implements the iSAX tree index structure shared by every
+// index in this repository (paper §II, Figure 1(d)): ADS+, ParIS, ParIS+
+// and MESSI all use "the iSAX representation and basic ADS+ index
+// structure", differing in *how* (and how concurrently) they build and
+// search it.
+//
+// The tree has three kinds of nodes: a conceptual root with up to 2^w
+// children (one per combination of the first bit of each of the w
+// segments), inner nodes with exactly two children produced by splitting,
+// and leaves holding the iSAX summaries of their series plus pointers
+// (positions) into the raw data. Splits promote one segment of the leaf's
+// word to one more bit of cardinality, choosing the segment that balances
+// the two new leaves best.
+//
+// A root subtree is only ever mutated by one goroutine at a time (both
+// ParIS and MESSI partition work at root-subtree granularity precisely to
+// avoid synchronization — paper footnote 3), so Tree performs no locking;
+// the parallel packages own the partitioning.
+package core
+
+import (
+	"fmt"
+
+	"dsidx/internal/isax"
+	"dsidx/internal/paa"
+)
+
+// Config fixes the shape parameters of an index.
+type Config struct {
+	// SeriesLen is the number of points per series (a positive multiple of
+	// Segments).
+	SeriesLen int
+	// Segments is the number of PAA/iSAX segments, w in the paper (default
+	// 16, the paper's setting).
+	Segments int
+	// MaxBits is the maximum per-segment cardinality in bits (default 8,
+	// i.e. cardinality 256).
+	MaxBits int
+	// LeafCapacity is the maximum number of series in a leaf before it
+	// splits (default 256).
+	LeafCapacity int
+}
+
+// Defaults used when Config fields are zero.
+const (
+	DefaultSegments     = 16
+	DefaultMaxBits      = 8
+	DefaultLeafCapacity = 256
+)
+
+// Normalize fills in defaults and validates the configuration.
+func (c Config) Normalize() (Config, error) {
+	if c.Segments == 0 {
+		c.Segments = DefaultSegments
+	}
+	if c.MaxBits == 0 {
+		c.MaxBits = DefaultMaxBits
+	}
+	if c.LeafCapacity == 0 {
+		c.LeafCapacity = DefaultLeafCapacity
+	}
+	if c.Segments < 1 || c.Segments > isax.MaxSegments {
+		return c, fmt.Errorf("core: segments %d out of range [1,%d]", c.Segments, isax.MaxSegments)
+	}
+	if c.MaxBits < 1 || c.MaxBits > isax.MaxBits {
+		return c, fmt.Errorf("core: maxBits %d out of range [1,%d]", c.MaxBits, isax.MaxBits)
+	}
+	if c.LeafCapacity < 1 {
+		return c, fmt.Errorf("core: leaf capacity %d must be positive", c.LeafCapacity)
+	}
+	if !paa.Valid(c.SeriesLen, c.Segments) {
+		return c, fmt.Errorf("core: series length %d is not a positive multiple of %d segments",
+			c.SeriesLen, c.Segments)
+	}
+	return c, nil
+}
+
+// RootFanout returns the number of root children slots, 2^Segments.
+func (c Config) RootFanout() int { return 1 << c.Segments }

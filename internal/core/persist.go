@@ -1,0 +1,261 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"dsidx/internal/isax"
+	"dsidx/internal/storage"
+)
+
+// Index persistence ("DSI1" format): a built index is its configuration,
+// the SAX array, and the tree. ADS+/ParIS are persistent indexes — build
+// once, query across sessions — so the serialized form must round-trip
+// both in-memory leaves and leaves flushed to a LeafStore (whose refs
+// remain valid because the leaf log lives on the data device).
+//
+//	header:  magic "DSI1", u32 version=1,
+//	         u32 seriesLen, u32 segments, u32 maxBits, u32 leafCapacity,
+//	         u64 seriesCount
+//	sax:     seriesCount × segments bytes
+//	tree:    u32 rootCount, then per root: u32 key + pre-order subtree
+//	node:    u8 tag (0 leaf, 1 inner, 2 flushed leaf), u32 count,
+//	         segments × {u8 symbol, u8 bits} word
+//	  leaf:         count × segments sax bytes, count × i32 positions
+//	  inner:        u8 splitSeg, then left subtree, right subtree
+//	  flushed leaf: i64 ref offset, u32 ref len
+
+const (
+	indexMagic   = "DSI1"
+	indexVersion = 1
+
+	tagLeaf        = 0
+	tagInner       = 1
+	tagFlushedLeaf = 2
+)
+
+// EncodeIndex serializes a built index (tree + SAX array) to bytes.
+func EncodeIndex(tree *Tree, sax *SAXArray) []byte {
+	cfg := tree.Config()
+	var buf bytes.Buffer
+	buf.WriteString(indexMagic)
+	writeU32 := func(v uint32) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	writeU32(indexVersion)
+	writeU32(uint32(cfg.SeriesLen))
+	writeU32(uint32(cfg.Segments))
+	writeU32(uint32(cfg.MaxBits))
+	writeU32(uint32(cfg.LeafCapacity))
+	_ = binary.Write(&buf, binary.LittleEndian, uint64(sax.Len()))
+	buf.Write(sax.Data)
+
+	keys := tree.OccupiedKeys()
+	writeU32(uint32(len(keys)))
+	var writeNode func(n *Node)
+	writeNode = func(n *Node) {
+		switch {
+		case !n.IsLeaf():
+			buf.WriteByte(tagInner)
+		case n.Flushed:
+			buf.WriteByte(tagFlushedLeaf)
+		default:
+			buf.WriteByte(tagLeaf)
+		}
+		writeU32(uint32(n.Count))
+		for j := 0; j < cfg.Segments; j++ {
+			buf.WriteByte(n.Word.Symbols[j])
+			buf.WriteByte(n.Word.Bits[j])
+		}
+		switch {
+		case !n.IsLeaf():
+			buf.WriteByte(uint8(n.SplitSeg))
+			writeNode(n.Left)
+			writeNode(n.Right)
+		case n.Flushed:
+			_ = binary.Write(&buf, binary.LittleEndian, n.Ref.Offset)
+			writeU32(uint32(n.Ref.Len))
+		default:
+			buf.Write(n.SAX)
+			for _, p := range n.Pos {
+				writeU32(uint32(p))
+			}
+		}
+	}
+	for _, key := range keys {
+		writeU32(key)
+		writeNode(tree.Subtree(key))
+	}
+	return buf.Bytes()
+}
+
+// indexReader tracks a decode position with bounds checking.
+type indexReader struct {
+	data []byte
+	off  int
+}
+
+func (r *indexReader) take(n int) ([]byte, error) {
+	if r.off+n > len(r.data) {
+		return nil, fmt.Errorf("core: index truncated at offset %d (+%d): %w",
+			r.off, n, storage.ErrCorrupt)
+	}
+	out := r.data[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+func (r *indexReader) u8() (uint8, error) {
+	b, err := r.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *indexReader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *indexReader) u64() (uint64, error) {
+	b, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// DecodeIndex reconstructs a tree and SAX array from EncodeIndex output.
+func DecodeIndex(data []byte) (*Tree, *SAXArray, error) {
+	r := &indexReader{data: data}
+	magic, err := r.take(4)
+	if err != nil {
+		return nil, nil, err
+	}
+	if string(magic) != indexMagic {
+		return nil, nil, fmt.Errorf("core: bad index magic %q: %w", magic, storage.ErrCorrupt)
+	}
+	version, err := r.u32()
+	if err != nil {
+		return nil, nil, err
+	}
+	if version != indexVersion {
+		return nil, nil, fmt.Errorf("core: unsupported index version %d: %w", version, storage.ErrCorrupt)
+	}
+	var cfgVals [4]uint32
+	for i := range cfgVals {
+		if cfgVals[i], err = r.u32(); err != nil {
+			return nil, nil, err
+		}
+	}
+	cfg := Config{
+		SeriesLen:    int(cfgVals[0]),
+		Segments:     int(cfgVals[1]),
+		MaxBits:      int(cfgVals[2]),
+		LeafCapacity: int(cfgVals[3]),
+	}
+	tree, err := NewTree(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: decoding index config: %w", err)
+	}
+	cfg = tree.Config()
+
+	count, err := r.u64()
+	if err != nil {
+		return nil, nil, err
+	}
+	saxBytes, err := r.take(int(count) * cfg.Segments)
+	if err != nil {
+		return nil, nil, err
+	}
+	sax := &SAXArray{W: cfg.Segments, Data: append([]uint8(nil), saxBytes...)}
+
+	rootCount, err := r.u32()
+	if err != nil {
+		return nil, nil, err
+	}
+	var readNode func() (*Node, error)
+	readNode = func() (*Node, error) {
+		tag, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		cnt, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		word := isax.Word{Symbols: make([]uint8, cfg.Segments), Bits: make([]uint8, cfg.Segments)}
+		wb, err := r.take(2 * cfg.Segments)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < cfg.Segments; j++ {
+			word.Symbols[j], word.Bits[j] = wb[2*j], wb[2*j+1]
+		}
+		n := &Node{Word: word, Count: int(cnt)}
+		switch tag {
+		case tagInner:
+			seg, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			n.SplitSeg = int(seg)
+			if n.Left, err = readNode(); err != nil {
+				return nil, err
+			}
+			if n.Right, err = readNode(); err != nil {
+				return nil, err
+			}
+		case tagLeaf:
+			sb, err := r.take(int(cnt) * cfg.Segments)
+			if err != nil {
+				return nil, err
+			}
+			n.SAX = append([]uint8(nil), sb...)
+			pb, err := r.take(int(cnt) * 4)
+			if err != nil {
+				return nil, err
+			}
+			n.Pos = make([]int32, cnt)
+			for i := range n.Pos {
+				n.Pos[i] = int32(binary.LittleEndian.Uint32(pb[i*4:]))
+			}
+		case tagFlushedLeaf:
+			off, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			ln, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			n.Flushed = true
+			n.Ref = storage.LeafRef{Offset: int64(off), Len: int32(ln)}
+		default:
+			return nil, fmt.Errorf("core: unknown node tag %d: %w", tag, storage.ErrCorrupt)
+		}
+		return n, nil
+	}
+	for i := uint32(0); i < rootCount; i++ {
+		key, err := r.u32()
+		if err != nil {
+			return nil, nil, err
+		}
+		if int(key) >= cfg.RootFanout() {
+			return nil, nil, fmt.Errorf("core: root key %d out of range: %w", key, storage.ErrCorrupt)
+		}
+		node, err := readNode()
+		if err != nil {
+			return nil, nil, err
+		}
+		tree.roots[key] = node
+		tree.occupied = append(tree.occupied, key)
+	}
+	if r.off != len(data) {
+		return nil, nil, fmt.Errorf("core: %d trailing bytes: %w", len(data)-r.off, storage.ErrCorrupt)
+	}
+	return tree, sax, nil
+}

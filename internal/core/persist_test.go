@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"dsidx/internal/storage"
+)
+
+func TestEncodeDecodeIndexRoundTrip(t *testing.T) {
+	tree, _, sax := buildTestTree(t, 1500, testConfig())
+	data := EncodeIndex(tree, &SAXArray{W: 16, Data: sax.Data})
+
+	tree2, sax2, err := DecodeIndex(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree2.Count() != tree.Count() {
+		t.Fatalf("decoded count %d, want %d", tree2.Count(), tree.Count())
+	}
+	if err := tree2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if sax2.Len() != sax.Len() {
+		t.Fatalf("decoded SAX len %d, want %d", sax2.Len(), sax.Len())
+	}
+	for i := range sax.Data {
+		if sax2.Data[i] != sax.Data[i] {
+			t.Fatalf("SAX differs at byte %d", i)
+		}
+	}
+	// Every position must land in the same leaf set.
+	collect := func(tr *Tree) map[int32]string {
+		m := make(map[int32]string)
+		tr.VisitLeaves(func(n *Node) {
+			for _, p := range n.Pos {
+				m[p] = n.Word.Key()
+			}
+		})
+		return m
+	}
+	a, b := collect(tree), collect(tree2)
+	if len(a) != len(b) {
+		t.Fatalf("leaf entry counts differ: %d vs %d", len(a), len(b))
+	}
+	for p, w := range a {
+		if b[p] != w {
+			t.Fatalf("position %d moved from leaf %q to %q", p, w, b[p])
+		}
+	}
+}
+
+func TestEncodeDecodeIndexWithFlushedLeaves(t *testing.T) {
+	tree, _, sax := buildTestTree(t, 800, testConfig())
+	ls := storage.NewLeafStore(storage.NewMemStore())
+	var flushErr error
+	tree.VisitLeaves(func(n *Node) {
+		if flushErr == nil {
+			flushErr = FlushLeaf(n, 16, ls)
+		}
+	})
+	if flushErr != nil {
+		t.Fatal(flushErr)
+	}
+	data := EncodeIndex(tree, &SAXArray{W: 16, Data: sax.Data})
+	tree2, _, err := DecodeIndex(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flushed refs must round-trip and resolve against the same leaf store.
+	entries := 0
+	tree2.VisitLeaves(func(n *Node) {
+		if !n.Flushed {
+			t.Fatal("decoded leaf lost flushed state")
+		}
+		_, pos, err := LoadLeaf(n, 16, ls)
+		if err != nil {
+			t.Fatalf("loading decoded leaf: %v", err)
+		}
+		entries += len(pos)
+	})
+	if entries != 800 {
+		t.Fatalf("flushed leaves hold %d entries, want 800", entries)
+	}
+}
+
+func TestDecodeIndexCorruption(t *testing.T) {
+	tree, _, sax := buildTestTree(t, 200, testConfig())
+	data := EncodeIndex(tree, &SAXArray{W: 16, Data: sax.Data})
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", func(d []byte) []byte { d[0] = 'X'; return d }},
+		{"bad version", func(d []byte) []byte { d[4] = 99; return d }},
+		{"truncated", func(d []byte) []byte { return d[:len(d)/2] }},
+		{"trailing garbage", func(d []byte) []byte { return append(d, 0, 1, 2) }},
+		{"empty", func(d []byte) []byte { return nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := tc.mutate(append([]byte(nil), data...))
+			if _, _, err := DecodeIndex(bad); !errors.Is(err, storage.ErrCorrupt) {
+				t.Fatalf("error = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+func TestDecodeIndexRejectsBadConfig(t *testing.T) {
+	tree, _, sax := buildTestTree(t, 100, testConfig())
+	data := EncodeIndex(tree, &SAXArray{W: 16, Data: sax.Data})
+	// Corrupt the segments field (offset 4+4+4 = 12).
+	data[12] = 99
+	if _, _, err := DecodeIndex(data); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

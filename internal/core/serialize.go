@@ -1,0 +1,86 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dsidx/internal/storage"
+)
+
+// Leaf blob format (ParIS leaf materialization):
+//
+//	offset 0: entry count (uint32 LE)
+//	offset 4: segment count w (uint32 LE)
+//	offset 8: count × w summary bytes
+//	then:     count × int32 LE positions
+
+// EncodeLeaf serializes a leaf's entries for flushing to a LeafStore.
+func EncodeLeaf(n *Node, w int) []byte {
+	count := len(n.Pos)
+	blob := make([]byte, 8+count*w+count*4)
+	binary.LittleEndian.PutUint32(blob[0:4], uint32(count))
+	binary.LittleEndian.PutUint32(blob[4:8], uint32(w))
+	copy(blob[8:], n.SAX)
+	posOff := 8 + count*w
+	for i, p := range n.Pos {
+		binary.LittleEndian.PutUint32(blob[posOff+i*4:], uint32(p))
+	}
+	return blob
+}
+
+// DecodeLeaf parses a leaf blob back into summaries and positions.
+func DecodeLeaf(blob []byte, wantW int) (sax []uint8, pos []int32, err error) {
+	if len(blob) < 8 {
+		return nil, nil, fmt.Errorf("core: leaf blob too short (%d bytes): %w", len(blob), storage.ErrCorrupt)
+	}
+	count := int(binary.LittleEndian.Uint32(blob[0:4]))
+	w := int(binary.LittleEndian.Uint32(blob[4:8]))
+	if w != wantW {
+		return nil, nil, fmt.Errorf("core: leaf blob has %d segments, want %d: %w", w, wantW, storage.ErrCorrupt)
+	}
+	need := 8 + count*w + count*4
+	if len(blob) != need {
+		return nil, nil, fmt.Errorf("core: leaf blob %d bytes, want %d: %w", len(blob), need, storage.ErrCorrupt)
+	}
+	sax = make([]uint8, count*w)
+	copy(sax, blob[8:8+count*w])
+	pos = make([]int32, count)
+	posOff := 8 + count*w
+	for i := range pos {
+		pos[i] = int32(binary.LittleEndian.Uint32(blob[posOff+i*4:]))
+	}
+	return sax, pos, nil
+}
+
+// FlushLeaf materializes a leaf to the LeafStore and releases its in-memory
+// entries — the job of ParIS's IndexConstruction workers, which "flush the
+// subtree leaves to disk ... resulting in free space in main memory".
+func FlushLeaf(n *Node, w int, ls *storage.LeafStore) error {
+	if !n.IsLeaf() {
+		return fmt.Errorf("core: FlushLeaf on inner node %v", n.Word)
+	}
+	if n.Flushed {
+		return nil
+	}
+	ref, err := ls.Append(EncodeLeaf(n, w))
+	if err != nil {
+		return fmt.Errorf("core: flushing leaf %v: %w", n.Word, err)
+	}
+	n.Ref = ref
+	n.Flushed = true
+	n.SAX, n.Pos = nil, nil
+	return nil
+}
+
+// LoadLeaf reads a flushed leaf's entries back from the LeafStore without
+// mutating the node. Unflushed leaves return their in-memory entries.
+func LoadLeaf(n *Node, w int, ls *storage.LeafStore) (sax []uint8, pos []int32, err error) {
+	if !n.Flushed {
+		return n.SAX, n.Pos, nil
+	}
+	blob, err := ls.Read(n.Ref)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: loading leaf %v: %w", n.Word, err)
+	}
+	return DecodeLeaf(blob, w)
+}

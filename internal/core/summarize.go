@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dsidx/internal/isax"
+	"dsidx/internal/paa"
+	"dsidx/internal/series"
+)
+
+// Summarizer converts raw series into full-cardinality iSAX summaries. It
+// owns a scratch PAA buffer, so each worker goroutine should hold its own
+// Summarizer (they share the immutable Quantizer).
+type Summarizer struct {
+	cfg    Config
+	quant  *isax.Quantizer
+	paaBuf []float64
+}
+
+// NewSummarizer builds a summarizer for the (normalized) config.
+func NewSummarizer(cfg Config, quant *isax.Quantizer) *Summarizer {
+	return &Summarizer{cfg: cfg, quant: quant, paaBuf: make([]float64, cfg.Segments)}
+}
+
+// Summarize writes the full-cardinality summary of s into dst
+// (len(dst) == Segments).
+func (sm *Summarizer) Summarize(s series.Series, dst []uint8) {
+	paa.TransformInto(s, sm.paaBuf)
+	sm.quant.SymbolsInto(sm.paaBuf, dst)
+}
+
+// PAA computes the PAA coefficients of s into the internal buffer and
+// returns it (valid until the next call on this summarizer).
+func (sm *Summarizer) PAA(s series.Series) []float64 {
+	paa.TransformInto(s, sm.paaBuf)
+	return sm.paaBuf
+}
+
+// SAXArray is the flat array of full-cardinality iSAX summaries of the
+// whole dataset — "the iSAX summarizations are also stored in the array SAX
+// (used during query answering)" (paper §III). Summary i occupies
+// Data[i*W : (i+1)*W].
+type SAXArray struct {
+	W    int
+	Data []uint8
+}
+
+// NewSAXArray allocates a SAX array for n summaries of w segments.
+func NewSAXArray(n, w int) *SAXArray {
+	return &SAXArray{W: w, Data: make([]uint8, n*w)}
+}
+
+// Len returns the number of summaries.
+func (a *SAXArray) Len() int { return len(a.Data) / a.W }
+
+// At returns summary i as a slice view.
+func (a *SAXArray) At(i int) []uint8 { return a.Data[i*a.W : (i+1)*a.W] }
+
+// Range returns the flat byte range of summaries [lo, hi), for batched
+// lower-bound kernels.
+func (a *SAXArray) Range(lo, hi int) []uint8 { return a.Data[lo*a.W : hi*a.W] }
+
+func (a *SAXArray) String() string { return fmt.Sprintf("SAXArray(n=%d,w=%d)", a.Len(), a.W) }
+
+// TopKByLowerBound scans the SAX array with a per-query table and returns
+// the positions of the k smallest lower bounds, in ascending bound order.
+// The on-disk indexes use it to seed the best-so-far robustly: at the
+// paper's scale the approximate tree descent lands in a leaf with
+// thousands of close candidates, but a scaled-down sparse tree can descend
+// into a leaf whose members are summary-close yet raw-far; reading the
+// few globally best-bounded series (bounded extra I/O) restores the
+// approximate-answer quality regime of the full-scale system.
+func (a *SAXArray) TopKByLowerBound(table *isax.QueryTable, k int) []int32 {
+	if k <= 0 || a.Len() == 0 {
+		return nil
+	}
+	type cand struct {
+		pos int32
+		lb  float64
+	}
+	// Bounded max-heap on lb: the root is the current k-th best.
+	heap := make([]cand, 0, k)
+	siftDown := func() {
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			largest := i
+			if l < len(heap) && heap[l].lb > heap[largest].lb {
+				largest = l
+			}
+			if r < len(heap) && heap[r].lb > heap[largest].lb {
+				largest = r
+			}
+			if largest == i {
+				return
+			}
+			heap[i], heap[largest] = heap[largest], heap[i]
+			i = largest
+		}
+	}
+	n := a.Len()
+	for i := 0; i < n; i++ {
+		lb := table.MinDistSAX(a.At(i))
+		switch {
+		case len(heap) < k:
+			heap = append(heap, cand{int32(i), lb})
+			for j := len(heap) - 1; j > 0; {
+				parent := (j - 1) / 2
+				if heap[parent].lb >= heap[j].lb {
+					break
+				}
+				heap[parent], heap[j] = heap[j], heap[parent]
+				j = parent
+			}
+		case lb < heap[0].lb:
+			heap[0] = cand{int32(i), lb}
+			siftDown()
+		}
+	}
+	sort.Slice(heap, func(i, j int) bool { return heap[i].lb < heap[j].lb })
+	out := make([]int32, len(heap))
+	for i, c := range heap {
+		out[i] = c.pos
+	}
+	return out
+}

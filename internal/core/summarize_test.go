@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dsidx/internal/gen"
+	"dsidx/internal/isax"
+	"dsidx/internal/paa"
+)
+
+func TestSummarizerMatchesDirectPipeline(t *testing.T) {
+	cfg, err := Config{SeriesLen: 256}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	quant, err := isax.NewQuantizer(cfg.MaxBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := NewSummarizer(cfg, quant)
+	g := gen.Generator{Kind: gen.SALD, Length: 256, Seed: 3}
+	for i := int64(0); i < 20; i++ {
+		s := g.Series(i)
+		got := make([]uint8, cfg.Segments)
+		sm.Summarize(s, got)
+		coeffs := paa.Transform(s, cfg.Segments)
+		want := make([]uint8, cfg.Segments)
+		quant.SymbolsInto(coeffs, want)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("series %d segment %d: %d != %d", i, j, got[j], want[j])
+			}
+		}
+		// PAA view matches too.
+		pv := sm.PAA(s)
+		for j := range coeffs {
+			if pv[j] != coeffs[j] {
+				t.Fatalf("PAA mismatch at %d", j)
+			}
+		}
+	}
+}
+
+func TestTopKByLowerBoundMatchesSort(t *testing.T) {
+	cfg, err := Config{SeriesLen: 128}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	quant, err := isax.NewQuantizer(cfg.MaxBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gen.Generator{Kind: gen.Synthetic, Length: 128, Seed: 44}
+	coll := g.Collection(500)
+	sm := NewSummarizer(cfg, quant)
+	sax := NewSAXArray(coll.Len(), cfg.Segments)
+	for i := 0; i < coll.Len(); i++ {
+		sm.Summarize(coll.At(i), sax.At(i))
+	}
+	q := g.Series(-1)
+	qpaa := paa.Transform(q, cfg.Segments)
+	table := isax.NewQueryTable(quant, qpaa, cfg.SeriesLen)
+
+	for _, k := range []int{1, 3, 10, 500, 1000} {
+		got := sax.TopKByLowerBound(table, k)
+		wantLen := min(k, coll.Len())
+		if len(got) != wantLen {
+			t.Fatalf("k=%d: returned %d positions", k, len(got))
+		}
+		// Reference: full sort by lower bound.
+		lbs := make([]float64, coll.Len())
+		for i := range lbs {
+			lbs[i] = table.MinDistSAX(sax.At(i))
+		}
+		ref := make([]int, coll.Len())
+		for i := range ref {
+			ref[i] = i
+		}
+		sort.Slice(ref, func(a, b int) bool { return lbs[ref[a]] < lbs[ref[b]] })
+		for i, p := range got {
+			if lbs[p] != lbs[ref[i]] {
+				t.Fatalf("k=%d rank %d: lb %v, want %v", k, i, lbs[p], lbs[ref[i]])
+			}
+		}
+		// Ascending order.
+		for i := 1; i < len(got); i++ {
+			if lbs[got[i]] < lbs[got[i-1]] {
+				t.Fatalf("k=%d: results not ascending", k)
+			}
+		}
+	}
+	if got := sax.TopKByLowerBound(table, 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+}
+
+func TestTreeRandomBuildInvariantsProperty(t *testing.T) {
+	// Property: any multiset of summaries, inserted in any order, yields a
+	// structurally valid tree holding exactly the inserted entries.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			SeriesLen:    32,
+			Segments:     8,
+			MaxBits:      1 + rng.Intn(8),
+			LeafCapacity: 1 + rng.Intn(16),
+		}
+		tree, err := NewTree(cfg)
+		if err != nil {
+			return false
+		}
+		cfg = tree.Config()
+		n := 50 + rng.Intn(400)
+		card := 1 << cfg.MaxBits
+		sax := make([]uint8, cfg.Segments)
+		for i := 0; i < n; i++ {
+			for j := range sax {
+				// Skewed distribution to force deep splits and duplicates.
+				sax[j] = uint8(rng.Intn(card) * rng.Intn(2))
+			}
+			tree.Insert(sax, int32(i))
+		}
+		if tree.Count() != n {
+			return false
+		}
+		return tree.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"dsidx/internal/series"
+)
+
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		want string
+	}{
+		{Synthetic, "Synthetic"}, {SALD, "SALD"}, {Seismic, "Seismic"}, {Kind(99), "Kind(99)"},
+	}
+	for _, tc := range cases {
+		if got := tc.k.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestDefaultLengths(t *testing.T) {
+	if got := Synthetic.DefaultLength(); got != 256 {
+		t.Errorf("Synthetic length = %d, want 256", got)
+	}
+	if got := SALD.DefaultLength(); got != 128 {
+		t.Errorf("SALD length = %d, want 128", got)
+	}
+	if got := Seismic.DefaultLength(); got != 256 {
+		t.Errorf("Seismic length = %d, want 256", got)
+	}
+}
+
+func TestSeriesDeterministic(t *testing.T) {
+	for _, kind := range []Kind{Synthetic, SALD, Seismic} {
+		g := Generator{Kind: kind, Seed: 42}
+		a := g.Series(7)
+		b := g.Series(7)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: series 7 not deterministic at %d", kind, i)
+			}
+		}
+	}
+}
+
+func TestSeriesDistinctAcrossIndexAndSeed(t *testing.T) {
+	g1 := Generator{Kind: Synthetic, Seed: 1}
+	g2 := Generator{Kind: Synthetic, Seed: 2}
+	a, b, c := g1.Series(0), g1.Series(1), g2.Series(0)
+	if series.SquaredED(a, b) == 0 {
+		t.Error("consecutive series identical")
+	}
+	if series.SquaredED(a, c) == 0 {
+		t.Error("different seeds produced identical series")
+	}
+}
+
+func TestSeriesZNormalized(t *testing.T) {
+	for _, kind := range []Kind{Synthetic, SALD, Seismic} {
+		g := Generator{Kind: kind, Seed: 3}
+		for i := int64(0); i < 10; i++ {
+			s := g.Series(i)
+			if m := s.Mean(); math.Abs(m) > 1e-4 {
+				t.Errorf("%v series %d mean = %v, want ~0", kind, i, m)
+			}
+			if sd := s.Stddev(); math.Abs(sd-1) > 1e-3 {
+				t.Errorf("%v series %d stddev = %v, want ~1", kind, i, sd)
+			}
+		}
+	}
+}
+
+func TestCollectionMatchesSeries(t *testing.T) {
+	// Parallel generation must produce exactly the per-index streams.
+	g := Generator{Kind: Seismic, Seed: 9}
+	coll := g.Collection(100)
+	if coll.Len() != 100 || coll.SeriesLen() != 256 {
+		t.Fatalf("shape = (%d,%d)", coll.Len(), coll.SeriesLen())
+	}
+	for _, i := range []int{0, 1, 50, 99} {
+		want := g.Series(int64(i))
+		got := coll.At(i)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("series %d differs at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestQueriesDisjointFromDataset(t *testing.T) {
+	g := Generator{Kind: Synthetic, Seed: 5}
+	coll := g.Collection(50)
+	queries := g.Queries(5)
+	if queries.Len() != 5 {
+		t.Fatalf("queries len = %d", queries.Len())
+	}
+	for qi := 0; qi < queries.Len(); qi++ {
+		q := queries.At(qi)
+		for i := 0; i < coll.Len(); i++ {
+			if series.SquaredED(q, coll.At(i)) == 0 {
+				t.Fatalf("query %d equals dataset series %d", qi, i)
+			}
+		}
+	}
+}
+
+func TestCustomLength(t *testing.T) {
+	g := Generator{Kind: Synthetic, Length: 64, Seed: 1}
+	if got := len(g.Series(0)); got != 64 {
+		t.Errorf("series length = %d, want 64", got)
+	}
+}
+
+func TestFamiliesHaveDifferentSmoothness(t *testing.T) {
+	// Sanity check that the families are genuinely different processes:
+	// mean absolute first difference (of z-normalized series) should rank
+	// random walk (smooth, diffusive) below SALD/Seismic-style signals.
+	diff := func(k Kind) float64 {
+		g := Generator{Kind: k, Length: 256, Seed: 11}
+		var acc float64
+		const count = 50
+		for i := int64(0); i < count; i++ {
+			s := g.Series(i)
+			for j := 1; j < len(s); j++ {
+				acc += math.Abs(float64(s[j] - s[j-1]))
+			}
+		}
+		return acc / count
+	}
+	walk, sald, seismic := diff(Synthetic), diff(SALD), diff(Seismic)
+	if walk >= sald {
+		t.Errorf("random walk roughness %v should be below SALD %v", walk, sald)
+	}
+	if walk >= seismic {
+		t.Errorf("random walk roughness %v should be below Seismic %v", walk, seismic)
+	}
+}

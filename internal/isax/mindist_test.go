@@ -1,0 +1,196 @@
+package isax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dsidx/internal/paa"
+	"dsidx/internal/series"
+)
+
+func randomSeries(rng *rand.Rand, n int) series.Series {
+	s := make(series.Series, n)
+	for i := range s {
+		s[i] = float32(rng.NormFloat64())
+	}
+	return s
+}
+
+// fullWord builds the maxBits-cardinality word of a summary.
+func fullWord(sax []uint8, maxBits int) Word {
+	w := Word{Symbols: make([]uint8, len(sax)), Bits: make([]uint8, len(sax))}
+	for j, s := range sax {
+		w.Symbols[j] = s
+		w.Bits[j] = uint8(maxBits)
+	}
+	return w
+}
+
+func summarize(q *Quantizer, s series.Series, segments int) []uint8 {
+	coeffs := paa.Transform(s, segments)
+	out := make([]uint8, segments)
+	q.SymbolsInto(coeffs, out)
+	return out
+}
+
+func TestMinDistLowerBoundsED(t *testing.T) {
+	// THE invariant: MinDist(PAA(q), iSAX(s)) <= ED²(q, s), at every
+	// cardinality. Every index's exactness depends on this.
+	q := mustQuantizer(t, 8)
+	rng := rand.New(rand.NewSource(20))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, segments := 256, 16
+		a, b := randomSeries(r, n), randomSeries(r, n)
+		qPAA := paa.Transform(a, segments)
+		ed := series.SquaredED(a, b)
+		sax := summarize(q, b, segments)
+		// Random-cardinality word containing b's summary.
+		w := Word{Symbols: make([]uint8, segments), Bits: make([]uint8, segments)}
+		for j := range w.Symbols {
+			bits := 1 + r.Intn(8)
+			w.Bits[j] = uint8(bits)
+			w.Symbols[j] = sax[j] >> (8 - bits)
+		}
+		return MinDist(q, qPAA, w, n) <= ed+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinDistZeroForOwnWord(t *testing.T) {
+	q := mustQuantizer(t, 8)
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		s := randomSeries(rng, 128)
+		qPAA := paa.Transform(s, 16)
+		sax := summarize(q, s, 16)
+		w := fullWord(sax, 8)
+		if d := MinDist(q, qPAA, w, 128); d != 0 {
+			t.Fatalf("MinDist of series against its own word = %v, want 0", d)
+		}
+	}
+}
+
+func TestMinDistMonotoneInCardinality(t *testing.T) {
+	// Promoting a segment to higher cardinality shrinks the region, so the
+	// bound can only tighten (grow).
+	q := mustQuantizer(t, 8)
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 100; trial++ {
+		n, segments := 256, 16
+		a, b := randomSeries(rng, n), randomSeries(rng, n)
+		qPAA := paa.Transform(a, segments)
+		sax := summarize(q, b, segments)
+		prev := -1.0
+		for bits := 1; bits <= 8; bits++ {
+			w := Word{Symbols: make([]uint8, segments), Bits: make([]uint8, segments)}
+			for j := range w.Symbols {
+				w.Bits[j] = uint8(bits)
+				w.Symbols[j] = sax[j] >> (8 - bits)
+			}
+			d := MinDist(q, qPAA, w, n)
+			if d < prev-1e-9 {
+				t.Fatalf("bound loosened from %v to %v at bits=%d", prev, d, bits)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestQueryTableMatchesMinDist(t *testing.T) {
+	q := mustQuantizer(t, 8)
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		n, segments := 256, 16
+		a, b := randomSeries(rng, n), randomSeries(rng, n)
+		qPAA := paa.Transform(a, segments)
+		sax := summarize(q, b, segments)
+		table := NewQueryTable(q, qPAA, n)
+		got := table.MinDistSAX(sax)
+		want := MinDist(q, qPAA, fullWord(sax, 8), n)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("QueryTable = %v, MinDist = %v", got, want)
+		}
+	}
+}
+
+func TestMinDistSAXStrided(t *testing.T) {
+	q := mustQuantizer(t, 8)
+	rng := rand.New(rand.NewSource(24))
+	n, segments, count := 256, 16, 33
+	a := randomSeries(rng, n)
+	qPAA := paa.Transform(a, segments)
+	table := NewQueryTable(q, qPAA, n)
+
+	sax := make([]uint8, count*segments)
+	for i := range sax {
+		sax[i] = uint8(rng.Intn(256))
+	}
+	out := make([]float64, count)
+	table.MinDistSAXStrided(sax, out)
+	for i := 0; i < count; i++ {
+		want := table.MinDistSAX(sax[i*segments : (i+1)*segments])
+		if out[i] != want {
+			t.Fatalf("strided[%d] = %v, want %v", i, out[i], want)
+		}
+	}
+}
+
+func TestMinDistSAXStridedPanicsOnMismatch(t *testing.T) {
+	q := mustQuantizer(t, 8)
+	table := NewQueryTable(q, make([]float64, 16), 256)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on mismatched batch")
+		}
+	}()
+	table.MinDistSAXStrided(make([]uint8, 17), make([]float64, 1))
+}
+
+func TestMinDistDTWLowerBoundsDTW(t *testing.T) {
+	// DTW extension invariant: the envelope-based iSAX bound never exceeds
+	// the true DTW distance.
+	q := mustQuantizer(t, 8)
+	rng := rand.New(rand.NewSource(25))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, segments := 128, 16
+		a, b := randomSeries(r, n), randomSeries(r, n)
+		window := r.Intn(16)
+		env := series.NewEnvelope(a, window)
+		upPAA := paa.Transform(env.Upper, segments)
+		loPAA := paa.Transform(env.Lower, segments)
+		sax := summarize(q, b, segments)
+		w := fullWord(sax, 8)
+		lb := MinDistDTW(q, upPAA, loPAA, w, n)
+		dtw := series.DTW(a, b, window, math.Inf(1))
+		return lb <= dtw+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinDistDTWAtZeroWindowMatchesMinDistDirection(t *testing.T) {
+	// With window 0 the envelope collapses to the query, so the DTW bound
+	// must still lower-bound plain ED.
+	q := mustQuantizer(t, 8)
+	rng := rand.New(rand.NewSource(26))
+	for trial := 0; trial < 50; trial++ {
+		n, segments := 128, 16
+		a, b := randomSeries(rng, n), randomSeries(rng, n)
+		env := series.NewEnvelope(a, 0)
+		upPAA := paa.Transform(env.Upper, segments)
+		loPAA := paa.Transform(env.Lower, segments)
+		sax := summarize(q, b, segments)
+		lb := MinDistDTW(q, upPAA, loPAA, fullWord(sax, 8), n)
+		ed := series.SquaredED(a, b)
+		if lb > ed+1e-6 {
+			t.Fatalf("zero-window DTW bound %v exceeds ED %v", lb, ed)
+		}
+	}
+}

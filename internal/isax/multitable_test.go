@@ -1,0 +1,114 @@
+package isax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dsidx/internal/paa"
+	"dsidx/internal/series"
+)
+
+func TestMultiTableDistWordEqualsMinDist(t *testing.T) {
+	// The multi-cardinality table must agree EXACTLY with region-based
+	// MinDist at every cardinality: coarse cells are minima over adjacent
+	// full-cardinality regions, and region distance of a union is the
+	// minimum of member distances.
+	q := mustQuantizer(t, 8)
+	rng := rand.New(rand.NewSource(30))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, segments := 256, 16
+		a, b := randomSeries(r, n), randomSeries(r, n)
+		qPAA := paa.Transform(a, segments)
+		sax := summarize(q, b, segments)
+		table := NewQueryTable(q, qPAA, n)
+		mt := NewMultiTable(q, table)
+
+		w := Word{Symbols: make([]uint8, segments), Bits: make([]uint8, segments)}
+		for j := range w.Symbols {
+			bits := 1 + r.Intn(8)
+			w.Bits[j] = uint8(bits)
+			w.Symbols[j] = sax[j] >> (8 - bits)
+		}
+		got := mt.DistWord(w)
+		want := MinDist(q, qPAA, w, n)
+		return math.Abs(got-want) <= 1e-9*math.Max(1, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiTableDistSAXMatchesBase(t *testing.T) {
+	q := mustQuantizer(t, 8)
+	rng := rand.New(rand.NewSource(31))
+	n, segments := 128, 16
+	a := randomSeries(rng, n)
+	qPAA := paa.Transform(a, segments)
+	table := NewQueryTable(q, qPAA, n)
+	mt := NewMultiTable(q, table)
+	for trial := 0; trial < 100; trial++ {
+		sax := make([]uint8, segments)
+		for j := range sax {
+			sax[j] = uint8(rng.Intn(256))
+		}
+		if got, want := mt.DistSAX(sax), table.MinDistSAX(sax); got != want {
+			t.Fatalf("DistSAX = %v, MinDistSAX = %v", got, want)
+		}
+	}
+}
+
+func TestMultiTableCoarseningOnlyLoosens(t *testing.T) {
+	// Dropping cardinality can only decrease (loosen) the bound.
+	q := mustQuantizer(t, 8)
+	rng := rand.New(rand.NewSource(32))
+	n, segments := 256, 16
+	a, b := randomSeries(rng, n), randomSeries(rng, n)
+	qPAA := paa.Transform(a, segments)
+	sax := summarize(q, b, segments)
+	mt := NewMultiTable(q, NewQueryTable(q, qPAA, n))
+	prev := math.Inf(1)
+	for bits := 8; bits >= 1; bits-- {
+		w := Word{Symbols: make([]uint8, segments), Bits: make([]uint8, segments)}
+		for j := range w.Symbols {
+			w.Bits[j] = uint8(bits)
+			w.Symbols[j] = sax[j] >> (8 - bits)
+		}
+		d := mt.DistWord(w)
+		if d > prev+1e-12 {
+			t.Fatalf("bound tightened from %v to %v when coarsening to %d bits", prev, d, bits)
+		}
+		prev = d
+	}
+}
+
+func TestMultiTableDTWBaseRemainsLowerBound(t *testing.T) {
+	// A multi-table built over the DTW query table must still lower-bound
+	// true DTW distances at any cardinality.
+	q := mustQuantizer(t, 8)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, segments := 128, 16
+		a, b := randomSeries(r, n), randomSeries(r, n)
+		window := r.Intn(12)
+		env := series.NewEnvelope(a, window)
+		upPAA := paa.Transform(env.Upper, segments)
+		loPAA := paa.Transform(env.Lower, segments)
+		mt := NewMultiTable(q, NewDTWQueryTable(q, upPAA, loPAA, n))
+		sax := summarize(q, b, segments)
+		w := Word{Symbols: make([]uint8, segments), Bits: make([]uint8, segments)}
+		for j := range w.Symbols {
+			bits := 1 + r.Intn(8)
+			w.Bits[j] = uint8(bits)
+			w.Symbols[j] = sax[j] >> (8 - bits)
+		}
+		lb := mt.DistWord(w)
+		dtw := series.DTW(a, b, window, math.Inf(1))
+		return lb <= dtw+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

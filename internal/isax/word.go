@@ -1,0 +1,126 @@
+package isax
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Word is an iSAX word: one symbol per segment, each with its own
+// cardinality expressed in bits. Index nodes are labeled with Words; a node
+// covers exactly the series whose full-cardinality summaries have the word's
+// symbols as bit-prefixes (paper Figure 1(d)).
+type Word struct {
+	Symbols []uint8 // symbol value per segment, valid in [0, 2^Bits[j])
+	Bits    []uint8 // cardinality bits per segment, in [1, MaxBits]
+}
+
+// NewRootWord returns the 1-bit-per-segment word with the given symbols,
+// which is how root children are labeled.
+func NewRootWord(topBits []uint8) Word {
+	w := Word{Symbols: make([]uint8, len(topBits)), Bits: make([]uint8, len(topBits))}
+	for j, b := range topBits {
+		w.Symbols[j] = b & 1
+		w.Bits[j] = 1
+	}
+	return w
+}
+
+// Segments returns the number of segments of the word.
+func (w Word) Segments() int { return len(w.Symbols) }
+
+// Clone returns a deep copy of w.
+func (w Word) Clone() Word {
+	out := Word{Symbols: make([]uint8, len(w.Symbols)), Bits: make([]uint8, len(w.Bits))}
+	copy(out.Symbols, w.Symbols)
+	copy(out.Bits, w.Bits)
+	return out
+}
+
+// Equal reports whether two words have identical symbols and cardinalities.
+func (w Word) Equal(o Word) bool {
+	if len(w.Symbols) != len(o.Symbols) {
+		return false
+	}
+	for j := range w.Symbols {
+		if w.Symbols[j] != o.Symbols[j] || w.Bits[j] != o.Bits[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether a full-cardinality summary (maxBits bits per
+// segment) falls under this word, i.e. whether for every segment the word's
+// symbol equals the top Bits[j] bits of the summary's symbol.
+func (w Word) Contains(fullSAX []uint8, maxBits int) bool {
+	for j := range w.Symbols {
+		if fullSAX[j]>>(maxBits-int(w.Bits[j])) != w.Symbols[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Child returns the word obtained by promoting segment seg to one more bit
+// of cardinality and appending the given bit (0 or 1). This is the split
+// operation: a leaf with word w becomes an inner node with children
+// w.Child(seg, 0) and w.Child(seg, 1).
+func (w Word) Child(seg int, bit uint8) Word {
+	out := w.Clone()
+	out.Symbols[seg] = w.Symbols[seg]<<1 | (bit & 1)
+	out.Bits[seg]++
+	return out
+}
+
+// PrefixBitAt returns the bit that a full-cardinality symbol would
+// contribute at position Bits[seg]+1 of segment seg — the bit that routes an
+// entry to one of the two children created by splitting on seg.
+func (w Word) PrefixBitAt(seg int, fullSym uint8, maxBits int) uint8 {
+	return (fullSym >> (maxBits - int(w.Bits[seg]) - 1)) & 1
+}
+
+// String renders the word in the paper's subscript style, e.g.
+// "1(2) 0(2) 10(4)" where the parenthesized number is the cardinality.
+func (w Word) String() string {
+	var sb strings.Builder
+	for j := range w.Symbols {
+		if j > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%0*b(%d)", w.Bits[j], w.Symbols[j], 1<<w.Bits[j])
+	}
+	return sb.String()
+}
+
+// Key returns a compact string usable as a map key. Two words have equal
+// keys iff Equal reports true.
+func (w Word) Key() string {
+	b := make([]byte, 0, 2*len(w.Symbols))
+	for j := range w.Symbols {
+		b = append(b, w.Symbols[j], w.Bits[j])
+	}
+	return string(b)
+}
+
+// RootKey packs the top bit of each segment of a full-cardinality summary
+// into an integer in [0, 2^w): the index of the root subtree (and of the
+// receiving buffer) the series belongs to. This is how stage 2 of ParIS and
+// stage 1 of MESSI route summaries (paper §III).
+func RootKey(fullSAX []uint8, maxBits int) uint32 {
+	var key uint32
+	for _, s := range fullSAX {
+		key = key<<1 | uint32(s>>(maxBits-1))
+	}
+	return key
+}
+
+// RootWordFromKey reconstructs the 1-bit root word corresponding to a root
+// key for the given segment count.
+func RootWordFromKey(key uint32, segments int) Word {
+	w := Word{Symbols: make([]uint8, segments), Bits: make([]uint8, segments)}
+	for j := 0; j < segments; j++ {
+		w.Symbols[j] = uint8(key>>(segments-1-j)) & 1
+		w.Bits[j] = 1
+	}
+	return w
+}

@@ -1,0 +1,241 @@
+// Package messi implements MESSI (paper §III, Figure 3), the first parallel
+// in-memory data series index.
+//
+// Index creation: the in-memory RawData array is split into fixed-size
+// blocks; index workers claim blocks with Fetch&Inc and write each series'
+// iSAX summary into the global SAX array, recording its position in the
+// worker's own partition of the per-root-subtree iSAX buffer (each buffer
+// is "split into parts and each worker works on its own part", eliminating
+// synchronization — paper footnote 2). When all summaries exist, workers
+// claim whole buffers with Fetch&Inc and build the corresponding subtrees
+// independently (footnote 3).
+//
+// Query answering: an approximate tree search seeds the shared BSF; workers
+// then traverse distinct root subtrees, pruning by node-level lower bounds
+// against the live BSF, and push surviving leaves into a set of concurrent
+// min-priority queues (round-robin, for load balancing). After the
+// traversal, workers drain the queues in ascending lower-bound order: a
+// popped leaf whose bound beats the BSF has its entries checked first by
+// summary lower bound and only then by early-abandoning real distance.
+// When a queue's minimum is not below the BSF, the whole queue can never
+// improve the answer and is abandoned. Compared to ParIS, the tree prunes
+// *before* lower-bound computation and the queues order work best-first —
+// the two effects behind Figure 12's speedups.
+package messi
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"dsidx/internal/core"
+	"dsidx/internal/series"
+	"dsidx/internal/xsync"
+)
+
+// Options configures index creation and query answering.
+type Options struct {
+	// Workers is the number of index worker goroutines (the paper's
+	// "number of cores"). 0 means GOMAXPROCS.
+	Workers int
+	// BlockSeries is the stage-1 chunk size in series (0 means 1024); small
+	// blocks assigned with Fetch&Inc give the load balancing the paper
+	// describes.
+	BlockSeries int
+	// QueueCount is the number of concurrent priority queues used by query
+	// answering (0 means half the workers, minimum 1 — close to the paper's
+	// tuning).
+	QueueCount int
+	// SharedBuffers selects the alternative stage-1 design the paper's
+	// footnote 2 reports trying and rejecting: one lock-protected buffer
+	// per root subtree shared by all workers, instead of per-worker buffer
+	// parts. Kept for the ablation experiment; expect worse performance
+	// under contention.
+	SharedBuffers bool
+}
+
+func (o Options) normalize() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.BlockSeries <= 0 {
+		o.BlockSeries = 1024
+	}
+	if o.QueueCount <= 0 {
+		o.QueueCount = max(1, o.Workers/2)
+	}
+	return o
+}
+
+// BuildStats splits creation time into the two phases of Figure 5.
+type BuildStats struct {
+	Summarize time.Duration // stage 1: iSAX summary computation
+	TreeBuild time.Duration // stage 2: subtree construction
+	Total     time.Duration
+}
+
+// Index is a built MESSI index over an in-memory collection.
+type Index struct {
+	cfg   core.Config
+	opt   Options
+	tree  *core.Tree
+	sax   *core.SAXArray
+	raw   *series.Collection
+	build BuildStats
+}
+
+// Build creates a MESSI index over coll.
+func Build(coll *series.Collection, cfg core.Config, opt Options) (*Index, error) {
+	opt = opt.normalize()
+	cfg.SeriesLen = coll.SeriesLen()
+	tree, err := core.NewTree(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("messi: %w", err)
+	}
+	cfg = tree.Config()
+	n := coll.Len()
+	ix := &Index{cfg: cfg, opt: opt, tree: tree, sax: core.NewSAXArray(n, cfg.Segments), raw: coll}
+
+	start := time.Now()
+
+	// Stage 1: summarization. The default design gives every worker its own
+	// partition of each iSAX buffer (no synchronization); the SharedBuffers
+	// ablation instead funnels all workers through one locked buffer per
+	// root subtree (the design footnote 2 rejects).
+	blocks := xsync.Blocks(n, opt.BlockSeries)
+	parts := make([]map[uint32][]int32, opt.Workers) // parts[w][key] = positions
+	var shared []lockedBuffer
+	if opt.SharedBuffers {
+		shared = make([]lockedBuffer, cfg.RootFanout())
+	}
+	var blockCursor xsync.Counter
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sm := core.NewSummarizer(cfg, tree.Quantizer())
+			mine := make(map[uint32][]int32, 256)
+			for {
+				bi := blockCursor.Next()
+				if int(bi) >= len(blocks) {
+					break
+				}
+				blk := blocks[bi]
+				for i := blk.Lo; i < blk.Hi; i++ {
+					dst := ix.sax.At(i)
+					sm.Summarize(coll.At(i), dst)
+					key := tree.RootKey(dst)
+					if opt.SharedBuffers {
+						shared[key].append(int32(i))
+					} else {
+						mine[key] = append(mine[key], int32(i))
+					}
+				}
+			}
+			parts[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	ix.build.Summarize = time.Since(start)
+
+	// Stage 2: one worker per buffer (Fetch&Inc over the key list) builds
+	// the whole subtree from every worker's part — distinct subtrees, no
+	// synchronization.
+	t0 := time.Now()
+	if opt.SharedBuffers {
+		// Re-shape the shared buffers into the single-part layout so stage
+		// 2 is identical for both designs.
+		single := make(map[uint32][]int32, 1024)
+		for key := range shared {
+			if len(shared[key].pos) > 0 {
+				single[uint32(key)] = shared[key].pos
+			}
+		}
+		parts = []map[uint32][]int32{single}
+	}
+	keys := make([]uint32, 0, 1024)
+	seen := make([]bool, cfg.RootFanout())
+	for _, part := range parts {
+		for key := range part {
+			if !seen[key] {
+				seen[key] = true
+				keys = append(keys, key)
+			}
+		}
+	}
+	var keyCursor xsync.Counter
+	wg = sync.WaitGroup{}
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ki := keyCursor.Next()
+				if int(ki) >= len(keys) {
+					return
+				}
+				key := keys[ki]
+				for _, part := range parts {
+					for _, pos := range part[key] {
+						tree.SubtreeInsert(key, ix.sax.At(int(pos)), pos)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	ix.build.TreeBuild = time.Since(t0)
+	ix.build.Total = time.Since(start)
+	return ix, nil
+}
+
+// lockedBuffer is the footnote-2 alternative: one mutex-protected position
+// buffer per root subtree, contended by every worker.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	pos []int32
+}
+
+func (b *lockedBuffer) append(p int32) {
+	b.mu.Lock()
+	b.pos = append(b.pos, p)
+	b.mu.Unlock()
+}
+
+// Encode serializes the built index (tree + SAX array); the raw collection
+// is not included and must be supplied again to Decode.
+func (ix *Index) Encode() []byte { return core.EncodeIndex(ix.tree, ix.sax) }
+
+// Decode reconstructs an index from Encode output over the same raw
+// collection it was built from.
+func Decode(data []byte, coll *series.Collection, opt Options) (*Index, error) {
+	opt = opt.normalize()
+	tree, sax, err := core.DecodeIndex(data)
+	if err != nil {
+		return nil, fmt.Errorf("messi: %w", err)
+	}
+	cfg := tree.Config()
+	if cfg.SeriesLen != coll.SeriesLen() {
+		return nil, fmt.Errorf("messi: index is for length-%d series, collection has %d",
+			cfg.SeriesLen, coll.SeriesLen())
+	}
+	if sax.Len() != coll.Len() {
+		return nil, fmt.Errorf("messi: index covers %d series, collection has %d",
+			sax.Len(), coll.Len())
+	}
+	return &Index{cfg: cfg, opt: opt, tree: tree, sax: sax, raw: coll}, nil
+}
+
+// Count returns the number of indexed series.
+func (ix *Index) Count() int { return ix.raw.Len() }
+
+// Tree exposes the index tree for diagnostics and tests.
+func (ix *Index) Tree() *core.Tree { return ix.tree }
+
+// BuildStats returns the creation-phase breakdown of Figure 5.
+func (ix *Index) BuildStats() BuildStats { return ix.build }
+
+// Raw returns the indexed collection.
+func (ix *Index) Raw() *series.Collection { return ix.raw }

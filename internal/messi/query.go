@@ -1,0 +1,350 @@
+package messi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dsidx/internal/core"
+	"dsidx/internal/isax"
+	"dsidx/internal/paa"
+	"dsidx/internal/pqueue"
+	"dsidx/internal/series"
+	"dsidx/internal/vector"
+	"dsidx/internal/xsync"
+)
+
+// QueryStats counts the work of one query, exposing the pruning effects the
+// paper credits for MESSI's speedups.
+type QueryStats struct {
+	LeavesInserted int // leaves that survived tree pruning
+	LeavesPopped   int // leaves actually examined from the queues
+	EntriesChecked int // per-series lower bounds computed
+	RawDistances   int // exact distances computed (incl. approximate phase)
+}
+
+// queueEntry is a surviving leaf with its lower-bound distance.
+type queueEntry struct {
+	leaf *core.Node
+}
+
+// Search answers an exact 1-NN query. workers ≤ 0 means the index's
+// configured worker count.
+func (ix *Index) Search(q series.Series, workers int) (core.Result, *QueryStats, error) {
+	if len(q) != ix.cfg.SeriesLen {
+		return core.NoResult(), nil, fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
+	}
+	if workers <= 0 {
+		workers = ix.opt.Workers
+	}
+	stats := &QueryStats{}
+	if ix.raw.Len() == 0 {
+		return core.NoResult(), stats, nil
+	}
+
+	sm := core.NewSummarizer(ix.cfg, ix.tree.Quantizer())
+	qsax := make([]uint8, ix.cfg.Segments)
+	sm.Summarize(q, qsax)
+	qpaa := make([]float64, ix.cfg.Segments)
+	copy(qpaa, sm.PAA(q))
+
+	best := xsync.NewBest()
+
+	// Approximate phase: exact distances over the closest leaf.
+	if leaf := ix.tree.BestLeafApprox(qsax, qpaa); leaf != nil {
+		for _, p := range leaf.Pos {
+			stats.RawDistances++
+			if d := vector.SquaredEDEarlyAbandon(q, ix.raw.At(int(p)), best.Distance()); d < best.Distance() {
+				best.Update(d, int64(p))
+			}
+		}
+	}
+
+	table := isax.NewQueryTable(ix.tree.Quantizer(), qpaa, ix.cfg.SeriesLen)
+	mt := isax.NewMultiTable(ix.tree.Quantizer(), table)
+	ix.queuedSearch(workers, stats, best.Distance,
+		func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)) {
+			ix.tree.PruneWalkTable(node, mt, bsf, emit)
+		},
+		func(leaf *core.Node, limit float64, st *QueryStats) {
+			ix.refineLeafED(q, table, leaf, best, st)
+		})
+
+	d, p := best.Load()
+	return core.Result{Pos: int32(p), Dist: d}, stats, nil
+}
+
+// refineLeafED checks a leaf's entries: summary lower bound first, then
+// early-abandoning real distance.
+func (ix *Index) refineLeafED(q series.Series, table *isax.QueryTable, leaf *core.Node, best *xsync.Best, stats *QueryStats) {
+	w := ix.cfg.Segments
+	for i := 0; i < leaf.Count; i++ {
+		stats.EntriesChecked++
+		limit := best.Distance()
+		if table.MinDistSAX(leaf.SAX[i*w:(i+1)*w]) >= limit {
+			continue
+		}
+		p := leaf.Pos[i]
+		stats.RawDistances++
+		if d := vector.SquaredEDEarlyAbandon(q, ix.raw.At(int(p)), limit); d < limit {
+			best.Update(d, int64(p))
+		}
+	}
+}
+
+// queuedSearch runs MESSI stage 3: parallel pruned traversal filling the
+// priority queues, a barrier, then parallel best-first draining. bsf reads
+// the live pruning threshold (the BSF for 1-NN, the k-th best for k-NN);
+// walk and refine abstract the distance flavor (ED vs DTW).
+func (ix *Index) queuedSearch(
+	workers int,
+	stats *QueryStats,
+	bsf func() float64,
+	walk func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)),
+	refine func(leaf *core.Node, limit float64, st *QueryStats),
+) {
+	queues := pqueue.NewSet[queueEntry](ix.opt.QueueCount, 64)
+	keys := ix.tree.OccupiedKeys()
+
+	// Phase A: traversal. Workers claim root subtrees with Fetch&Inc, in
+	// blocks: a tree over a scaled-down collection has tens of thousands of
+	// tiny root subtrees, and per-subtree claims would serialize on the
+	// shared counter's cache line.
+	const claimBlock = 256
+	var cursor xsync.Counter
+	var inserted, popped, entries, raws atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Next()) * claimBlock
+				if lo >= len(keys) {
+					return
+				}
+				hi := min(lo+claimBlock, len(keys))
+				for _, key := range keys[lo:hi] {
+					walk(ix.tree.Subtree(key), bsf, func(leaf *core.Node, lb float64) {
+						queues.Insert(lb, queueEntry{leaf: leaf})
+						inserted.Add(1)
+					})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Phase B: best-first refinement. A queue whose head is not below the
+	// BSF can never improve the answer (bounds only grow within a queue and
+	// the BSF only shrinks), so it is marked done for everyone.
+	done := make([]atomic.Bool, queues.Count())
+	wg = sync.WaitGroup{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := QueryStats{}
+			for remaining := true; remaining; {
+				remaining = false
+				for qi := 0; qi < queues.Count(); qi++ {
+					idx := (w + qi) % queues.Count()
+					if done[idx].Load() {
+						continue
+					}
+					q := queues.Queue(idx)
+					for {
+						it, abandon := q.PopIfUnder(bsf())
+						if abandon {
+							done[idx].Store(true)
+							break
+						}
+						popped.Add(1)
+						refine(it.Value.leaf, it.Priority, &st)
+					}
+				}
+				// Re-scan in case another worker inserted... no inserts can
+				// happen in phase B, but a queue may have been skipped while
+				// a peer was draining it and then re-marked not-done; one
+				// clean pass over all queues seeing them done suffices.
+				for qi := 0; qi < queues.Count(); qi++ {
+					if !done[qi].Load() {
+						remaining = true
+						break
+					}
+				}
+			}
+			entries.Add(int64(st.EntriesChecked))
+			raws.Add(int64(st.RawDistances))
+		}(w)
+	}
+	wg.Wait()
+
+	stats.LeavesInserted = int(inserted.Load())
+	stats.LeavesPopped = int(popped.Load())
+	stats.EntriesChecked += int(entries.Load())
+	stats.RawDistances += int(raws.Load())
+}
+
+// SearchApproximate answers a query with the approximate algorithm of the
+// iSAX family: descend to the leaf whose word matches the query summary
+// and return the best series in it, with no traversal of the rest of the
+// tree. The answer is not guaranteed to be the true nearest neighbor but
+// is computed in microseconds; its distance upper-bounds the exact answer.
+func (ix *Index) SearchApproximate(q series.Series) (core.Result, error) {
+	if len(q) != ix.cfg.SeriesLen {
+		return core.NoResult(), fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
+	}
+	if ix.raw.Len() == 0 {
+		return core.NoResult(), nil
+	}
+	sm := core.NewSummarizer(ix.cfg, ix.tree.Quantizer())
+	qsax := make([]uint8, ix.cfg.Segments)
+	sm.Summarize(q, qsax)
+	qpaa := make([]float64, ix.cfg.Segments)
+	copy(qpaa, sm.PAA(q))
+
+	best := core.NoResult()
+	leaf := ix.tree.BestLeafApprox(qsax, qpaa)
+	if leaf == nil {
+		return best, nil
+	}
+	for _, p := range leaf.Pos {
+		if d := vector.SquaredEDEarlyAbandon(q, ix.raw.At(int(p)), best.Dist); d < best.Dist {
+			best = core.Result{Pos: p, Dist: d}
+		}
+	}
+	return best, nil
+}
+
+// SearchKNN answers an exact k-NN query, returning the k nearest series in
+// ascending distance order. The k-th best distance plays the BSF role.
+func (ix *Index) SearchKNN(q series.Series, k, workers int) ([]core.Result, *QueryStats, error) {
+	if len(q) != ix.cfg.SeriesLen {
+		return nil, nil, fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
+	}
+	if k <= 0 {
+		return nil, &QueryStats{}, nil
+	}
+	if workers <= 0 {
+		workers = ix.opt.Workers
+	}
+	stats := &QueryStats{}
+	if ix.raw.Len() == 0 {
+		return nil, stats, nil
+	}
+
+	sm := core.NewSummarizer(ix.cfg, ix.tree.Quantizer())
+	qsax := make([]uint8, ix.cfg.Segments)
+	sm.Summarize(q, qsax)
+	qpaa := make([]float64, ix.cfg.Segments)
+	copy(qpaa, sm.PAA(q))
+
+	kb := xsync.NewKBest(k)
+	if leaf := ix.tree.BestLeafApprox(qsax, qpaa); leaf != nil {
+		for _, p := range leaf.Pos {
+			stats.RawDistances++
+			d := vector.SquaredEDEarlyAbandon(q, ix.raw.At(int(p)), kb.Threshold())
+			kb.Offer(p, d)
+		}
+	}
+
+	table := isax.NewQueryTable(ix.tree.Quantizer(), qpaa, ix.cfg.SeriesLen)
+	mt := isax.NewMultiTable(ix.tree.Quantizer(), table)
+	// The k-th best distance plays the BSF role in every pruning decision.
+	ix.queuedSearch(workers, stats, kb.Threshold,
+		func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)) {
+			ix.tree.PruneWalkTable(node, mt, bsf, emit)
+		},
+		func(leaf *core.Node, limit float64, st *QueryStats) {
+			w := ix.cfg.Segments
+			for i := 0; i < leaf.Count; i++ {
+				st.EntriesChecked++
+				lim := kb.Threshold()
+				if table.MinDistSAX(leaf.SAX[i*w:(i+1)*w]) >= lim {
+					continue
+				}
+				p := leaf.Pos[i]
+				st.RawDistances++
+				d := vector.SquaredEDEarlyAbandon(q, ix.raw.At(int(p)), lim)
+				kb.Offer(p, d)
+			}
+		})
+
+	out := make([]core.Result, 0, k)
+	for _, e := range kb.Sorted() {
+		out = append(out, core.Result{Pos: e.Pos, Dist: e.Dist})
+	}
+	return out, stats, nil
+}
+
+// SearchDTW answers an exact 1-NN query under DTW with a Sakoe-Chiba band
+// of half-width window, on the unchanged index (paper §V): node pruning and
+// per-entry filtering use the envelope-based iSAX lower bound, candidates
+// pass an LB_Keogh check, and survivors pay the full dynamic program.
+func (ix *Index) SearchDTW(q series.Series, window, workers int) (core.Result, *QueryStats, error) {
+	if len(q) != ix.cfg.SeriesLen {
+		return core.NoResult(), nil, fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
+	}
+	if workers <= 0 {
+		workers = ix.opt.Workers
+	}
+	if window < 0 {
+		window = 0
+	}
+	stats := &QueryStats{}
+	if ix.raw.Len() == 0 {
+		return core.NoResult(), stats, nil
+	}
+
+	sm := core.NewSummarizer(ix.cfg, ix.tree.Quantizer())
+	qsax := make([]uint8, ix.cfg.Segments)
+	sm.Summarize(q, qsax)
+	qpaa := make([]float64, ix.cfg.Segments)
+	copy(qpaa, sm.PAA(q))
+
+	env := series.NewEnvelope(q, window)
+	upPAA := paa.Transform(env.Upper, ix.cfg.Segments)
+	loPAA := paa.Transform(env.Lower, ix.cfg.Segments)
+	n := ix.cfg.SeriesLen
+
+	best := xsync.NewBest()
+	if leaf := ix.tree.BestLeafApprox(qsax, qpaa); leaf != nil {
+		for _, p := range leaf.Pos {
+			stats.RawDistances++
+			if d := series.DTW(q, ix.raw.At(int(p)), window, best.Distance()); d < best.Distance() {
+				best.Update(d, int64(p))
+			}
+		}
+	}
+
+	table := isax.NewDTWQueryTable(ix.tree.Quantizer(), upPAA, loPAA, n)
+	// The multi-cardinality view of the DTW table remains a valid DTW lower
+	// bound: coarse cells are minima over their sub-regions.
+	mt := isax.NewMultiTable(ix.tree.Quantizer(), table)
+	ix.queuedSearch(workers, stats, best.Distance,
+		func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)) {
+			ix.tree.PruneWalkTable(node, mt, bsf, emit)
+		},
+		func(leaf *core.Node, limit float64, st *QueryStats) {
+			w := ix.cfg.Segments
+			for i := 0; i < leaf.Count; i++ {
+				st.EntriesChecked++
+				lim := best.Distance()
+				if table.MinDistSAX(leaf.SAX[i*w:(i+1)*w]) >= lim {
+					continue
+				}
+				s := ix.raw.At(int(leaf.Pos[i]))
+				if series.LBKeogh(env, s, lim) >= lim {
+					continue
+				}
+				st.RawDistances++
+				if d := series.DTW(q, s, window, lim); d < lim {
+					best.Update(d, int64(leaf.Pos[i]))
+				}
+			}
+		})
+
+	d, p := best.Load()
+	return core.Result{Pos: int32(p), Dist: d}, stats, nil
+}

@@ -1,0 +1,136 @@
+package paris
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dsidx/internal/core"
+	"dsidx/internal/isax"
+	"dsidx/internal/paa"
+	"dsidx/internal/series"
+	"dsidx/internal/vector"
+	"dsidx/internal/xsync"
+)
+
+// SearchDTW answers an exact 1-NN query under DTW with a Sakoe-Chiba band
+// of half-width window, on the unchanged index (paper §V: "we are
+// extending our techniques (i.e., ParIS+ and MESSI) to support the DTW
+// distance measure ... no changes are required in the index structure").
+// The SAX-array scan uses the envelope-based DTW lower-bound table;
+// surviving candidates pass an LB_Keogh check before paying the dynamic
+// program.
+func (ix *Index) SearchDTW(q series.Series, window, workers int) (core.Result, *QueryStats, error) {
+	if len(q) != ix.cfg.SeriesLen {
+		return core.NoResult(), nil, fmt.Errorf("paris: query length %d != %d", len(q), ix.cfg.SeriesLen)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if window < 0 {
+		window = 0
+	}
+	stats := &QueryStats{}
+	n := ix.sax.Len()
+	if n == 0 {
+		return core.NoResult(), stats, nil
+	}
+
+	sm := core.NewSummarizer(ix.cfg, ix.tree.Quantizer())
+	qsax := make([]uint8, ix.cfg.Segments)
+	sm.Summarize(q, qsax)
+	qpaa := make([]float64, ix.cfg.Segments)
+	copy(qpaa, sm.PAA(q))
+
+	env := series.NewEnvelope(q, window)
+	upPAA := paa.Transform(env.Upper, ix.cfg.Segments)
+	loPAA := paa.Transform(env.Lower, ix.cfg.Segments)
+	table := isax.NewDTWQueryTable(ix.tree.Quantizer(), upPAA, loPAA, ix.cfg.SeriesLen)
+
+	best := xsync.NewBest()
+	buf := make(series.Series, ix.cfg.SeriesLen)
+
+	// Seed the BSF with true DTW distances to the best-bounded series.
+	for _, p := range ix.sax.TopKByLowerBound(table, 4) {
+		s, err := ix.rawSeries(int64(p), buf)
+		if err != nil {
+			return core.NoResult(), stats, fmt.Errorf("paris: DTW seed: %w", err)
+		}
+		stats.RawDistances++
+		if d := series.DTW(q, s, window, best.Distance()); d < best.Distance() {
+			best.Update(d, int64(p))
+		}
+	}
+	bsfSeed := best.Distance()
+
+	// DTW lower-bound scan over the SAX array.
+	candidates := xsync.NewCandidateList(n)
+	var wg sync.WaitGroup
+	for _, ch := range xsync.Chunks(n, workers) {
+		wg.Add(1)
+		go func(ch xsync.Chunk) {
+			defer wg.Done()
+			const block = 256
+			bounds := make([]float64, block)
+			card := 1 << ix.cfg.MaxBits
+			for lo := ch.Lo; lo < ch.Hi; lo += block {
+				hi := min(lo+block, ch.Hi)
+				vector.MinDistBatch(table.Cells(), ix.sax.Range(lo, hi), ix.cfg.Segments, card, bounds[:hi-lo])
+				for i := lo; i < hi; i++ {
+					if bounds[i-lo] < bsfSeed {
+						candidates.Append(int32(i))
+					}
+				}
+			}
+		}(ch)
+	}
+	wg.Wait()
+	cand := candidates.Snapshot()
+	stats.Candidates = len(cand)
+	stats.PrunedByScan = n - len(cand)
+
+	// Refinement: LB_Keogh cascade, then banded DTW, against the live BSF.
+	var rawDist xsync.Counter
+	errs := make([]error, workers)
+	wg = sync.WaitGroup{}
+	for wi, ch := range xsync.Chunks(len(cand), workers) {
+		wg.Add(1)
+		go func(wi int, ch xsync.Chunk) {
+			defer wg.Done()
+			mine := append([]int32(nil), cand[ch.Lo:ch.Hi]...)
+			if ix.raw != nil {
+				sort.Slice(mine, func(i, j int) bool { return mine[i] < mine[j] })
+			}
+			buf := make(series.Series, ix.cfg.SeriesLen)
+			for _, p := range mine {
+				limit := best.Distance()
+				if table.MinDistSAX(ix.sax.At(int(p))) >= limit {
+					continue
+				}
+				s, err := ix.rawSeries(int64(p), buf)
+				if err != nil {
+					errs[wi] = err
+					return
+				}
+				rawDist.Next()
+				if series.LBKeogh(env, s, limit) >= limit {
+					continue
+				}
+				if d := series.DTW(q, s, window, limit); d < limit {
+					best.Update(d, int64(p))
+				}
+			}
+		}(wi, ch)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return core.NoResult(), stats, fmt.Errorf("paris: DTW refinement: %w", err)
+		}
+	}
+	stats.RawDistances += int(rawDist.Value())
+
+	d, p := best.Load()
+	return core.Result{Pos: int32(p), Dist: d}, stats, nil
+}

@@ -1,0 +1,173 @@
+package paris
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dsidx/internal/core"
+	"dsidx/internal/isax"
+	"dsidx/internal/series"
+	"dsidx/internal/vector"
+	"dsidx/internal/xsync"
+)
+
+// SearchKNN answers an exact k-NN query with the ParIS algorithm: the k-th
+// best distance plays the BSF role of the lower-bound scan and the
+// real-distance phase. The seeding phase reads the k globally
+// best-bounded series so the threshold is finite before the scan.
+func (ix *Index) SearchKNN(q series.Series, k, workers int) ([]core.Result, *QueryStats, error) {
+	if len(q) != ix.cfg.SeriesLen {
+		return nil, nil, fmt.Errorf("paris: query length %d != %d", len(q), ix.cfg.SeriesLen)
+	}
+	if k <= 0 {
+		return nil, &QueryStats{}, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	stats := &QueryStats{}
+	n := ix.sax.Len()
+	if n == 0 {
+		return nil, stats, nil
+	}
+
+	sm := core.NewSummarizer(ix.cfg, ix.tree.Quantizer())
+	qsax := make([]uint8, ix.cfg.Segments)
+	sm.Summarize(q, qsax)
+	qpaa := make([]float64, ix.cfg.Segments)
+	copy(qpaa, sm.PAA(q))
+	table := isax.NewQueryTable(ix.tree.Quantizer(), qpaa, ix.cfg.SeriesLen)
+
+	// Seed: exact distances to the k best-bounded series fill the set.
+	kb := xsync.NewKBest(k)
+	buf := make(series.Series, ix.cfg.SeriesLen)
+	for _, p := range ix.sax.TopKByLowerBound(table, max(k, 4)) {
+		s, err := ix.rawSeries(int64(p), buf)
+		if err != nil {
+			return nil, stats, fmt.Errorf("paris: k-NN seed: %w", err)
+		}
+		stats.RawDistances++
+		kb.Offer(p, vector.SquaredED(q, s))
+	}
+	threshold := kb.Threshold()
+
+	// Lower-bound scan against the fixed seed threshold.
+	candidates := xsync.NewCandidateList(n)
+	var wg sync.WaitGroup
+	for _, ch := range xsync.Chunks(n, workers) {
+		wg.Add(1)
+		go func(ch xsync.Chunk) {
+			defer wg.Done()
+			const block = 256
+			bounds := make([]float64, block)
+			card := 1 << ix.cfg.MaxBits
+			for lo := ch.Lo; lo < ch.Hi; lo += block {
+				hi := min(lo+block, ch.Hi)
+				vector.MinDistBatch(table.Cells(), ix.sax.Range(lo, hi), ix.cfg.Segments, card, bounds[:hi-lo])
+				for i := lo; i < hi; i++ {
+					if bounds[i-lo] < threshold {
+						candidates.Append(int32(i))
+					}
+				}
+			}
+		}(ch)
+	}
+	wg.Wait()
+	cand := candidates.Snapshot()
+	stats.Candidates = len(cand)
+	stats.PrunedByScan = n - len(cand)
+
+	// Refinement against the live k-th best.
+	var rawDist xsync.Counter
+	errs := make([]error, workers)
+	wg = sync.WaitGroup{}
+	for wi, ch := range xsync.Chunks(len(cand), workers) {
+		wg.Add(1)
+		go func(wi int, ch xsync.Chunk) {
+			defer wg.Done()
+			mine := append([]int32(nil), cand[ch.Lo:ch.Hi]...)
+			if ix.raw != nil {
+				sort.Slice(mine, func(i, j int) bool { return mine[i] < mine[j] })
+			}
+			buf := make(series.Series, ix.cfg.SeriesLen)
+			for _, p := range mine {
+				limit := kb.Threshold()
+				if table.MinDistSAX(ix.sax.At(int(p))) >= limit {
+					continue
+				}
+				s, err := ix.rawSeries(int64(p), buf)
+				if err != nil {
+					errs[wi] = err
+					return
+				}
+				rawDist.Next()
+				kb.Offer(p, vector.SquaredEDEarlyAbandon(q, s, limit))
+			}
+		}(wi, ch)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, stats, fmt.Errorf("paris: k-NN refinement: %w", err)
+		}
+	}
+	stats.RawDistances += int(rawDist.Value())
+
+	out := make([]core.Result, 0, k)
+	for _, e := range kb.Sorted() {
+		out = append(out, core.Result{Pos: e.Pos, Dist: e.Dist})
+	}
+	return out, stats, nil
+}
+
+// SearchApproximate answers a query with the classic iSAX approximate
+// algorithm: the best series of the single leaf matching the query's
+// summary. On-disk it costs one random read.
+func (ix *Index) SearchApproximate(q series.Series) (core.Result, error) {
+	if len(q) != ix.cfg.SeriesLen {
+		return core.NoResult(), fmt.Errorf("paris: query length %d != %d", len(q), ix.cfg.SeriesLen)
+	}
+	if ix.sax.Len() == 0 {
+		return core.NoResult(), nil
+	}
+	sm := core.NewSummarizer(ix.cfg, ix.tree.Quantizer())
+	qsax := make([]uint8, ix.cfg.Segments)
+	sm.Summarize(q, qsax)
+	qpaa := make([]float64, ix.cfg.Segments)
+	copy(qpaa, sm.PAA(q))
+	table := isax.NewQueryTable(ix.tree.Quantizer(), qpaa, ix.cfg.SeriesLen)
+
+	leaf := ix.tree.BestLeafApprox(qsax, qpaa)
+	if leaf == nil {
+		return core.NoResult(), nil
+	}
+	sax, pos, err := core.LoadLeaf(leaf, ix.cfg.Segments, ix.leaves)
+	if err != nil || len(pos) == 0 {
+		return core.NoResult(), err
+	}
+	buf := make(series.Series, ix.cfg.SeriesLen)
+	if ix.mem != nil {
+		best := core.NoResult()
+		for _, p := range pos {
+			if d := vector.SquaredEDEarlyAbandon(q, ix.mem.At(int(p)), best.Dist); d < best.Dist {
+				best = core.Result{Pos: p, Dist: d}
+			}
+		}
+		return best, nil
+	}
+	w := ix.cfg.Segments
+	bestEntry, bestLB := 0, isax.Inf
+	for i := range pos {
+		if lb := table.MinDistSAX(sax[i*w : (i+1)*w]); lb < bestLB {
+			bestEntry, bestLB = i, lb
+		}
+	}
+	p := pos[bestEntry]
+	s, err := ix.rawSeries(int64(p), buf)
+	if err != nil {
+		return core.NoResult(), fmt.Errorf("paris: approximate: %w", err)
+	}
+	return core.Result{Pos: p, Dist: vector.SquaredED(q, s)}, nil
+}

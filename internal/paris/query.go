@@ -1,0 +1,185 @@
+package paris
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"dsidx/internal/core"
+	"dsidx/internal/isax"
+	"dsidx/internal/series"
+	"dsidx/internal/vector"
+	"dsidx/internal/xsync"
+)
+
+// Search answers an exact 1-NN query with the ParIS/ParIS+ algorithm
+// (identical for both modes, paper §III): approximate BSF from the closest
+// leaf, a parallel vectorized lower-bound scan over the SAX array that
+// fills a lock-free candidate list, then parallel exact distances over the
+// candidates. workers ≤ 0 means GOMAXPROCS.
+func (ix *Index) Search(q series.Series, workers int) (core.Result, *QueryStats, error) {
+	if len(q) != ix.cfg.SeriesLen {
+		return core.NoResult(), nil, fmt.Errorf("paris: query length %d != %d", len(q), ix.cfg.SeriesLen)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	stats := &QueryStats{}
+	n := ix.sax.Len()
+	if n == 0 {
+		return core.NoResult(), stats, nil
+	}
+
+	sm := core.NewSummarizer(ix.cfg, ix.tree.Quantizer())
+	qsax := make([]uint8, ix.cfg.Segments)
+	sm.Summarize(q, qsax)
+	qpaa := make([]float64, ix.cfg.Segments)
+	copy(qpaa, sm.PAA(q))
+
+	// Phase 1: approximate answer seeds the BSF.
+	table := isax.NewQueryTable(ix.tree.Quantizer(), qpaa, ix.cfg.SeriesLen)
+	best := xsync.NewBest()
+	if err := ix.approxPhase(q, qsax, qpaa, table, best, stats); err != nil {
+		return core.NoResult(), stats, err
+	}
+	bsfApprox := best.Distance()
+
+	// Phase 2: lower-bound workers scan the SAX array (vectorized) and
+	// append surviving positions to the candidate list. ParIS prunes
+	// against the fixed approximate BSF — no real distances are being
+	// computed concurrently, so the threshold cannot improve mid-scan.
+	candidates := xsync.NewCandidateList(n)
+	var wg sync.WaitGroup
+	for _, ch := range xsync.Chunks(n, workers) {
+		wg.Add(1)
+		go func(ch xsync.Chunk) {
+			defer wg.Done()
+			const block = 256
+			bounds := make([]float64, block)
+			card := 1 << ix.cfg.MaxBits
+			for lo := ch.Lo; lo < ch.Hi; lo += block {
+				hi := min(lo+block, ch.Hi)
+				vector.MinDistBatch(table.Cells(), ix.sax.Range(lo, hi), ix.cfg.Segments, card, bounds[:hi-lo])
+				for i := lo; i < hi; i++ {
+					if bounds[i-lo] < bsfApprox {
+						candidates.Append(int32(i))
+					}
+				}
+			}
+		}(ch)
+	}
+	wg.Wait()
+	cand := candidates.Snapshot()
+	stats.Candidates = len(cand)
+	stats.PrunedByScan = n - len(cand)
+
+	// Phase 3: real-distance workers consume the candidate list in
+	// parallel; on-disk candidates are visited in ascending position order
+	// per worker to keep seeks short.
+	var rawDist xsync.Counter
+	wg = sync.WaitGroup{}
+	errs := make([]error, workers)
+	for wi, ch := range xsync.Chunks(len(cand), workers) {
+		wg.Add(1)
+		go func(wi int, ch xsync.Chunk) {
+			defer wg.Done()
+			mine := append([]int32(nil), cand[ch.Lo:ch.Hi]...)
+			if ix.raw != nil {
+				sort.Slice(mine, func(i, j int) bool { return mine[i] < mine[j] })
+			}
+			buf := make(series.Series, ix.cfg.SeriesLen)
+			for _, p := range mine {
+				limit := best.Distance()
+				// Re-prune against the live BSF before paying for raw data.
+				if table.MinDistSAX(ix.sax.At(int(p))) >= limit {
+					continue
+				}
+				s, err := ix.rawSeries(int64(p), buf)
+				if err != nil {
+					errs[wi] = err
+					return
+				}
+				rawDist.Next()
+				if d := vector.SquaredEDEarlyAbandon(q, s, limit); d < limit {
+					best.Update(d, int64(p))
+				}
+			}
+		}(wi, ch)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return core.NoResult(), stats, fmt.Errorf("paris: real-distance phase: %w", err)
+		}
+	}
+	stats.RawDistances += int(rawDist.Value())
+
+	d, p := best.Load()
+	return core.Result{Pos: int32(p), Dist: d}, stats, nil
+}
+
+// approxPhase computes the BSF seed. Following the paper ("the real
+// distance between the query and the best candidate series, which is in
+// the leaf with the smallest lower bound distance to the query"), it
+// selects the best candidate inside the closest leaf by its in-memory
+// summary lower bound and computes one real distance. For on-disk raw data
+// this costs a single random read; for the in-memory variant the whole
+// leaf is refined (raw values are free to access, as in MESSI).
+func (ix *Index) approxPhase(q series.Series, qsax []uint8, qpaa []float64, table *isax.QueryTable, best *xsync.Best, stats *QueryStats) error {
+	leaf := ix.tree.BestLeafApprox(qsax, qpaa)
+	if leaf == nil {
+		return nil
+	}
+	sax, pos, err := core.LoadLeaf(leaf, ix.cfg.Segments, ix.leaves)
+	if err != nil {
+		return fmt.Errorf("paris: approximate phase: %w", err)
+	}
+	if len(pos) == 0 {
+		return nil
+	}
+	buf := make(series.Series, ix.cfg.SeriesLen)
+	if ix.mem != nil {
+		for _, p := range pos {
+			stats.RawDistances++
+			if d := vector.SquaredEDEarlyAbandon(q, ix.mem.At(int(p)), best.Distance()); d < best.Distance() {
+				best.Update(d, int64(p))
+			}
+		}
+		return nil
+	}
+	w := ix.cfg.Segments
+	bestEntry, bestLB := 0, isax.Inf
+	for i := range pos {
+		if lb := table.MinDistSAX(sax[i*w : (i+1)*w]); lb < bestLB {
+			bestEntry, bestLB = i, lb
+		}
+	}
+	seeds := []int32{pos[bestEntry]}
+	// Robustness at scaled-down leaf sizes: also refine the globally
+	// best-bounded positions (see SAXArray.TopKByLowerBound).
+	seeds = append(seeds, ix.sax.TopKByLowerBound(table, 4)...)
+	for _, p := range seeds {
+		s, err := ix.rawSeries(int64(p), buf)
+		if err != nil {
+			return fmt.Errorf("paris: approximate phase series %d: %w", p, err)
+		}
+		stats.RawDistances++
+		if d := vector.SquaredEDEarlyAbandon(q, s, best.Distance()); d < best.Distance() {
+			best.Update(d, int64(p))
+		}
+	}
+	return nil
+}
+
+// rawSeries fetches series i from RAM (no copy) or from the raw file (into
+// buf).
+func (ix *Index) rawSeries(i int64, buf series.Series) (series.Series, error) {
+	if ix.mem != nil {
+		return ix.mem.At(int(i)), nil
+	}
+	if err := ix.raw.ReadSeries(i, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

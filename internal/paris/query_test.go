@@ -1,0 +1,136 @@
+package paris
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dsidx/internal/core"
+	"dsidx/internal/gen"
+	"dsidx/internal/storage"
+)
+
+// faultStore wraps a Store and fails every read once armed.
+type faultStore struct {
+	storage.Store
+	fail atomic.Bool
+}
+
+var errInjected = errors.New("injected fault")
+
+func (f *faultStore) ReadAt(p []byte, off int64) (int, error) {
+	if f.fail.Load() {
+		return 0, errInjected
+	}
+	return f.Store.ReadAt(p, off)
+}
+
+func TestSearchPropagatesReadErrors(t *testing.T) {
+	coll, queries := dataset(t, gen.Synthetic, 300)
+	fs := &faultStore{Store: storage.NewMemStore()}
+	raw, err := storage.WriteCollection(fs, coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := storage.NewLeafStore(storage.NewMemStore())
+	ix, err := Build(raw, leaves, core.Config{LeafCapacity: 16}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.fail.Store(true)
+	if _, _, err := ix.Search(queries.At(0), 2); !errors.Is(err, errInjected) {
+		t.Fatalf("Search error = %v, want injected fault", err)
+	}
+}
+
+func TestBuildPropagatesReadErrors(t *testing.T) {
+	coll, _ := dataset(t, gen.Synthetic, 300)
+	fs := &faultStore{Store: storage.NewMemStore()}
+	raw, err := storage.WriteCollection(fs, coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.fail.Store(true)
+	_, err = Build(raw, storage.NewLeafStore(storage.NewMemStore()),
+		core.Config{LeafCapacity: 16}, Options{Workers: 2})
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("Build error = %v, want injected fault", err)
+	}
+}
+
+func TestQueryStatsConsistency(t *testing.T) {
+	coll, queries := dataset(t, gen.Synthetic, 1200)
+	ix, err := BuildInMemory(coll, core.Config{LeafCapacity: 32}, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < queries.Len(); qi++ {
+		_, stats, err := ix.Search(queries.At(qi), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Candidates+stats.PrunedByScan != coll.Len() {
+			t.Fatalf("candidates %d + pruned %d != %d", stats.Candidates, stats.PrunedByScan, coll.Len())
+		}
+		// Real distances never exceed candidates plus the approximate
+		// phase (which refines up to one full leaf in-memory).
+		if stats.RawDistances > stats.Candidates+32 {
+			t.Fatalf("raw distances %d exceed candidates %d + leaf", stats.RawDistances, stats.Candidates)
+		}
+	}
+}
+
+func TestConcurrentSearches(t *testing.T) {
+	// Queries are read-only; many must be able to run concurrently on one
+	// index without interference.
+	coll, queries := dataset(t, gen.Synthetic, 800)
+	ix, err := BuildInMemory(coll, core.Config{LeafCapacity: 32}, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, queries.Len())
+	for qi := range want {
+		_, want[qi] = coll.BruteForce1NN(queries.At(qi))
+	}
+	var wg sync.WaitGroup
+	for rep := 0; rep < 4; rep++ {
+		for qi := 0; qi < queries.Len(); qi++ {
+			wg.Add(1)
+			go func(qi int) {
+				defer wg.Done()
+				got, _, err := ix.Search(queries.At(qi), 2)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if math.Abs(got.Dist-want[qi]) > 1e-6*math.Max(1, want[qi]) {
+					t.Errorf("query %d: %v != %v", qi, got.Dist, want[qi])
+				}
+			}(qi)
+		}
+	}
+	wg.Wait()
+}
+
+func TestDiskMetricsChargedDuringQuery(t *testing.T) {
+	coll, queries := dataset(t, gen.Synthetic, 500)
+	disk := storage.NewDisk(storage.NewMemStore(), storage.Unthrottled)
+	raw, err := storage.WriteCollection(disk, coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(raw, storage.NewLeafStore(disk), core.Config{LeafCapacity: 16}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk.ResetMetrics()
+	if _, _, err := ix.Search(queries.At(0), 2); err != nil {
+		t.Fatal(err)
+	}
+	m := disk.Metrics()
+	if m.ReadOps == 0 || m.BytesRead == 0 {
+		t.Fatalf("no device reads charged during on-disk query: %+v", m)
+	}
+}

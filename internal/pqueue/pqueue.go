@@ -1,0 +1,181 @@
+// Package pqueue provides the minimum priority queues used by MESSI's query
+// answering stage (paper §III): leaves that survive node-level pruning are
+// inserted, with their lower-bound distance as priority, into a set of
+// concurrent min-queues in round-robin fashion; worker threads then drain
+// the queues in ascending lower-bound order.
+package pqueue
+
+import (
+	"sync"
+
+	"dsidx/internal/xsync"
+)
+
+// Item is a prioritized value.
+type Item[T any] struct {
+	Priority float64
+	Value    T
+}
+
+// Heap is a classic binary min-heap on Item.Priority. Not safe for
+// concurrent use; see Locked.
+type Heap[T any] struct {
+	items []Item[T]
+}
+
+// NewHeap returns a heap with the given initial capacity.
+func NewHeap[T any](capacity int) *Heap[T] {
+	return &Heap[T]{items: make([]Item[T], 0, capacity)}
+}
+
+// Len returns the number of queued items.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Push inserts a value with the given priority.
+func (h *Heap[T]) Push(priority float64, v T) {
+	h.items = append(h.items, Item[T]{Priority: priority, Value: v})
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Priority <= h.items[i].Priority {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+// Pop removes and returns the minimum-priority item. ok is false when the
+// heap is empty.
+func (h *Heap[T]) Pop() (it Item[T], ok bool) {
+	if len(h.items) == 0 {
+		return it, false
+	}
+	it = h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero Item[T]
+	h.items[last] = zero // release references for GC
+	h.items = h.items[:last]
+	h.siftDown(0)
+	return it, true
+}
+
+// Peek returns the minimum-priority item without removing it.
+func (h *Heap[T]) Peek() (it Item[T], ok bool) {
+	if len(h.items) == 0 {
+		return it, false
+	}
+	return h.items[0], true
+}
+
+func (h *Heap[T]) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.items[l].Priority < h.items[smallest].Priority {
+			smallest = l
+		}
+		if r < n && h.items[r].Priority < h.items[smallest].Priority {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}
+
+// Locked is a mutex-protected Heap safe for concurrent use. MESSI protects
+// each of its queues with a lock; contention stays low because there are
+// several queues and workers spread across them.
+type Locked[T any] struct {
+	mu   sync.Mutex
+	heap Heap[T]
+}
+
+// NewLocked returns a concurrent heap with the given initial capacity.
+func NewLocked[T any](capacity int) *Locked[T] {
+	return &Locked[T]{heap: Heap[T]{items: make([]Item[T], 0, capacity)}}
+}
+
+// Push inserts a value with the given priority.
+func (q *Locked[T]) Push(priority float64, v T) {
+	q.mu.Lock()
+	q.heap.Push(priority, v)
+	q.mu.Unlock()
+}
+
+// Pop removes and returns the minimum item; ok is false when empty.
+func (q *Locked[T]) Pop() (Item[T], bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.heap.Pop()
+}
+
+// PopIfUnder removes and returns the minimum item only if its priority is
+// strictly below limit. done is true when the queue is empty or its minimum
+// is already >= limit — in both cases a MESSI worker abandons this queue,
+// because every remaining element has an even larger lower bound.
+func (q *Locked[T]) PopIfUnder(limit float64) (it Item[T], done bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	head, ok := q.heap.Peek()
+	if !ok || head.Priority >= limit {
+		var zero Item[T]
+		return zero, true
+	}
+	it, _ = q.heap.Pop()
+	return it, false
+}
+
+// Len returns the current number of queued items.
+func (q *Locked[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.heap.Len()
+}
+
+// Set is a group of concurrent min-queues with round-robin insertion, the
+// exact structure MESSI stage 3 uses for load balancing: "each thread
+// inserts elements in the priority queues in a round-robin fashion".
+type Set[T any] struct {
+	queues []*Locked[T]
+	rr     xsync.Counter
+}
+
+// NewSet creates count queues, each with the given initial capacity.
+func NewSet[T any](count, capacity int) *Set[T] {
+	if count <= 0 {
+		count = 1
+	}
+	s := &Set[T]{queues: make([]*Locked[T], count)}
+	for i := range s.queues {
+		s.queues[i] = NewLocked[T](capacity)
+	}
+	return s
+}
+
+// Insert pushes the value into the next queue in round-robin order.
+func (s *Set[T]) Insert(priority float64, v T) {
+	i := int(s.rr.Next()) % len(s.queues)
+	s.queues[i].Push(priority, v)
+}
+
+// Count returns the number of queues in the set.
+func (s *Set[T]) Count() int { return len(s.queues) }
+
+// Queue returns the i-th queue (modulo the count), letting each worker
+// start from a different queue and walk the set.
+func (s *Set[T]) Queue(i int) *Locked[T] { return s.queues[i%len(s.queues)] }
+
+// TotalLen returns the total number of queued items across the set.
+func (s *Set[T]) TotalLen() int {
+	total := 0
+	for _, q := range s.queues {
+		total += q.Len()
+	}
+	return total
+}

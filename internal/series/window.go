@@ -1,0 +1,61 @@
+package series
+
+import "fmt"
+
+// This file implements subsequence extraction: "for streaming series, we
+// create and index subsequences of length n using a sliding window" (paper
+// §II). Long recordings become collections of fixed-length windows, which
+// is how whole-matching indexes answer subsequence similarity queries.
+
+// Windows extracts every window of the given length from s, advancing by
+// step points, optionally z-normalizing each window (the standard setting
+// for similarity search). It returns the window collection and the start
+// offset of each window in s.
+func Windows(s Series, length, step int, znormalize bool) (*Collection, []int, error) {
+	if length <= 0 || step <= 0 {
+		return nil, nil, fmt.Errorf("series: invalid window length %d or step %d", length, step)
+	}
+	if len(s) < length {
+		return nil, nil, fmt.Errorf("series: series of %d points shorter than window %d", len(s), length)
+	}
+	count := (len(s)-length)/step + 1
+	coll := NewCollection(count, length)
+	offsets := make([]int, count)
+	for i := 0; i < count; i++ {
+		start := i * step
+		offsets[i] = start
+		w := coll.At(i)
+		copy(w, s[start:start+length])
+		if znormalize {
+			w.ZNormalizeInPlace()
+		}
+	}
+	return coll, offsets, nil
+}
+
+// WindowsInto appends the windows of s to an existing collection (which
+// must have matching series length), returning the appended window start
+// offsets. Streaming pipelines use it to grow one collection from many
+// recordings.
+func WindowsInto(coll *Collection, s Series, step int, znormalize bool) ([]int, error) {
+	length := coll.SeriesLen()
+	if step <= 0 {
+		return nil, fmt.Errorf("series: invalid step %d", step)
+	}
+	if len(s) < length {
+		return nil, fmt.Errorf("series: series of %d points shorter than window %d", len(s), length)
+	}
+	count := (len(s)-length)/step + 1
+	offsets := make([]int, count)
+	buf := make(Series, length)
+	for i := 0; i < count; i++ {
+		start := i * step
+		offsets[i] = start
+		copy(buf, s[start:start+length])
+		if znormalize {
+			buf.ZNormalizeInPlace()
+		}
+		coll.Append(buf)
+	}
+	return offsets, nil
+}

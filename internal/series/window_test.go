@@ -1,0 +1,131 @@
+package series
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWindowsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	long := randomSeries(rng, 100)
+	coll, offsets, err := Windows(long, 32, 16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows start at 0,16,32,48,64; 80+32 > 100 ⇒ last start 68? No:
+	// (100-32)/16+1 = 5 windows, starts 0..64.
+	if coll.Len() != 5 || len(offsets) != 5 {
+		t.Fatalf("got %d windows, want 5", coll.Len())
+	}
+	for i, off := range offsets {
+		if off != i*16 {
+			t.Fatalf("offset[%d] = %d, want %d", i, off, i*16)
+		}
+		w := coll.At(i)
+		for j := range w {
+			if w[j] != long[off+j] {
+				t.Fatalf("window %d differs from source at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestWindowsZNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	long := randomSeries(rng, 300)
+	for i := range long {
+		long[i] = long[i]*5 + 100 // offset + scale
+	}
+	coll, _, err := Windows(long, 64, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coll.Len() != 237 {
+		t.Fatalf("got %d windows, want 237", coll.Len())
+	}
+	for i := 0; i < coll.Len(); i += 50 {
+		w := coll.At(i)
+		if m := w.Mean(); math.Abs(m) > 1e-4 {
+			t.Fatalf("window %d mean %v", i, m)
+		}
+		if sd := w.Stddev(); math.Abs(sd-1) > 1e-3 {
+			t.Fatalf("window %d stddev %v", i, sd)
+		}
+	}
+}
+
+func TestWindowsErrors(t *testing.T) {
+	s := make(Series, 10)
+	if _, _, err := Windows(s, 0, 1, false); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, _, err := Windows(s, 4, 0, false); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, _, err := Windows(s, 20, 1, false); err == nil {
+		t.Error("window longer than series accepted")
+	}
+}
+
+func TestWindowsExactFit(t *testing.T) {
+	s := Series{1, 2, 3, 4}
+	coll, offsets, err := Windows(s, 4, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coll.Len() != 1 || offsets[0] != 0 {
+		t.Fatalf("exact-fit window wrong: %d windows", coll.Len())
+	}
+}
+
+func TestWindowsIntoAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	coll := NewCollection(0, 16)
+	a := randomSeries(rng, 40)
+	b := randomSeries(rng, 30)
+	offA, err := WindowsInto(coll, a, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offB, err := WindowsInto(coll, b, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coll.Len() != len(offA)+len(offB) {
+		t.Fatalf("collection %d != %d+%d windows", coll.Len(), len(offA), len(offB))
+	}
+	// First window of b sits right after a's windows.
+	w := coll.At(len(offA))
+	for j := range w {
+		if w[j] != b[j] {
+			t.Fatalf("first b-window differs at %d", j)
+		}
+	}
+	if _, err := WindowsInto(coll, make(Series, 4), 1, false); err == nil {
+		t.Error("short source accepted")
+	}
+}
+
+func TestWindowsSubsequenceSearchEndToEnd(t *testing.T) {
+	// Classic subsequence matching: plant a known pattern inside a long
+	// noisy recording; the window whose offset covers the pattern must be
+	// the 1-NN of the pattern.
+	rng := rand.New(rand.NewSource(83))
+	long := randomSeries(rng, 2000)
+	pattern := randomSeries(rng, 64)
+	const plantAt = 777
+	copy(long[plantAt:plantAt+64], pattern)
+
+	coll, offsets, err := Windows(long, 64, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestDist := coll.BruteForce1NN(pattern)
+	if offsets[best] != plantAt {
+		t.Fatalf("1-NN window offset %d, want %d", offsets[best], plantAt)
+	}
+	if bestDist != 0 {
+		t.Fatalf("planted pattern distance %v, want 0", bestDist)
+	}
+}

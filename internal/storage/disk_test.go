@@ -1,0 +1,114 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDiskParallelChannelsOverlap(t *testing.T) {
+	// With Parallelism 4, four concurrent 40ms requests should take ~40ms,
+	// not ~160ms.
+	profile := Profile{Name: "par", Seek: 40 * time.Millisecond, Parallelism: 4}
+	d := NewDisk(NewMemStore(), profile)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := d.WriteAt([]byte{1}, int64(i*100)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed > 120*time.Millisecond {
+		t.Fatalf("4 concurrent ops on 4 channels took %v, expected ~40ms", elapsed)
+	}
+	// Modeled busy time is still the sum over channels.
+	if busy := d.Metrics().WriteBusy; busy < 150*time.Millisecond {
+		t.Fatalf("WriteBusy = %v, want ~160ms (sum of ops)", busy)
+	}
+}
+
+func TestDiskSingleChannelQueues(t *testing.T) {
+	// Parallelism 1 (or 0): requests serialize.
+	profile := Profile{Name: "serial", Seek: 30 * time.Millisecond}
+	d := NewDisk(NewMemStore(), profile)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := d.WriteAt([]byte{1}, int64(i*100)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("3 serialized 30ms ops took only %v", elapsed)
+	}
+}
+
+func TestDiskDebtBatchingPreservesTotalTime(t *testing.T) {
+	// Many sub-granularity operations must accumulate to roughly their
+	// modeled total, not round each up to scheduler granularity.
+	profile := Profile{Name: "debt", ReadBW: 100e6, WriteBW: 100e6} // 10ns/byte
+	d := NewDisk(NewMemStore(), profile)
+	if err := d.Truncate(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1000) // 10µs modeled per op
+	start := time.Now()
+	const ops = 2000 // 20ms modeled total
+	for i := 0; i < ops; i++ {
+		if _, err := d.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	// Naive per-op sleeping would take ≥ 2000 × ~60µs = 120ms+.
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("2000 micro-ops took %v; debt batching broken", elapsed)
+	}
+	if elapsed < 15*time.Millisecond {
+		t.Fatalf("2000 micro-ops took %v; modeled time not charged", elapsed)
+	}
+}
+
+func TestDiskScaleZeroNeverSleeps(t *testing.T) {
+	d := NewDisk(NewMemStore(), Profile{Name: "x", Seek: time.Second})
+	d.SetScale(0)
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		if _, err := d.WriteAt([]byte{1}, int64(i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("scale-0 disk slept: %v", elapsed)
+	}
+	// Modeled time still accumulates.
+	if d.Metrics().WriteBusy < 9*time.Second {
+		t.Fatalf("WriteBusy = %v, want ~10s modeled", d.Metrics().WriteBusy)
+	}
+}
+
+func TestDiskSequentialDetection(t *testing.T) {
+	d := NewDisk(NewMemStore(), Unthrottled)
+	if _, err := d.WriteAt(make([]byte, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 5; i++ {
+		if _, err := d.WriteAt(make([]byte, 100), int64(i*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seeks := d.Metrics().Seeks; seeks != 1 {
+		t.Fatalf("sequential writes produced %d seeks, want 1 (initial)", seeks)
+	}
+}

@@ -1,0 +1,68 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FileStore is a Store backed by an operating-system file, for users who
+// want real persistence rather than the in-memory stores the experiments
+// use. Latency injection still applies when wrapped in a Disk.
+type FileStore struct {
+	f *os.File
+
+	mu   sync.Mutex
+	size int64
+}
+
+// OpenFileStore opens (or creates) the file at path for read/write access.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening %s: %w", path, err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat %s: %w", path, err)
+	}
+	return &FileStore{f: f, size: info.Size()}, nil
+}
+
+// ReadAt implements io.ReaderAt.
+func (s *FileStore) ReadAt(p []byte, off int64) (int, error) { return s.f.ReadAt(p, off) }
+
+// WriteAt implements io.WriterAt, tracking the file size.
+func (s *FileStore) WriteAt(p []byte, off int64) (int, error) {
+	n, err := s.f.WriteAt(p, off)
+	s.mu.Lock()
+	if end := off + int64(n); end > s.size {
+		s.size = end
+	}
+	s.mu.Unlock()
+	return n, err
+}
+
+// Size returns the current file size.
+func (s *FileStore) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Truncate resizes the file.
+func (s *FileStore) Truncate(size int64) error {
+	if err := s.f.Truncate(size); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.size = size
+	s.mu.Unlock()
+	return nil
+}
+
+// Close releases the underlying file.
+func (s *FileStore) Close() error { return s.f.Close() }
+
+var _ Store = (*FileStore)(nil)

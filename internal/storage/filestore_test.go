@@ -1,0 +1,101 @@
+package storage
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dsidx/internal/series"
+)
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.bin")
+	fs, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Size() != 0 {
+		t.Fatalf("new file size = %d", fs.Size())
+	}
+	if _, err := fs.WriteAt([]byte("hello"), 10); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Size() != 15 {
+		t.Fatalf("Size = %d, want 15", fs.Size())
+	}
+	buf := make([]byte, 5)
+	if _, err := fs.ReadAt(buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("read %q", buf)
+	}
+	if err := fs.Truncate(12); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Size() != 12 {
+		t.Fatalf("after truncate Size = %d", fs.Size())
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen preserves contents and size.
+	fs2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	if fs2.Size() != 12 {
+		t.Fatalf("reopened Size = %d", fs2.Size())
+	}
+	if _, err := fs2.ReadAt(buf[:2], 10); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:2]) != "he" {
+		t.Fatalf("reopened contents %q", buf[:2])
+	}
+}
+
+func TestFileStoreSeriesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "coll.dsf")
+	fs, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := makeCollection(20, 8)
+	if _, err := WriteCollection(fs, coll); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	f, err := OpenSeriesFile(fs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Count() != 20 || f.Length() != 8 {
+		t.Fatalf("shape (%d,%d)", f.Count(), f.Length())
+	}
+	dst := make(series.Series, 8)
+	if err := f.ReadSeries(13, dst); err != nil {
+		t.Fatal(err)
+	}
+	want := coll.At(13)
+	for j := range want {
+		if dst[j] != want[j] {
+			t.Fatalf("series 13 differs at %d", j)
+		}
+	}
+}
+
+func TestOpenFileStoreBadPath(t *testing.T) {
+	if _, err := OpenFileStore(filepath.Join(t.TempDir(), "no", "such", "dir", "x")); err == nil {
+		t.Error("expected error for unreachable path")
+	}
+}

@@ -1,0 +1,333 @@
+package storage
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"dsidx/internal/series"
+)
+
+func TestMemStoreReadWrite(t *testing.T) {
+	m := NewMemStore()
+	if _, err := m.WriteAt([]byte("hello"), 3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 8 {
+		t.Fatalf("Size = %d, want 8", m.Size())
+	}
+	buf := make([]byte, 5)
+	if _, err := m.ReadAt(buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("read %q", buf)
+	}
+	// Reads past the end return EOF.
+	if _, err := m.ReadAt(buf, 100); !errors.Is(err, io.EOF) {
+		t.Fatalf("read past end: %v, want EOF", err)
+	}
+	// Short read at the boundary.
+	n, err := m.ReadAt(buf, 6)
+	if n != 2 || !errors.Is(err, io.EOF) {
+		t.Fatalf("boundary read = (%d,%v), want (2,EOF)", n, err)
+	}
+}
+
+func TestMemStoreTruncate(t *testing.T) {
+	m := NewMemStore()
+	if _, err := m.WriteAt([]byte("abcdef"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", m.Size())
+	}
+	if err := m.Truncate(10); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	if _, err := m.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:3]) != "abc" || buf[5] != 0 {
+		t.Fatalf("truncate-grow contents wrong: %q", buf)
+	}
+	if err := m.Truncate(-1); err == nil {
+		t.Fatal("negative truncate should error")
+	}
+}
+
+func TestMemStoreConcurrent(t *testing.T) {
+	m := NewMemStore()
+	if err := m.Truncate(4096); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := []byte{byte(w)}
+			for i := 0; i < 200; i++ {
+				if _, err := m.WriteAt(buf, int64(w*512+i%512)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := m.ReadAt(buf, int64(w*512)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestDiskMetricsAndSeeks(t *testing.T) {
+	d := NewDisk(NewMemStore(), Unthrottled)
+	if _, err := d.WriteAt(make([]byte, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteAt(make([]byte, 100), 100); err != nil { // sequential
+		t.Fatal(err)
+	}
+	if _, err := d.WriteAt(make([]byte, 100), 500); err != nil { // seek
+		t.Fatal(err)
+	}
+	buf := make([]byte, 50)
+	if _, err := d.ReadAt(buf, 0); err != nil { // first read: seek
+		t.Fatal(err)
+	}
+	if _, err := d.ReadAt(buf, 50); err != nil { // sequential
+		t.Fatal(err)
+	}
+	m := d.Metrics()
+	if m.BytesWritten != 300 || m.WriteOps != 3 {
+		t.Errorf("write metrics = %+v", m)
+	}
+	if m.BytesRead != 100 || m.ReadOps != 2 {
+		t.Errorf("read metrics = %+v", m)
+	}
+	// Seeks: first write, jump write, first read = 3.
+	if m.Seeks != 3 {
+		t.Errorf("Seeks = %d, want 3", m.Seeks)
+	}
+	d.ResetMetrics()
+	if d.Metrics() != (Metrics{}) {
+		t.Error("ResetMetrics did not zero")
+	}
+}
+
+func TestDiskBusyAccounting(t *testing.T) {
+	// scale 0: no sleeping, but modeled busy time accumulates.
+	profile := Profile{Name: "test", Seek: 10 * time.Millisecond, ReadBW: 1e6, WriteBW: 1e6}
+	d := NewDisk(NewMemStore(), profile)
+	d.SetScale(0)
+	start := time.Now()
+	if _, err := d.WriteAt(make([]byte, 1e6), 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Fatalf("scale 0 slept for %v", elapsed)
+	}
+	m := d.Metrics()
+	want := 10*time.Millisecond + time.Second // seek + 1e6 bytes at 1e6 B/s
+	if m.WriteBusy != want {
+		t.Errorf("WriteBusy = %v, want %v", m.WriteBusy, want)
+	}
+}
+
+func TestDiskRealSleep(t *testing.T) {
+	profile := Profile{Name: "test", Seek: 20 * time.Millisecond}
+	d := NewDisk(NewMemStore(), profile)
+	start := time.Now()
+	if _, err := d.WriteAt([]byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("expected ≥20ms injected latency, slept %v", elapsed)
+	}
+}
+
+func TestDiskSerializesDeviceTime(t *testing.T) {
+	// Two concurrent 25ms operations on one device must take ~50ms total.
+	profile := Profile{Name: "test", Seek: 25 * time.Millisecond}
+	d := NewDisk(NewMemStore(), profile)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := d.WriteAt([]byte{1}, int64(i*100)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 45*time.Millisecond {
+		t.Fatalf("device did not serialize: %v elapsed, want ≥50ms", elapsed)
+	}
+}
+
+func makeCollection(n, length int) *series.Collection {
+	coll := series.NewCollection(n, length)
+	for i := 0; i < n; i++ {
+		s := coll.At(i)
+		for j := range s {
+			s[j] = float32(i*1000 + j)
+		}
+	}
+	return coll
+}
+
+func TestSeriesFileRoundTrip(t *testing.T) {
+	store := NewMemStore()
+	coll := makeCollection(10, 16)
+	f, err := WriteCollection(store, coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Count() != 10 || f.Length() != 16 {
+		t.Fatalf("file shape = (%d,%d)", f.Count(), f.Length())
+	}
+
+	// Reopen and verify.
+	g, err := OpenSeriesFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Count() != 10 || g.Length() != 16 {
+		t.Fatalf("reopened shape = (%d,%d)", g.Count(), g.Length())
+	}
+	batch, err := g.ReadBatch(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		want := coll.At(3 + i)
+		got := batch.At(i)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("batch series %d differs at %d: %v != %v", i, j, got[j], want[j])
+			}
+		}
+	}
+	dst := make(series.Series, 16)
+	if err := g.ReadSeries(9, dst); err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range coll.At(9) {
+		if dst[j] != v {
+			t.Fatalf("ReadSeries(9)[%d] = %v, want %v", j, dst[j], v)
+		}
+	}
+}
+
+func TestSeriesFileErrors(t *testing.T) {
+	store := NewMemStore()
+	if _, err := CreateSeriesFile(store, 0); err == nil {
+		t.Error("zero length accepted")
+	}
+	f, err := CreateSeriesFile(store, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Append(series.NewCollection(1, 4)); err == nil {
+		t.Error("length-mismatched append accepted")
+	}
+	if _, err := f.ReadBatch(0, 1); err == nil {
+		t.Error("out-of-range batch accepted")
+	}
+	if err := f.ReadSeries(0, make(series.Series, 8)); err == nil {
+		t.Error("out-of-range series accepted")
+	}
+	if err := f.Append(makeCollection(1, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ReadSeries(0, make(series.Series, 4)); err == nil {
+		t.Error("short destination accepted")
+	}
+
+	// Corrupt magic.
+	bad := NewMemStore()
+	if _, err := bad.WriteAt([]byte("NOPExxxxxxxxxxxx"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSeriesFile(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt open: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLeafStoreRoundTrip(t *testing.T) {
+	store := NewMemStore()
+	ls := NewLeafStore(store)
+	blobs := [][]byte{[]byte("leaf-a"), []byte("leaf-bb"), {}, []byte("leaf-cccc")}
+	refs := make([]LeafRef, len(blobs))
+	for i, b := range blobs {
+		ref, err := ls.Append(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = ref
+	}
+	for i, want := range blobs {
+		got, err := ls.Read(refs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("blob %d = %q, want %q", i, got, want)
+		}
+	}
+	// Bad ref: wrong length.
+	badRef := LeafRef{Offset: refs[1].Offset, Len: refs[1].Len + 1}
+	if _, err := ls.Read(badRef); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad ref read: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLeafStoreConcurrentAppends(t *testing.T) {
+	ls := NewLeafStore(NewMemStore())
+	const workers, perWorker = 8, 50
+	type result struct {
+		ref  LeafRef
+		blob []byte
+	}
+	results := make([][]result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rs := make([]result, perWorker)
+			for i := range rs {
+				blob := []byte{byte(w), byte(i), byte(w + i)}
+				ref, err := ls.Append(blob)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				rs[i] = result{ref, blob}
+			}
+			results[w] = rs
+		}(w)
+	}
+	wg.Wait()
+	for w, rs := range results {
+		for i, r := range rs {
+			got, err := ls.Read(r.ref)
+			if err != nil {
+				t.Fatalf("worker %d blob %d: %v", w, i, err)
+			}
+			if string(got) != string(r.blob) {
+				t.Fatalf("worker %d blob %d corrupted", w, i)
+			}
+		}
+	}
+}

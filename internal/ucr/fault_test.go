@@ -1,0 +1,68 @@
+package ucr
+
+import (
+	"errors"
+	"testing"
+
+	"dsidx/internal/gen"
+	"dsidx/internal/storage"
+)
+
+type truncatingStore struct {
+	*storage.MemStore
+	limit int64
+}
+
+var errTruncated = errors.New("device lost")
+
+func (s *truncatingStore) ReadAt(p []byte, off int64) (int, error) {
+	if off >= s.limit {
+		return 0, errTruncated
+	}
+	return s.MemStore.ReadAt(p, off)
+}
+
+func TestScanDiskPropagatesErrors(t *testing.T) {
+	g := gen.Generator{Kind: gen.Synthetic, Length: 64, Seed: 60}
+	coll := g.Collection(500)
+	mem := storage.NewMemStore()
+	f, err := storage.WriteCollection(mem, coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f
+	// Reopen through a store that fails past the first half of the data.
+	bad := &truncatingStore{MemStore: mem, limit: mem.Size() / 2}
+	g2, err := storage.OpenSeriesFile(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := g.Queries(1).At(0)
+	if _, err := ScanDisk(g2, q, 100); !errors.Is(err, errTruncated) {
+		t.Fatalf("ScanDisk error = %v, want device lost", err)
+	}
+}
+
+func TestKBestThresholdSemantics(t *testing.T) {
+	h := newKBest(3)
+	if th := h.threshold(); th != th || th < 1e308 {
+		t.Fatalf("empty heap threshold = %v, want +Inf", th)
+	}
+	h.offer(Result{Pos: 1, Dist: 5})
+	h.offer(Result{Pos: 2, Dist: 3})
+	if th := h.threshold(); th < 1e308 {
+		t.Fatalf("underfull heap threshold = %v, want +Inf", th)
+	}
+	h.offer(Result{Pos: 3, Dist: 9})
+	if th := h.threshold(); th != 9 {
+		t.Fatalf("threshold = %v, want 9 (k-th best)", th)
+	}
+	h.offer(Result{Pos: 4, Dist: 1})
+	if th := h.threshold(); th != 5 {
+		t.Fatalf("after improvement threshold = %v, want 5", th)
+	}
+	out := h.sorted()
+	if len(out) != 3 || out[0].Dist != 1 || out[1].Dist != 3 || out[2].Dist != 5 {
+		t.Fatalf("sorted = %v", out)
+	}
+}

@@ -1,0 +1,113 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(rng *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+func TestSquaredEDMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 7, 8, 9, 15, 16, 17, 128, 256, 255} {
+		a, b := randVec(rng, n), randVec(rng, n)
+		want := ScalarSquaredED(a, b)
+		if got := SquaredED(a, b); math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Errorf("n=%d: SquaredED %v vs scalar %v", n, got, want)
+		}
+		if got := SquaredEDUnrolled(a, b); math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Errorf("n=%d: unrolled %v vs scalar %v", n, got, want)
+		}
+	}
+}
+
+func TestSquaredEDZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randVec(rng, 64)
+	if got := SquaredED(a, a); got != 0 {
+		t.Errorf("SquaredED(a,a) = %v, want 0", got)
+	}
+}
+
+func TestEarlyAbandonMatchesFullWhenUnderLimit(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		a, b := randVec(r, n), randVec(r, n)
+		full := SquaredED(a, b)
+		got := SquaredEDEarlyAbandon(a, b, math.Inf(1))
+		return math.Abs(got-full) <= 1e-9*math.Max(1, full)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEarlyAbandonExceedsLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		a, b := randVec(rng, 256), randVec(rng, 256)
+		full := ScalarSquaredED(a, b)
+		limit := full / 8
+		got := SquaredEDEarlyAbandon(a, b, limit)
+		if got <= limit {
+			t.Fatalf("abandoned value %v must exceed limit %v", got, limit)
+		}
+	}
+}
+
+func TestMinDistLookup16(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const card = 256
+	cells := make([]float64, 16*card)
+	for i := range cells {
+		cells[i] = rng.Float64()
+	}
+	sax := make([]uint8, 16)
+	for i := range sax {
+		sax[i] = uint8(rng.Intn(card))
+	}
+	got := MinDistLookup16(cells, sax, card)
+	var want float64
+	for j, s := range sax {
+		want += cells[j*card+int(s)]
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MinDistLookup16 = %v, want %v", got, want)
+	}
+}
+
+func TestMinDistBatchGenericAndUnrolledAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const card = 256
+	for _, w := range []int{8, 16} {
+		cells := make([]float64, w*card)
+		for i := range cells {
+			cells[i] = rng.Float64()
+		}
+		const count = 37
+		sax := make([]uint8, count*w)
+		for i := range sax {
+			sax[i] = uint8(rng.Intn(card))
+		}
+		out := make([]float64, count)
+		MinDistBatch(cells, sax, w, card, out)
+		for i := 0; i < count; i++ {
+			var want float64
+			for j := 0; j < w; j++ {
+				want += cells[j*card+int(sax[i*w+j])]
+			}
+			if math.Abs(out[i]-want) > 1e-12 {
+				t.Fatalf("w=%d batch[%d] = %v, want %v", w, i, out[i], want)
+			}
+		}
+	}
+}

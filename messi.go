@@ -1,0 +1,66 @@
+package dsidx
+
+import (
+	"dsidx/internal/messi"
+)
+
+// MESSI is the parallel in-memory index (paper §III, Figure 3). Queries are
+// exact; construction and search scale with the number of workers.
+type MESSI struct {
+	inner *messi.Index
+}
+
+// NewMESSI builds a MESSI index over an in-memory collection.
+func NewMESSI(coll *Collection, opts ...Option) (*MESSI, error) {
+	o := buildOptions(opts)
+	inner, err := messi.Build(coll, o.coreConfig(), messi.Options{
+		Workers:    o.workers,
+		QueueCount: o.queueCount,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MESSI{inner: inner}, nil
+}
+
+// Search returns the exact nearest neighbor of q under Euclidean distance.
+func (ix *MESSI) Search(q Series) (Match, error) {
+	r, _, err := ix.inner.Search(q, 0)
+	return matchOf(r), err
+}
+
+// SearchWithWorkers is Search with an explicit worker count (for scaling
+// studies).
+func (ix *MESSI) SearchWithWorkers(q Series, workers int) (Match, error) {
+	r, _, err := ix.inner.Search(q, workers)
+	return matchOf(r), err
+}
+
+// SearchKNN returns the exact k nearest neighbors of q in ascending
+// distance order.
+func (ix *MESSI) SearchKNN(q Series, k int) ([]Match, error) {
+	rs, _, err := ix.inner.SearchKNN(q, k, 0)
+	return matchesOf(rs), err
+}
+
+// SearchDTW returns the exact nearest neighbor of q under dynamic time
+// warping with a Sakoe-Chiba band of half-width window, answered on the
+// same index with no rebuild (paper §V).
+func (ix *MESSI) SearchDTW(q Series, window int) (Match, error) {
+	r, _, err := ix.inner.SearchDTW(q, window, 0)
+	return matchOf(r), err
+}
+
+// SearchApproximate returns the classic iSAX approximate answer: the best
+// series of the single leaf matching the query's summary, in microseconds.
+// Its distance is an upper bound on the exact answer's distance.
+func (ix *MESSI) SearchApproximate(q Series) (Match, error) {
+	r, err := ix.inner.SearchApproximate(q)
+	return matchOf(r), err
+}
+
+// Stats returns the index tree shape.
+func (ix *MESSI) Stats() IndexStats { return statsOf(ix.inner.Tree()) }
+
+// Len returns the number of indexed series.
+func (ix *MESSI) Len() int { return ix.inner.Count() }

@@ -1,0 +1,86 @@
+package dsidx
+
+import (
+	"fmt"
+	"os"
+
+	"dsidx/internal/messi"
+	"dsidx/internal/paris"
+	"dsidx/internal/storage"
+)
+
+// Index persistence: a built index can be saved to a file and reopened
+// without rebuilding. The index file stores the tree and the summaries,
+// not the raw series — reopening requires the same collection (MESSI) or
+// the same DiskCollection (ParIS) the index was built over.
+
+// Save writes the MESSI index to path.
+func (ix *MESSI) Save(path string) error {
+	return writeFileAtomic(path, ix.inner.Encode())
+}
+
+// LoadMESSI reopens a saved MESSI index over the collection it was built
+// from. The collection's shape is validated against the index.
+func LoadMESSI(path string, coll *Collection, opts ...Option) (*MESSI, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dsidx: reading index: %w", err)
+	}
+	o := buildOptions(opts)
+	inner, err := messi.Decode(data, coll, messi.Options{Workers: o.workers, QueueCount: o.queueCount})
+	if err != nil {
+		return nil, err
+	}
+	return &MESSI{inner: inner}, nil
+}
+
+// Save writes the ParIS index to path. The index remains bound to the
+// DiskCollection it was built over (flushed leaves live on that device).
+func (ix *ParIS) Save(path string) error {
+	return writeFileAtomic(path, ix.inner.Encode())
+}
+
+// LoadParIS reopens a saved on-disk ParIS/ParIS+ index over its
+// DiskCollection.
+func LoadParIS(path string, dc *DiskCollection, opts ...Option) (*ParIS, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dsidx: reading index: %w", err)
+	}
+	o := buildOptions(opts)
+	inner, err := paris.Decode(data, dc.file, storage.NewLeafStore(dc.disk),
+		paris.Options{Workers: o.workers, BatchSeries: o.batchSeries})
+	if err != nil {
+		return nil, err
+	}
+	return &ParIS{inner: inner}, nil
+}
+
+// LoadParISInMemory reopens a saved in-memory ParIS index over the
+// collection it was built from.
+func LoadParISInMemory(path string, coll *Collection, opts ...Option) (*ParIS, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dsidx: reading index: %w", err)
+	}
+	o := buildOptions(opts)
+	inner, err := paris.DecodeInMemory(data, coll, paris.Options{Workers: o.workers})
+	if err != nil {
+		return nil, err
+	}
+	return &ParIS{inner: inner}, nil
+}
+
+// writeFileAtomic writes data to path via a temp file + rename, so a crash
+// mid-save never leaves a truncated index.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("dsidx: writing index: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dsidx: committing index: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package dsidx
+
+import "dsidx/internal/ucr"
+
+// The UCR-Suite-style brute-force baselines: no index, a full scan with
+// early abandoning. Useful as ground truth, and as the comparator the paper
+// calls "UCR Suite" (serial) and "UCR Suite-p" (parallel).
+
+// ScanNearest serially scans coll for the exact nearest neighbor of q.
+func ScanNearest(coll *Collection, q Series) Match {
+	return matchOf(ucr.Scan(coll, q))
+}
+
+// ScanNearestParallel scans coll with the given number of workers
+// (0 = GOMAXPROCS) sharing one best-so-far.
+func ScanNearestParallel(coll *Collection, q Series, workers int) Match {
+	return matchOf(ucr.ParallelScan(coll, q, workers))
+}
+
+// ScanKNN serially scans coll for the exact k nearest neighbors of q.
+func ScanKNN(coll *Collection, q Series, k int) []Match {
+	return matchesOf(ucr.ScanKNN(coll, q, k))
+}
+
+// ScanNearestDTW serially scans coll for the exact DTW nearest neighbor of
+// q under a Sakoe-Chiba band of half-width window, with the LB_Keogh
+// pruning cascade.
+func ScanNearestDTW(coll *Collection, q Series, window int) Match {
+	return matchOf(ucr.ScanDTW(coll, q, window))
+}
+
+// ScanNearestDiskSerial scans an on-disk collection sequentially — the UCR
+// Suite configuration of the paper's Figures 10 and 11.
+func ScanNearestDiskSerial(dc *DiskCollection, q Series) (Match, error) {
+	r, err := ucr.ScanDisk(dc.file, q, 0)
+	return matchOf(r), err
+}
