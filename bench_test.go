@@ -10,9 +10,12 @@ package dsidx_test
 // the regenerated table, so -v output contains the figure itself.
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"dsidx"
@@ -135,9 +138,11 @@ func BenchmarkMESSIBuild(b *testing.B) {
 	coll := benchCollection(b, 20_000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := messi.Build(coll, core.Config{}, messi.Options{}); err != nil {
+		ix, err := messi.Build(coll, core.Config{}, messi.Options{})
+		if err != nil {
 			b.Fatal(err)
 		}
+		ix.Close()
 	}
 }
 
@@ -147,6 +152,7 @@ func BenchmarkMESSIQuery(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer ix.Close()
 	queries := gen.Generator{Kind: gen.Synthetic, Seed: 9}.PerturbedQueries(coll, 16, 0.05)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -154,6 +160,69 @@ func BenchmarkMESSIQuery(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkMESSIConcurrentQPS is the serving-engine throughput baseline:
+// b.N queries answered with a fixed number in flight on the index's shared
+// worker pool. The queries/s metric across the 1/4/16 sweep is the number
+// future scheduler/scratch changes are measured against; single-query
+// latency is (elapsed × inflight)/N.
+func BenchmarkMESSIConcurrentQPS(b *testing.B) {
+	coll := benchCollection(b, 50_000)
+	ix, err := messi.Build(coll, core.Config{}, messi.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ix.Close()
+	queries := gen.Generator{Kind: gen.Synthetic, Seed: 9}.PerturbedQueries(coll, 64, 0.05)
+	for _, inflight := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("inflight-%d", inflight), func(b *testing.B) {
+			var cursor atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for g := 0; g < inflight; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := cursor.Add(1) - 1
+						if i >= int64(b.N) {
+							return
+						}
+						if _, _, err := ix.Search(queries.At(int(i)%queries.Len()), 0); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
+// BenchmarkMESSIBatchSearch measures the one-call batch path (admission
+// control included), complementing the explicit-goroutine sweep above.
+func BenchmarkMESSIBatchSearch(b *testing.B) {
+	coll := benchCollection(b, 50_000)
+	ix, err := messi.Build(coll, core.Config{}, messi.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ix.Close()
+	queries := gen.Generator{Kind: gen.Synthetic, Seed: 9}.PerturbedQueries(coll, 32, 0.05)
+	qs := make([]series.Series, queries.Len())
+	for i := range qs {
+		qs[i] = queries.At(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.BatchSearch(qs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*len(qs))/b.Elapsed().Seconds(), "queries/s")
 }
 
 func BenchmarkParISInMemoryQuery(b *testing.B) {
@@ -186,6 +255,7 @@ func BenchmarkMESSIQueryDTW(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer ix.Close()
 	queries := gen.Generator{Kind: gen.Synthetic, Seed: 9}.PerturbedQueries(coll, 8, 0.05)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

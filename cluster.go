@@ -52,6 +52,9 @@ func (c *Cluster) SearchKNN(q Series, k int) ([]Match, error) {
 	return matchesOf(rs), err
 }
 
+// Close releases every node index's worker pool.
+func (c *Cluster) Close() { c.inner.Close() }
+
 // Len returns the total number of indexed series.
 func (c *Cluster) Len() int { return c.inner.Len() }
 

@@ -7,6 +7,11 @@
 //	dsbench -list
 //	dsbench -experiment fig9
 //	dsbench -experiment all -series 200000 -queries 5
+//	dsbench -experiment concurrent -inflight 1,8,32
+//
+// The concurrent experiment is the serving-engine workload: it measures
+// MESSI throughput (queries/s) with the given numbers of queries in flight
+// on the shared worker pool.
 //
 // Each experiment prints its measured table followed by a note restating
 // the paper's claim for that figure, so measured-vs-paper comparison is
@@ -17,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -25,14 +31,27 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		expID   = flag.String("experiment", "all", "experiment ID (see -list) or 'all'")
-		series  = flag.Int("series", 0, "collection size (default 200000)")
-		queries = flag.Int("queries", 0, "queries per measurement (default 5)")
-		seed    = flag.Int64("seed", 0, "generator seed (default 2020)")
-		cores   = flag.Int("cores", 0, "maximum core count axis (default 24)")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		expID    = flag.String("experiment", "all", "experiment ID (see -list) or 'all'")
+		series   = flag.Int("series", 0, "collection size (default 200000)")
+		queries  = flag.Int("queries", 0, "queries per measurement (default 5)")
+		seed     = flag.Int64("seed", 0, "generator seed (default 2020)")
+		cores    = flag.Int("cores", 0, "maximum core count axis (default 24)")
+		inflight = flag.String("inflight", "", "comma-separated in-flight query counts for the concurrent experiment (default 1,4,16)")
 	)
 	flag.Parse()
+
+	var inflightAxis []int
+	if *inflight != "" {
+		for _, f := range strings.Split(*inflight, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "dsbench: bad -inflight element %q\n", f)
+				os.Exit(2)
+			}
+			inflightAxis = append(inflightAxis, v)
+		}
+	}
 
 	if *list {
 		for _, e := range experiments.All {
@@ -42,10 +61,11 @@ func main() {
 	}
 
 	cfg := experiments.Config{
-		SeriesCount: *series,
-		QueryCount:  *queries,
-		Seed:        *seed,
-		MaxCores:    *cores,
+		SeriesCount:  *series,
+		QueryCount:   *queries,
+		Seed:         *seed,
+		MaxCores:     *cores,
+		InFlightAxis: inflightAxis,
 	}
 
 	var ids []string

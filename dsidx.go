@@ -22,9 +22,37 @@
 //	coll := dsidx.Generate(dsidx.Synthetic, 100_000, 256, 42)
 //	idx, err := dsidx.NewMESSI(coll)
 //	if err != nil { ... }
+//	defer idx.Close()
 //	q := dsidx.GenerateQueries(dsidx.Synthetic, 1, 256, 42).At(0)
 //	m, err := idx.Search(q)
 //	fmt.Printf("nearest series: #%d at distance %.3f\n", m.Pos, m.Distance)
+//
+// # Concurrent queries
+//
+// A MESSI index owns a persistent worker pool (sized by WithWorkers) that
+// every query shares: rather than one query fanning out over all cores, the
+// tasks of all in-flight queries interleave on the pool, so the index
+// serves many clients at once without oversubscribing the machine. All
+// methods are safe for concurrent use; three idioms cover most workloads:
+//
+//	// Independent goroutines: just call Search concurrently.
+//	go func() { m, _ := idx.Search(q1); ... }()
+//	go func() { m, _ := idx.Search(q2); ... }()
+//
+//	// A fixed batch: one call answers qs[i] into ms[i].
+//	ms, err := idx.BatchSearch(qs)
+//
+//	// A long-running server: stream requests in, responses out.
+//	in := make(chan dsidx.QueryRequest)
+//	out := idx.Serve(ctx, in)
+//	in <- dsidx.QueryRequest{ID: 7, Query: q, Kind: dsidx.QueryKNN, K: 10}
+//	resp := <-out // completion order; match by resp.ID
+//
+// BatchSearch and Serve admit at most WithMaxInFlight queries at a time
+// (default 2× workers) — the backpressure that bounds scratch memory under
+// bursty traffic. EngineStats exposes the pool's throughput counters.
+// Concurrency changes only scheduling, never answers: every result is
+// identical to the same query issued alone.
 //
 // All distances returned through this package are true (not squared)
 // distances. Search, SearchKNN and SearchDTW are exact: they return
@@ -149,6 +177,7 @@ type options struct {
 	workers      int
 	queueCount   int
 	batchSeries  int
+	maxInFlight  int
 }
 
 // Option customizes index construction.
@@ -176,6 +205,13 @@ func WithQueueCount(n int) Option { return func(o *options) { o.queueCount = n }
 // WithBatchSeries sets the memory budget, in series, of each ParIS
 // bulk-loading cycle (default 65536).
 func WithBatchSeries(n int) Option { return func(o *options) { o.batchSeries = n } }
+
+// WithMaxInFlight bounds the number of queries BatchSearch and Serve admit
+// simultaneously (default: 2× the worker count). Each admitted query pins a
+// pooled scratch buffer, so this is the serving engine's memory/latency
+// knob: higher keeps the pool saturated under bursty traffic, lower bounds
+// the working set.
+func WithMaxInFlight(n int) Option { return func(o *options) { o.maxInFlight = n } }
 
 func buildOptions(opts []Option) options {
 	var o options

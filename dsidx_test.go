@@ -1,6 +1,7 @@
 package dsidx_test
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"testing"
@@ -83,6 +84,139 @@ func TestMESSIPublicAPI(t *testing.T) {
 			t.Fatalf("query %d: DTW NN %v above ED NN %v", qi, dtw.Distance, got.Distance)
 		}
 	}
+}
+
+func TestMESSIBatchSearchPublicAPI(t *testing.T) {
+	coll := dsidx.Generate(dsidx.Synthetic, 2000, 256, 11)
+	idx, err := dsidx.NewMESSI(coll, dsidx.WithLeafCapacity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+
+	queries := dsidx.GeneratePerturbedQueries(coll, 12, 0.05, 11)
+	qs := make([]dsidx.Series, queries.Len())
+	for i := range qs {
+		qs[i] = queries.At(i)
+	}
+	batch, err := idx.BatchSearch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(qs) {
+		t.Fatalf("%d results for %d queries", len(batch), len(qs))
+	}
+	for i := range qs {
+		want, err := idx.Search(qs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != want {
+			t.Fatalf("batch[%d] = %+v, serial = %+v", i, batch[i], want)
+		}
+	}
+	if st := idx.EngineStats(); st.Queries < uint64(len(qs)) || st.Workers <= 0 {
+		t.Fatalf("engine stats %+v after batch", st)
+	}
+}
+
+func TestMESSIServePublicAPI(t *testing.T) {
+	coll := dsidx.Generate(dsidx.Synthetic, 1500, 256, 13)
+	idx, err := dsidx.NewMESSI(coll, dsidx.WithLeafCapacity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+
+	queries := dsidx.GeneratePerturbedQueries(coll, 9, 0.05, 13)
+	in := make(chan dsidx.QueryRequest)
+	out := idx.Serve(context.Background(), in)
+	go func() {
+		for i := 0; i < queries.Len(); i++ {
+			req := dsidx.QueryRequest{ID: int64(i), Query: queries.At(i)}
+			switch i % 3 {
+			case 1:
+				req.Kind, req.K = dsidx.QueryKNN, 3
+			case 2:
+				req.Kind, req.Window = dsidx.QueryDTW, 10
+			}
+			in <- req
+		}
+		close(in)
+	}()
+
+	got := make(map[int64]dsidx.QueryResponse)
+	for resp := range out {
+		got[resp.ID] = resp
+	}
+	if len(got) != queries.Len() {
+		t.Fatalf("%d responses for %d requests", len(got), queries.Len())
+	}
+	for i := 0; i < queries.Len(); i++ {
+		resp := got[int64(i)]
+		if resp.Err != nil {
+			t.Fatalf("request %d: %v", i, resp.Err)
+		}
+		q := queries.At(i)
+		switch i % 3 {
+		case 0:
+			want, _ := idx.Search(q)
+			if len(resp.Matches) != 1 || resp.Matches[0] != want {
+				t.Fatalf("request %d (NN): %+v, want %+v", i, resp.Matches, want)
+			}
+		case 1:
+			want, _ := idx.SearchKNN(q, 3)
+			if len(resp.Matches) != len(want) {
+				t.Fatalf("request %d (kNN): %d matches, want %d", i, len(resp.Matches), len(want))
+			}
+			for r := range want {
+				if resp.Matches[r] != want[r] {
+					t.Fatalf("request %d (kNN) rank %d: %+v, want %+v", i, r, resp.Matches[r], want[r])
+				}
+			}
+		case 2:
+			want, _ := idx.SearchDTW(q, 10)
+			if len(resp.Matches) != 1 || resp.Matches[0] != want {
+				t.Fatalf("request %d (DTW): %+v, want %+v", i, resp.Matches, want)
+			}
+		}
+	}
+}
+
+func TestMESSIServeRejectsKNNWithoutK(t *testing.T) {
+	// KNN without K must surface a per-response error, not a silent empty
+	// answer (SearchKNN treats k<=0 as a no-op by contract).
+	coll := dsidx.Generate(dsidx.Synthetic, 500, 64, 19)
+	idx, err := dsidx.NewMESSI(coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+
+	in := make(chan dsidx.QueryRequest, 1)
+	out := idx.Serve(context.Background(), in)
+	in <- dsidx.QueryRequest{ID: 1, Query: coll.At(0), Kind: dsidx.QueryKNN}
+	close(in)
+	resp := <-out
+	if resp.Err == nil {
+		t.Fatalf("KNN request without K answered without error: %+v", resp)
+	}
+}
+
+func TestMESSIServeContextCancel(t *testing.T) {
+	coll := dsidx.Generate(dsidx.Synthetic, 500, 64, 17)
+	idx, err := dsidx.NewMESSI(coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan dsidx.QueryRequest) // never closed: cancellation must end Serve
+	out := idx.Serve(ctx, in)
+	cancel()
+	for range out {
+	} // must terminate
 }
 
 func TestParISOnSimulatedDiskPublicAPI(t *testing.T) {

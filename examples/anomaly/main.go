@@ -59,6 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer idx.Close()
 	fmt.Printf("indexed %d reference windows\n", idx.Len())
 
 	// Incoming stream: mostly normal, a few anomalies at known positions.

@@ -57,6 +57,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer idx.Close()
 
 	// Query: shape #7777, but time-warped (stretch 1.15) — same event,
 	// different local speed, as sensors and natural processes produce.

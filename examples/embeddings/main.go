@@ -80,6 +80,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer idx.Close()
 
 	// Queries: fresh embeddings from known clusters.
 	correct, total := 0, 0

@@ -25,6 +25,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer idx.Close()
 	fmt.Printf("MESSI index built in %v: %+v\n", time.Since(t0).Round(time.Millisecond), idx.Stats())
 
 	queries := dsidx.GenerateQueries(dsidx.Synthetic, 5, length, 42)

@@ -1,0 +1,3 @@
+module dsidx
+
+go 1.24

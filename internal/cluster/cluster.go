@@ -114,6 +114,16 @@ func Build(coll *series.Collection, opt Options) (*Cluster, error) {
 	return c, nil
 }
 
+// Close releases every node index's worker pool. Queries issued after
+// Close still answer correctly, executing serially.
+func (c *Cluster) Close() {
+	for _, n := range c.nodes {
+		if n != nil {
+			n.index.Close()
+		}
+	}
+}
+
 // Len returns the total number of indexed series.
 func (c *Cluster) Len() int { return c.len }
 

@@ -1,0 +1,264 @@
+// Package engine provides the shared worker pool that turns the single-query
+// parallelism of MESSI (paper §III) into a multi-query serving engine.
+//
+// The paper's design gives every query all the cores: each Search call
+// spawns one goroutine per worker for the tree-traversal phase and again for
+// the queue-draining phase. That is the right shape for one query at a time,
+// but a serving system has many queries in flight, and per-call goroutine
+// fan-out makes them fight the scheduler instead of sharing it. ParIS+
+// (Peng et al.) already time-shares one worker pool across pipeline stages;
+// this package extends the idea across queries: a persistent, index-owned
+// pool executes leaf-refinement and traversal tasks from *all* in-flight
+// queries, interleaved through one FIFO run queue, so the hardware runs at
+// most Workers tasks at any instant no matter how many queries are active.
+//
+// The three pieces:
+//
+//   - Engine: the pool itself. Fixed worker goroutines pull closures from a
+//     bounded channel. Submission after Close degrades to inline execution,
+//     so a closed engine is still correct, just serial.
+//   - Group: a per-phase barrier. A query submits its phase's tasks to a
+//     Group and Waits; only its own tasks gate the barrier, while the pool
+//     freely interleaves other queries' work.
+//   - Admission: a counting semaphore bounding the number of simultaneously
+//     admitted queries, so a burst cannot oversubscribe memory (each
+//     admitted query pins scratch buffers) or grow the run queue without
+//     bound.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the number of pool goroutines. 0 means GOMAXPROCS.
+	Workers int
+	// MaxInFlight bounds the number of concurrently admitted queries.
+	// 0 means 2×Workers — enough to keep the pool saturated while one
+	// query is in a serial section, without unbounded scratch pinning.
+	MaxInFlight int
+	// QueueDepth is the task channel buffer. 0 means 64×Workers. Submit
+	// blocks (backpressure on the query goroutine) when the queue is full.
+	QueueDepth int
+}
+
+func (o Options) normalize() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 2 * o.Workers
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64 * o.Workers
+	}
+	return o
+}
+
+// Stats is a snapshot of the engine's throughput counters.
+type Stats struct {
+	Workers      int    // pool size
+	PendingTasks int    // tasks queued but not yet claimed by a worker
+	InFlight     int    // queries currently admitted via Admit
+	PeakInFlight int    // high-water mark of InFlight
+	Queries      uint64 // queries executed since creation, any entry path
+	Tasks        uint64 // tasks executed by pool workers since creation
+}
+
+// Engine is a persistent worker pool shared by every query on one index.
+type Engine struct {
+	opt   Options
+	tasks chan func()
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	// mu serializes Submit's closed-check-then-send against Close, so no
+	// task can be enqueued after the workers have drained and exited.
+	mu     sync.RWMutex
+	closed bool
+	once   sync.Once
+
+	sem       chan struct{}
+	inFlight  atomic.Int64
+	peak      atomic.Int64
+	queries   atomic.Uint64
+	tasksDone atomic.Uint64
+	active    atomic.Int64
+}
+
+// New starts an engine with opt.Workers pool goroutines. The pool is idle
+// (parked on a channel receive) until tasks arrive.
+func New(opt Options) *Engine {
+	opt = opt.normalize()
+	e := &Engine{
+		opt:   opt,
+		tasks: make(chan func(), opt.QueueDepth),
+		quit:  make(chan struct{}),
+		sem:   make(chan struct{}, opt.MaxInFlight),
+	}
+	for w := 0; w < opt.Workers; w++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case fn := <-e.tasks:
+			fn()
+			e.tasksDone.Add(1)
+		case <-e.quit:
+			// Drain everything already enqueued so no Group waits forever,
+			// then exit.
+			for {
+				select {
+				case fn := <-e.tasks:
+					fn()
+					e.tasksDone.Add(1)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.opt.Workers }
+
+// MaxInFlight returns the admission bound.
+func (e *Engine) MaxInFlight() int { return e.opt.MaxInFlight }
+
+// Close stops the pool. Pending tasks are drained first; tasks submitted
+// after Close run inline on the submitting goroutine. Close is idempotent
+// and safe to call concurrently with running queries.
+func (e *Engine) Close() {
+	e.once.Do(func() {
+		e.mu.Lock()
+		e.closed = true
+		e.mu.Unlock()
+		close(e.quit)
+		e.wg.Wait()
+	})
+}
+
+// submit enqueues fn for pool execution, or runs it inline if the engine is
+// closed. The RLock pins the open state across the send: Close cannot take
+// the write lock (and so cannot retire the workers) until every in-progress
+// send has landed in the channel, where the drain loop still sees it.
+func (e *Engine) submit(fn func()) {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		fn()
+		return
+	}
+	e.tasks <- fn
+	e.mu.RUnlock()
+}
+
+// Admit blocks until a query slot is free and returns its release function.
+// Admission bounds scratch-buffer pinning and run-queue growth; it is used
+// by the batch and serve layers, while direct Search calls manage their own
+// concurrency.
+func (e *Engine) Admit() (release func()) {
+	e.sem <- struct{}{}
+	return e.admitted()
+}
+
+// AdmitContext is Admit with cancellation: it returns ctx.Err() instead of
+// a release function if ctx is done before a slot frees, so serving loops
+// waiting behind a long batch unblock promptly on shutdown.
+func (e *Engine) AdmitContext(ctx context.Context) (release func(), err error) {
+	select {
+	case e.sem <- struct{}{}:
+		return e.admitted(), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (e *Engine) admitted() (release func()) {
+	n := e.inFlight.Add(1)
+	for {
+		p := e.peak.Load()
+		if n <= p || e.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			e.inFlight.Add(-1)
+			<-e.sem
+		})
+	}
+}
+
+// BeginQuery marks a query as actively executing on the pool and returns
+// the matching end function. Unlike Admit (the blocking admission gate used
+// by batch/serve layers), this is a plain counter: every query path calls
+// it, so ActiveQueries — and the Stats.Queries throughput counter — see
+// direct Search calls too, not just admitted traffic.
+func (e *Engine) BeginQuery() (end func()) {
+	e.active.Add(1)
+	e.queries.Add(1)
+	return func() { e.active.Add(-1) }
+}
+
+// ActiveQueries returns the number of queries currently executing.
+func (e *Engine) ActiveQueries() int { return int(e.active.Load()) }
+
+// FairShare returns the parallelism an unpinned query should fan out to:
+// the whole pool when it is alone, a proportional slice when others are
+// active. Space-sharing under load beats pure time-slicing because each
+// query then submits fewer, larger tasks — less queue and barrier overhead
+// per answer — while the pool stays fully busy as long as there is work.
+func (e *Engine) FairShare() int {
+	n := e.ActiveQueries()
+	if n <= 1 {
+		return e.opt.Workers
+	}
+	return max(1, e.opt.Workers/n)
+}
+
+// Stats snapshots the throughput counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Workers:      e.opt.Workers,
+		PendingTasks: len(e.tasks),
+		InFlight:     int(e.inFlight.Load()),
+		PeakInFlight: int(e.peak.Load()),
+		Queries:      e.queries.Load(),
+		Tasks:        e.tasksDone.Load(),
+	}
+}
+
+// Group is one query phase's barrier over the shared pool: Submit hands
+// tasks to the pool, Wait blocks until exactly this group's tasks finish.
+type Group struct {
+	e  *Engine
+	wg sync.WaitGroup
+}
+
+// NewGroup returns an empty group bound to the engine.
+func (e *Engine) NewGroup() *Group { return &Group{e: e} }
+
+// Submit schedules fn on the pool (or inline after Close).
+func (g *Group) Submit(fn func()) {
+	g.wg.Add(1)
+	g.e.submit(func() {
+		defer g.wg.Done()
+		fn()
+	})
+}
+
+// Wait blocks until every task submitted to this group has finished.
+func (g *Group) Wait() { g.wg.Wait() }

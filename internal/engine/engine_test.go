@@ -1,0 +1,233 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGroupRunsEveryTask(t *testing.T) {
+	e := New(Options{Workers: 4})
+	defer e.Close()
+	var n atomic.Int64
+	g := e.NewGroup()
+	for i := 0; i < 1000; i++ {
+		g.Submit(func() { n.Add(1) })
+	}
+	g.Wait()
+	if got := n.Load(); got != 1000 {
+		t.Fatalf("ran %d tasks, want 1000", got)
+	}
+	if st := e.Stats(); st.Tasks != 1000 {
+		t.Fatalf("stats counted %d tasks, want 1000", st.Tasks)
+	}
+}
+
+func TestGroupsInterleaveWithoutCrossWaiting(t *testing.T) {
+	// Two groups on one pool: each Wait gates only its own tasks.
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	var a, b atomic.Int64
+	ga, gb := e.NewGroup(), e.NewGroup()
+	for i := 0; i < 100; i++ {
+		ga.Submit(func() { a.Add(1) })
+		gb.Submit(func() { b.Add(1) })
+	}
+	ga.Wait()
+	if a.Load() != 100 {
+		t.Fatalf("group a ran %d/100 at its own Wait", a.Load())
+	}
+	gb.Wait()
+	if b.Load() != 100 {
+		t.Fatalf("group b ran %d/100", b.Load())
+	}
+}
+
+func TestSingleWorkerMakesProgress(t *testing.T) {
+	// Tasks never depend on one another, so even one worker must finish
+	// everything that many concurrent groups submit.
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for q := 0; q < 8; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := e.NewGroup()
+			for i := 0; i < 50; i++ {
+				g.Submit(func() { n.Add(1) })
+			}
+			g.Wait()
+		}()
+	}
+	wg.Wait()
+	if n.Load() != 400 {
+		t.Fatalf("ran %d tasks, want 400", n.Load())
+	}
+}
+
+func TestSubmitAfterCloseRunsInline(t *testing.T) {
+	e := New(Options{Workers: 2})
+	e.Close()
+	e.Close() // idempotent
+	var n atomic.Int64
+	g := e.NewGroup()
+	g.Submit(func() { n.Add(1) })
+	g.Wait()
+	if n.Load() != 1 {
+		t.Fatal("task submitted after Close did not run")
+	}
+}
+
+func TestCloseConcurrentWithSubmitters(t *testing.T) {
+	// Close racing many submitting goroutines: every task must still run
+	// (pool or inline) and every Wait must return.
+	e := New(Options{Workers: 4, QueueDepth: 8})
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for q := 0; q < 16; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := e.NewGroup()
+			for i := 0; i < 100; i++ {
+				g.Submit(func() { n.Add(1) })
+			}
+			g.Wait()
+		}()
+	}
+	e.Close()
+	wg.Wait()
+	if n.Load() != 1600 {
+		t.Fatalf("ran %d tasks, want 1600", n.Load())
+	}
+}
+
+func TestAdmissionBoundsInFlight(t *testing.T) {
+	e := New(Options{Workers: 2, MaxInFlight: 3})
+	defer e.Close()
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for q := 0; q < 20; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release := e.Admit()
+			defer release()
+			end := e.BeginQuery()
+			defer end()
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			g := e.NewGroup()
+			g.Submit(func() {})
+			g.Wait()
+			cur.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if peak.Load() > 3 {
+		t.Fatalf("observed %d queries in flight, admission bound is 3", peak.Load())
+	}
+	st := e.Stats()
+	if st.Queries != 20 {
+		t.Fatalf("counted %d queries, want 20", st.Queries)
+	}
+	if st.PeakInFlight > 3 || st.PeakInFlight < 1 {
+		t.Fatalf("peak in-flight %d out of range [1,3]", st.PeakInFlight)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight %d after all queries released", st.InFlight)
+	}
+}
+
+func TestAdmitContextUnblocksOnCancel(t *testing.T) {
+	// A canceled waiter must not sit behind traffic holding every slot.
+	e := New(Options{Workers: 1, MaxInFlight: 1})
+	defer e.Close()
+	release := e.Admit() // occupy the only slot
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.AdmitContext(ctx)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("AdmitContext returned a slot that was never free")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AdmitContext did not unblock on cancel")
+	}
+	release()
+	// With the slot free again, AdmitContext succeeds.
+	r2, err := e.AdmitContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2()
+}
+
+func TestReleaseIsIdempotent(t *testing.T) {
+	e := New(Options{Workers: 1, MaxInFlight: 1})
+	defer e.Close()
+	release := e.Admit()
+	release()
+	release() // second call must not double-free the slot
+	r2 := e.Admit()
+	r2()
+	if got := e.Stats().InFlight; got != 0 {
+		t.Fatalf("in-flight %d, want 0", got)
+	}
+}
+
+func TestFairShareScalesWithActiveQueries(t *testing.T) {
+	e := New(Options{Workers: 8})
+	defer e.Close()
+	if got := e.FairShare(); got != 8 {
+		t.Fatalf("idle fair share = %d, want full pool 8", got)
+	}
+	end1 := e.BeginQuery()
+	if got := e.FairShare(); got != 8 {
+		t.Fatalf("solo fair share = %d, want full pool 8", got)
+	}
+	end2 := e.BeginQuery()
+	if got := e.FairShare(); got != 4 {
+		t.Fatalf("fair share with 2 active = %d, want 4", got)
+	}
+	ends := make([]func(), 0, 14)
+	for i := 0; i < 14; i++ {
+		ends = append(ends, e.BeginQuery())
+	}
+	if got := e.FairShare(); got != 1 {
+		t.Fatalf("fair share with 16 active = %d, want floor 1", got)
+	}
+	end1()
+	end2()
+	for _, end := range ends {
+		end()
+	}
+	if got := e.ActiveQueries(); got != 0 {
+		t.Fatalf("active = %d after all ended", got)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	e := New(Options{})
+	defer e.Close()
+	if e.Workers() <= 0 {
+		t.Fatal("default workers not positive")
+	}
+	if e.MaxInFlight() != 2*e.Workers() {
+		t.Fatalf("default MaxInFlight %d, want %d", e.MaxInFlight(), 2*e.Workers())
+	}
+}

@@ -38,6 +38,7 @@ func AblationQueueCount(cfg Config) (*Table, error) {
 			_, _, err := ix.Search(q, cores)
 			return err
 		})
+		ix.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -72,6 +73,7 @@ func AblationBufferPartitioning(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("ablation-buffers shared=%v: %w", shared, err)
 			}
+			ix.Close()
 			bs := ix.BuildStats()
 			sums = append(sums, seconds(bs.Summarize))
 			totals = append(totals, seconds(bs.Total))
@@ -186,6 +188,7 @@ func AblationLeafCapacity(cfg Config) (*Table, error) {
 			_, _, err := ix.Search(q, cores)
 			return err
 		})
+		ix.Close()
 		if err != nil {
 			return nil, err
 		}

@@ -33,6 +33,9 @@ type Config struct {
 	Seed int64
 	// MaxCores caps the core-count axis (default 24, the paper's machine).
 	MaxCores int
+	// InFlightAxis lists the concurrent-query levels of the multi-query
+	// throughput experiment (default 1, 4, 16).
+	InFlightAxis []int
 }
 
 // Normalize fills defaults.
@@ -48,6 +51,9 @@ func (c Config) Normalize() Config {
 	}
 	if c.MaxCores <= 0 {
 		c.MaxCores = 24
+	}
+	if len(c.InFlightAxis) == 0 {
+		c.InFlightAxis = []int{1, 4, 16}
 	}
 	return c
 }
@@ -176,6 +182,7 @@ var All = []Experiment{
 	{"ablation-kernels", "Vectorized vs scalar distance kernels", AblationVectorKernels},
 	{"ablation-leafcap", "MESSI build/query tradeoff vs leaf capacity", AblationLeafCapacity},
 	{"ablation-hardness", "Pruning power vs query difficulty (eps sweep)", AblationQueryHardness},
+	{"concurrent", "MESSI multi-query throughput vs in-flight queries (shared pool)", ConcurrentQPS},
 }
 
 // ByID returns the experiment with the given ID.

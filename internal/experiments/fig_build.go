@@ -98,6 +98,7 @@ func Fig5(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fig5 @%d: %w", cores, err)
 		}
+		ix.Close()
 		bs := ix.BuildStats()
 		t.AddRow(fmt.Sprintf("MESSI (%d)", cores),
 			seconds(bs.Summarize), seconds(bs.TreeBuild), seconds(bs.Total))
@@ -174,11 +175,13 @@ func Fig7(cfg Config) (*Table, error) {
 			row[mi] = seconds(time.Since(t0))
 		}
 		t0 := time.Now()
-		if _, err := messi.Build(w.coll, core.Config{LeafCapacity: leafCapacity},
-			messi.Options{Workers: cores}); err != nil {
+		mix, err := messi.Build(w.coll, core.Config{LeafCapacity: leafCapacity},
+			messi.Options{Workers: cores})
+		if err != nil {
 			return nil, fmt.Errorf("fig7 MESSI %v: %w", kind, err)
 		}
 		row[2] = seconds(time.Since(t0))
+		mix.Close()
 		t.AddRow(kind.String(), row[0], row[1], row[2])
 	}
 	t.Note("paper: MESSI 3.6-3.7x faster than in-memory ParIS; ParIS+ slower than ParIS in memory")

@@ -105,6 +105,7 @@ func Fig9(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fig9 MESSI build: %w", err)
 	}
+	defer messiIx.Close()
 
 	systems := []struct {
 		name string
@@ -274,6 +275,7 @@ func Fig12(cfg Config) (*Table, error) {
 			_, _, err := messiIx.Search(q, cores)
 			return err
 		})
+		messiIx.Close()
 		if err != nil {
 			return nil, err
 		}

@@ -51,10 +51,20 @@ type QueryTable struct {
 // NewQueryTable precomputes the lookup table for the given query PAA
 // coefficients and original series length n.
 func NewQueryTable(q *Quantizer, paaCoeffs []float64, n int) *QueryTable {
+	t := &QueryTable{}
+	t.FillED(q, paaCoeffs, n)
+	return t
+}
+
+// FillED recomputes the table in place for a new query, reusing the cell
+// array when the shape matches — the table is ~w·2^maxBits float64s (32KB at
+// the defaults), so pooled scratch tables keep sustained query rates off the
+// allocator.
+func (t *QueryTable) FillED(q *Quantizer, paaCoeffs []float64, n int) {
 	segs := len(paaCoeffs)
 	card := 1 << q.maxBits
+	t.reshape(segs, card)
 	ratio := float64(n) / float64(segs)
-	t := &QueryTable{segments: segs, card: card, cells: make([]float64, segs*card)}
 	for j, v := range paaCoeffs {
 		row := t.cells[j*card : (j+1)*card]
 		for s := 0; s < card; s++ {
@@ -66,10 +76,22 @@ func NewQueryTable(q *Quantizer, paaCoeffs []float64, n int) *QueryTable {
 			case v > hi:
 				d := v - hi
 				row[s] = d * d * ratio
+			default:
+				row[s] = 0
 			}
 		}
 	}
-	return t
+}
+
+// reshape sizes the cell array for segs × card entries, reallocating only on
+// growth or shape change.
+func (t *QueryTable) reshape(segs, card int) {
+	t.segments, t.card = segs, card
+	if cap(t.cells) >= segs*card {
+		t.cells = t.cells[:segs*card]
+	} else {
+		t.cells = make([]float64, segs*card)
+	}
 }
 
 // Cells exposes the row-major lookup table (segments × cardinality) for
@@ -143,13 +165,21 @@ func MinDistDTW(q *Quantizer, paaUpper, paaLower []float64, w Word, n int) float
 // batched scan kernels as the Euclidean search (paper §V: DTW support with
 // "no changes ... in the index structure").
 func NewDTWQueryTable(q *Quantizer, paaUpper, paaLower []float64, n int) *QueryTable {
+	t := &QueryTable{}
+	t.FillDTW(q, paaUpper, paaLower, n)
+	return t
+}
+
+// FillDTW recomputes the table in place for a new query envelope, reusing
+// the cell array when the shape matches (see FillED).
+func (t *QueryTable) FillDTW(q *Quantizer, paaUpper, paaLower []float64, n int) {
 	if len(paaUpper) != len(paaLower) {
 		panic("isax: NewDTWQueryTable envelope mismatch")
 	}
 	segs := len(paaUpper)
 	card := 1 << q.maxBits
+	t.reshape(segs, card)
 	ratio := float64(n) / float64(segs)
-	t := &QueryTable{segments: segs, card: card, cells: make([]float64, segs*card)}
 	for j := 0; j < segs; j++ {
 		row := t.cells[j*card : (j+1)*card]
 		for s := 0; s < card; s++ {
@@ -161,10 +191,11 @@ func NewDTWQueryTable(q *Quantizer, paaUpper, paaLower []float64, n int) *QueryT
 			case paaLower[j] > hi:
 				d := paaLower[j] - hi
 				row[s] = d * d * ratio
+			default:
+				row[s] = 0
 			}
 		}
 	}
-	return t
 }
 
 // MultiTable extends a QueryTable to every cardinality level: cell (j, s)
@@ -188,13 +219,29 @@ type MultiTable struct {
 // NewMultiTable derives per-cardinality tables from a base full-cardinality
 // table (Euclidean or DTW — any per-symbol contribution table works).
 func NewMultiTable(q *Quantizer, base *QueryTable) *MultiTable {
+	mt := &MultiTable{}
+	mt.FillFrom(q, base)
+	return mt
+}
+
+// FillFrom rederives every cardinality level from the (re)filled base table,
+// reusing each level's backing array when the shape matches. The
+// full-cardinality level aliases base's cells rather than copying them.
+func (mt *MultiTable) FillFrom(q *Quantizer, base *QueryTable) {
 	maxBits := q.maxBits
-	mt := &MultiTable{segments: base.segments, maxBits: maxBits, levels: make([][]float64, maxBits)}
+	mt.segments = base.segments
+	mt.maxBits = maxBits
+	if len(mt.levels) != maxBits {
+		mt.levels = make([][]float64, maxBits)
+	}
 	mt.levels[maxBits-1] = base.cells
 	for b := maxBits - 1; b >= 1; b-- {
 		card := 1 << b
 		below := mt.levels[b] // level b+1 bits
-		cells := make([]float64, base.segments*card)
+		cells := mt.levels[b-1]
+		if len(cells) != base.segments*card {
+			cells = make([]float64, base.segments*card)
+		}
 		for j := 0; j < base.segments; j++ {
 			for s := 0; s < card; s++ {
 				lo := below[j*2*card+2*s]
@@ -207,7 +254,6 @@ func NewMultiTable(q *Quantizer, base *QueryTable) *MultiTable {
 		}
 		mt.levels[b-1] = cells
 	}
-	return mt
 }
 
 // DistWord returns the lower bound between the table's query and a

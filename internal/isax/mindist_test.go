@@ -194,3 +194,67 @@ func TestMinDistDTWAtZeroWindowMatchesMinDistDirection(t *testing.T) {
 		}
 	}
 }
+
+func TestQueryTableFillReuseMatchesFresh(t *testing.T) {
+	// Refilling a table (or multitable) in place for a new query must be
+	// indistinguishable from building fresh ones — the scratch-pooling path
+	// of the concurrent query engine depends on it, including cells that
+	// must return to zero.
+	q, err := NewQuantizer(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	const segments, n = 16, 256
+	reusedT := &QueryTable{}
+	reusedMT := &MultiTable{}
+	for round := 0; round < 5; round++ {
+		s := randomSeries(rng, n)
+		coeffs := paa.Transform(s, segments)
+		fresh := NewQueryTable(q, coeffs, n)
+		reusedT.FillED(q, coeffs, n)
+		for i, c := range fresh.Cells() {
+			if reusedT.Cells()[i] != c {
+				t.Fatalf("round %d: reused table cell %d = %v, fresh = %v",
+					round, i, reusedT.Cells()[i], c)
+			}
+		}
+		freshMT := NewMultiTable(q, fresh)
+		reusedMT.FillFrom(q, reusedT)
+		sax := summarize(q, randomSeries(rng, n), segments)
+		w := fullWord(sax, 8)
+		w.Bits[3], w.Symbols[3] = 2, sax[3]>>6 // mixed cardinality
+		if got, want := reusedMT.DistWord(w), freshMT.DistWord(w); got != want {
+			t.Fatalf("round %d: reused multitable %v != fresh %v", round, got, want)
+		}
+		if got, want := reusedMT.DistSAX(sax), freshMT.DistSAX(sax); got != want {
+			t.Fatalf("round %d: reused DistSAX %v != fresh %v", round, got, want)
+		}
+	}
+}
+
+func TestQueryTableFillDTWReuse(t *testing.T) {
+	q, err := NewQuantizer(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(32))
+	const segments, n = 16, 256
+	reused := &QueryTable{}
+	// First fill with an ED table so the DTW refill must overwrite all cells.
+	reused.FillED(q, paa.Transform(randomSeries(rng, n), segments), n)
+	for round := 0; round < 3; round++ {
+		s := randomSeries(rng, n)
+		env := series.NewEnvelope(s, 10)
+		up := paa.Transform(env.Upper, segments)
+		lo := paa.Transform(env.Lower, segments)
+		fresh := NewDTWQueryTable(q, up, lo, n)
+		reused.FillDTW(q, up, lo, n)
+		for i, c := range fresh.Cells() {
+			if reused.Cells()[i] != c {
+				t.Fatalf("round %d: reused DTW cell %d = %v, fresh = %v",
+					round, i, reused.Cells()[i], c)
+			}
+		}
+	}
+}

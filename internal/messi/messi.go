@@ -24,12 +24,14 @@
 package messi
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"dsidx/internal/core"
+	"dsidx/internal/engine"
 	"dsidx/internal/series"
 	"dsidx/internal/xsync"
 )
@@ -53,6 +55,10 @@ type Options struct {
 	// parts. Kept for the ablation experiment; expect worse performance
 	// under contention.
 	SharedBuffers bool
+	// MaxInFlight bounds the number of queries admitted simultaneously by
+	// BatchSearch and the serving layer (0 means 2×Workers). Directly
+	// invoked Search calls are not admission-controlled.
+	MaxInFlight int
 }
 
 func (o Options) normalize() Options {
@@ -76,6 +82,13 @@ type BuildStats struct {
 }
 
 // Index is a built MESSI index over an in-memory collection.
+//
+// Query answering runs on a persistent, index-owned worker pool shared by
+// every in-flight query (see internal/engine): Search, SearchKNN and
+// SearchDTW may be called concurrently from any number of goroutines, and
+// their traversal/refinement tasks interleave on the pool instead of
+// spawning per-call goroutines. Close releases the pool; an unclosed Index
+// releases it when garbage-collected.
 type Index struct {
 	cfg   core.Config
 	opt   Options
@@ -83,7 +96,42 @@ type Index struct {
 	sax   *core.SAXArray
 	raw   *series.Collection
 	build BuildStats
+
+	eng     *engine.Engine
+	scratch sync.Pool // *searchScratch, sized for cfg/opt
 }
+
+// attachEngine gives a constructed index its worker pool and scratch pool,
+// and arranges for the worker goroutines to be released if the index is
+// garbage-collected without Close (experiments build thousands of
+// short-lived indexes).
+func (ix *Index) attachEngine() {
+	ix.eng = engine.New(engine.Options{Workers: ix.opt.Workers, MaxInFlight: ix.opt.MaxInFlight})
+	ix.scratch.New = func() any { return ix.newScratch() }
+	runtime.AddCleanup(ix, func(e *engine.Engine) { e.Close() }, ix.eng)
+}
+
+// Close stops the index's worker pool. It is idempotent; queries issued
+// after Close still answer correctly, executing serially on the calling
+// goroutine.
+func (ix *Index) Close() { ix.eng.Close() }
+
+// EngineStats snapshots the shared pool's throughput counters.
+func (ix *Index) EngineStats() engine.Stats { return ix.eng.Stats() }
+
+// Admit blocks until the engine's admission control grants a query slot and
+// returns its release function. BatchSearch and the public serving layer
+// wrap every query in an Admit/release pair.
+func (ix *Index) Admit() (release func()) { return ix.eng.Admit() }
+
+// AdmitContext is Admit with cancellation: release is nil and err non-nil
+// if ctx is done before a slot frees.
+func (ix *Index) AdmitContext(ctx context.Context) (release func(), err error) {
+	return ix.eng.AdmitContext(ctx)
+}
+
+// MaxInFlight returns the admission bound on concurrently admitted queries.
+func (ix *Index) MaxInFlight() int { return ix.eng.MaxInFlight() }
 
 // Build creates a MESSI index over coll.
 func Build(coll *series.Collection, cfg core.Config, opt Options) (*Index, error) {
@@ -188,6 +236,7 @@ func Build(coll *series.Collection, cfg core.Config, opt Options) (*Index, error
 	wg.Wait()
 	ix.build.TreeBuild = time.Since(t0)
 	ix.build.Total = time.Since(start)
+	ix.attachEngine()
 	return ix, nil
 }
 
@@ -225,7 +274,9 @@ func Decode(data []byte, coll *series.Collection, opt Options) (*Index, error) {
 		return nil, fmt.Errorf("messi: index covers %d series, collection has %d",
 			sax.Len(), coll.Len())
 	}
-	return &Index{cfg: cfg, opt: opt, tree: tree, sax: sax, raw: coll}, nil
+	ix := &Index{cfg: cfg, opt: opt, tree: tree, sax: sax, raw: coll}
+	ix.attachEngine()
+	return ix, nil
 }
 
 // Count returns the number of indexed series.

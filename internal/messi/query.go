@@ -28,30 +28,64 @@ type queueEntry struct {
 	leaf *core.Node
 }
 
+// searchScratch is the pooled per-query working set: summarizer, summary
+// buffers, lower-bound lookup tables and the priority-queue set. At the
+// default configuration these total ~70KB per query — allocating them per
+// Search call is invisible at one query at a time but dominates allocator
+// traffic at serving rates, so in-flight queries check them out of a
+// sync.Pool and sustained QPS recycles a bounded working set.
+type searchScratch struct {
+	sm     *core.Summarizer
+	qsax   []uint8
+	qpaa   []float64
+	table  *isax.QueryTable
+	mt     *isax.MultiTable
+	queues *pqueue.Set[queueEntry]
+	done   []atomic.Bool
+}
+
+func (ix *Index) newScratch() *searchScratch {
+	queues := pqueue.NewSet[queueEntry](ix.opt.QueueCount, 64)
+	return &searchScratch{
+		sm:     core.NewSummarizer(ix.cfg, ix.tree.Quantizer()),
+		qsax:   make([]uint8, ix.cfg.Segments),
+		qpaa:   make([]float64, ix.cfg.Segments),
+		table:  &isax.QueryTable{},
+		mt:     &isax.MultiTable{},
+		queues: queues,
+		done:   make([]atomic.Bool, queues.Count()),
+	}
+}
+
+func (ix *Index) getScratch() *searchScratch   { return ix.scratch.Get().(*searchScratch) }
+func (ix *Index) putScratch(sc *searchScratch) { ix.scratch.Put(sc) }
+
+// summarizeQuery fills the scratch summary buffers for q.
+func (sc *searchScratch) summarizeQuery(q series.Series) {
+	sc.sm.Summarize(q, sc.qsax)
+	copy(sc.qpaa, sc.sm.PAA(q))
+}
+
 // Search answers an exact 1-NN query. workers ≤ 0 means the index's
-// configured worker count.
+// configured worker count; the effective parallelism is additionally capped
+// by the index's pool size, which all in-flight queries share.
 func (ix *Index) Search(q series.Series, workers int) (core.Result, *QueryStats, error) {
 	if len(q) != ix.cfg.SeriesLen {
 		return core.NoResult(), nil, fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
-	}
-	if workers <= 0 {
-		workers = ix.opt.Workers
 	}
 	stats := &QueryStats{}
 	if ix.raw.Len() == 0 {
 		return core.NoResult(), stats, nil
 	}
 
-	sm := core.NewSummarizer(ix.cfg, ix.tree.Quantizer())
-	qsax := make([]uint8, ix.cfg.Segments)
-	sm.Summarize(q, qsax)
-	qpaa := make([]float64, ix.cfg.Segments)
-	copy(qpaa, sm.PAA(q))
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	sc.summarizeQuery(q)
 
 	best := xsync.NewBest()
 
 	// Approximate phase: exact distances over the closest leaf.
-	if leaf := ix.tree.BestLeafApprox(qsax, qpaa); leaf != nil {
+	if leaf := ix.tree.BestLeafApprox(sc.qsax, sc.qpaa); leaf != nil {
 		for _, p := range leaf.Pos {
 			stats.RawDistances++
 			if d := vector.SquaredEDEarlyAbandon(q, ix.raw.At(int(p)), best.Distance()); d < best.Distance() {
@@ -60,18 +94,52 @@ func (ix *Index) Search(q series.Series, workers int) (core.Result, *QueryStats,
 		}
 	}
 
-	table := isax.NewQueryTable(ix.tree.Quantizer(), qpaa, ix.cfg.SeriesLen)
-	mt := isax.NewMultiTable(ix.tree.Quantizer(), table)
-	ix.queuedSearch(workers, stats, best.Distance,
+	sc.table.FillED(ix.tree.Quantizer(), sc.qpaa, ix.cfg.SeriesLen)
+	sc.mt.FillFrom(ix.tree.Quantizer(), sc.table)
+	ix.queuedSearch(workers, stats, best.Distance, sc,
 		func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)) {
-			ix.tree.PruneWalkTable(node, mt, bsf, emit)
+			ix.tree.PruneWalkTable(node, sc.mt, bsf, emit)
 		},
 		func(leaf *core.Node, limit float64, st *QueryStats) {
-			ix.refineLeafED(q, table, leaf, best, st)
+			ix.refineLeafED(q, sc.table, leaf, best, st)
 		})
 
 	d, p := best.Load()
 	return core.Result{Pos: int32(p), Dist: d}, stats, nil
+}
+
+// BatchSearch answers many exact 1-NN queries concurrently on the shared
+// worker pool, bounded by the engine's admission control. results[i] is the
+// answer for qs[i]; the first query error (if any) is returned after all
+// queries finish.
+func (ix *Index) BatchSearch(qs []series.Series) ([]core.Result, error) {
+	results := make([]core.Result, len(qs))
+	errs := make([]error, len(qs))
+	spawn := min(len(qs), ix.eng.MaxInFlight())
+	var next xsync.Counter
+	var wg sync.WaitGroup
+	for w := 0; w < spawn; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Next())
+				if i >= len(qs) {
+					return
+				}
+				release := ix.eng.Admit()
+				results[i], _, errs[i] = ix.Search(qs[i], 0)
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
 }
 
 // refineLeafED checks a leaf's entries: summary lower bound first, then
@@ -96,28 +164,47 @@ func (ix *Index) refineLeafED(q series.Series, table *isax.QueryTable, leaf *cor
 // priority queues, a barrier, then parallel best-first draining. bsf reads
 // the live pruning threshold (the BSF for 1-NN, the k-th best for k-NN);
 // walk and refine abstract the distance flavor (ED vs DTW).
+//
+// Both phases execute as tasks on the index's shared worker pool rather
+// than per-call goroutines: with several queries in flight, their tasks
+// interleave through one run queue and the machine runs at most pool-size
+// tasks at any instant. workers caps THIS query's share of the pool (the
+// per-call scaling knob); each phase submits at most that many tasks and
+// the phase barrier waits only for its own.
 func (ix *Index) queuedSearch(
 	workers int,
 	stats *QueryStats,
 	bsf func() float64,
+	sc *searchScratch,
 	walk func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)),
 	refine func(leaf *core.Node, limit float64, st *QueryStats),
 ) {
-	queues := pqueue.NewSet[queueEntry](ix.opt.QueueCount, 64)
+	end := ix.eng.BeginQuery()
+	defer end()
+	if workers <= 0 {
+		// Unpinned queries take a fair share of the pool: full fan-out when
+		// alone, a proportional slice when other queries are active. An
+		// explicit workers value (the paper's scaling knob) is honored up to
+		// the pool size.
+		workers = ix.eng.FairShare()
+	} else if workers > ix.eng.Workers() {
+		workers = ix.eng.Workers()
+	}
+	queues := sc.queues
+	queues.Reset()
 	keys := ix.tree.OccupiedKeys()
 
-	// Phase A: traversal. Workers claim root subtrees with Fetch&Inc, in
+	// Phase A: traversal. Tasks claim root subtrees with Fetch&Inc, in
 	// blocks: a tree over a scaled-down collection has tens of thousands of
 	// tiny root subtrees, and per-subtree claims would serialize on the
 	// shared counter's cache line.
 	const claimBlock = 256
 	var cursor xsync.Counter
 	var inserted, popped, entries, raws atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+	blocks := (len(keys) + claimBlock - 1) / claimBlock
+	g := ix.eng.NewGroup()
+	for w := 0; w < min(workers, max(blocks, 1)); w++ {
+		g.Submit(func() {
 			for {
 				lo := int(cursor.Next()) * claimBlock
 				if lo >= len(keys) {
@@ -131,19 +218,20 @@ func (ix *Index) queuedSearch(
 					})
 				}
 			}
-		}()
+		})
 	}
-	wg.Wait()
+	g.Wait()
 
 	// Phase B: best-first refinement. A queue whose head is not below the
 	// BSF can never improve the answer (bounds only grow within a queue and
 	// the BSF only shrinks), so it is marked done for everyone.
-	done := make([]atomic.Bool, queues.Count())
-	wg = sync.WaitGroup{}
+	done := sc.done[:queues.Count()]
+	for i := range done {
+		done[i].Store(false)
+	}
+	g = ix.eng.NewGroup()
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
+		g.Submit(func() {
 			st := QueryStats{}
 			for remaining := true; remaining; {
 				remaining = false
@@ -176,9 +264,9 @@ func (ix *Index) queuedSearch(
 			}
 			entries.Add(int64(st.EntriesChecked))
 			raws.Add(int64(st.RawDistances))
-		}(w)
+		})
 	}
-	wg.Wait()
+	g.Wait()
 
 	stats.LeavesInserted = int(inserted.Load())
 	stats.LeavesPopped = int(popped.Load())
@@ -198,14 +286,14 @@ func (ix *Index) SearchApproximate(q series.Series) (core.Result, error) {
 	if ix.raw.Len() == 0 {
 		return core.NoResult(), nil
 	}
-	sm := core.NewSummarizer(ix.cfg, ix.tree.Quantizer())
-	qsax := make([]uint8, ix.cfg.Segments)
-	sm.Summarize(q, qsax)
-	qpaa := make([]float64, ix.cfg.Segments)
-	copy(qpaa, sm.PAA(q))
+	end := ix.eng.BeginQuery()
+	defer end()
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	sc.summarizeQuery(q)
 
 	best := core.NoResult()
-	leaf := ix.tree.BestLeafApprox(qsax, qpaa)
+	leaf := ix.tree.BestLeafApprox(sc.qsax, sc.qpaa)
 	if leaf == nil {
 		return best, nil
 	}
@@ -226,22 +314,17 @@ func (ix *Index) SearchKNN(q series.Series, k, workers int) ([]core.Result, *Que
 	if k <= 0 {
 		return nil, &QueryStats{}, nil
 	}
-	if workers <= 0 {
-		workers = ix.opt.Workers
-	}
 	stats := &QueryStats{}
 	if ix.raw.Len() == 0 {
 		return nil, stats, nil
 	}
 
-	sm := core.NewSummarizer(ix.cfg, ix.tree.Quantizer())
-	qsax := make([]uint8, ix.cfg.Segments)
-	sm.Summarize(q, qsax)
-	qpaa := make([]float64, ix.cfg.Segments)
-	copy(qpaa, sm.PAA(q))
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	sc.summarizeQuery(q)
 
 	kb := xsync.NewKBest(k)
-	if leaf := ix.tree.BestLeafApprox(qsax, qpaa); leaf != nil {
+	if leaf := ix.tree.BestLeafApprox(sc.qsax, sc.qpaa); leaf != nil {
 		for _, p := range leaf.Pos {
 			stats.RawDistances++
 			d := vector.SquaredEDEarlyAbandon(q, ix.raw.At(int(p)), kb.Threshold())
@@ -249,12 +332,13 @@ func (ix *Index) SearchKNN(q series.Series, k, workers int) ([]core.Result, *Que
 		}
 	}
 
-	table := isax.NewQueryTable(ix.tree.Quantizer(), qpaa, ix.cfg.SeriesLen)
-	mt := isax.NewMultiTable(ix.tree.Quantizer(), table)
+	sc.table.FillED(ix.tree.Quantizer(), sc.qpaa, ix.cfg.SeriesLen)
+	sc.mt.FillFrom(ix.tree.Quantizer(), sc.table)
+	table := sc.table
 	// The k-th best distance plays the BSF role in every pruning decision.
-	ix.queuedSearch(workers, stats, kb.Threshold,
+	ix.queuedSearch(workers, stats, kb.Threshold, sc,
 		func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)) {
-			ix.tree.PruneWalkTable(node, mt, bsf, emit)
+			ix.tree.PruneWalkTable(node, sc.mt, bsf, emit)
 		},
 		func(leaf *core.Node, limit float64, st *QueryStats) {
 			w := ix.cfg.Segments
@@ -286,9 +370,6 @@ func (ix *Index) SearchDTW(q series.Series, window, workers int) (core.Result, *
 	if len(q) != ix.cfg.SeriesLen {
 		return core.NoResult(), nil, fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
 	}
-	if workers <= 0 {
-		workers = ix.opt.Workers
-	}
 	if window < 0 {
 		window = 0
 	}
@@ -297,11 +378,9 @@ func (ix *Index) SearchDTW(q series.Series, window, workers int) (core.Result, *
 		return core.NoResult(), stats, nil
 	}
 
-	sm := core.NewSummarizer(ix.cfg, ix.tree.Quantizer())
-	qsax := make([]uint8, ix.cfg.Segments)
-	sm.Summarize(q, qsax)
-	qpaa := make([]float64, ix.cfg.Segments)
-	copy(qpaa, sm.PAA(q))
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	sc.summarizeQuery(q)
 
 	env := series.NewEnvelope(q, window)
 	upPAA := paa.Transform(env.Upper, ix.cfg.Segments)
@@ -309,7 +388,7 @@ func (ix *Index) SearchDTW(q series.Series, window, workers int) (core.Result, *
 	n := ix.cfg.SeriesLen
 
 	best := xsync.NewBest()
-	if leaf := ix.tree.BestLeafApprox(qsax, qpaa); leaf != nil {
+	if leaf := ix.tree.BestLeafApprox(sc.qsax, sc.qpaa); leaf != nil {
 		for _, p := range leaf.Pos {
 			stats.RawDistances++
 			if d := series.DTW(q, ix.raw.At(int(p)), window, best.Distance()); d < best.Distance() {
@@ -318,13 +397,14 @@ func (ix *Index) SearchDTW(q series.Series, window, workers int) (core.Result, *
 		}
 	}
 
-	table := isax.NewDTWQueryTable(ix.tree.Quantizer(), upPAA, loPAA, n)
+	sc.table.FillDTW(ix.tree.Quantizer(), upPAA, loPAA, n)
 	// The multi-cardinality view of the DTW table remains a valid DTW lower
 	// bound: coarse cells are minima over their sub-regions.
-	mt := isax.NewMultiTable(ix.tree.Quantizer(), table)
-	ix.queuedSearch(workers, stats, best.Distance,
+	sc.mt.FillFrom(ix.tree.Quantizer(), sc.table)
+	table := sc.table
+	ix.queuedSearch(workers, stats, best.Distance, sc,
 		func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)) {
-			ix.tree.PruneWalkTable(node, mt, bsf, emit)
+			ix.tree.PruneWalkTable(node, sc.mt, bsf, emit)
 		},
 		func(leaf *core.Node, limit float64, st *QueryStats) {
 			w := ix.cfg.Segments

@@ -61,6 +61,12 @@ func (h *Heap[T]) Pop() (it Item[T], ok bool) {
 	return it, true
 }
 
+// Reset empties the heap, keeping its backing array for reuse.
+func (h *Heap[T]) Reset() {
+	clear(h.items) // release references for GC
+	h.items = h.items[:0]
+}
+
 // Peek returns the minimum-priority item without removing it.
 func (h *Heap[T]) Peek() (it Item[T], ok bool) {
 	if len(h.items) == 0 {
@@ -131,6 +137,13 @@ func (q *Locked[T]) PopIfUnder(limit float64) (it Item[T], done bool) {
 	return it, false
 }
 
+// Reset empties the queue, keeping its backing array for reuse.
+func (q *Locked[T]) Reset() {
+	q.mu.Lock()
+	q.heap.Reset()
+	q.mu.Unlock()
+}
+
 // Len returns the current number of queued items.
 func (q *Locked[T]) Len() int {
 	q.mu.Lock()
@@ -170,6 +183,15 @@ func (s *Set[T]) Count() int { return len(s.queues) }
 // Queue returns the i-th queue (modulo the count), letting each worker
 // start from a different queue and walk the set.
 func (s *Set[T]) Queue(i int) *Locked[T] { return s.queues[i%len(s.queues)] }
+
+// Reset empties every queue and rewinds the round-robin cursor, so a
+// pooled set can be reused across queries without reallocating heaps.
+func (s *Set[T]) Reset() {
+	for _, q := range s.queues {
+		q.Reset()
+	}
+	s.rr.Reset()
+}
 
 // TotalLen returns the total number of queued items across the set.
 func (s *Set[T]) TotalLen() int {

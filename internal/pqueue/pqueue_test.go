@@ -173,3 +173,47 @@ func TestSetMinimumCount(t *testing.T) {
 		t.Fatal("insert into degenerate set lost the item")
 	}
 }
+
+func TestResetReusesAcrossQueries(t *testing.T) {
+	// A pooled Set must behave identically after Reset: empty queues,
+	// round-robin cursor rewound, no stale items.
+	s := NewSet[string](3, 4)
+	for i := 0; i < 7; i++ {
+		s.Insert(float64(i), "old")
+	}
+	s.Reset()
+	if s.TotalLen() != 0 {
+		t.Fatalf("TotalLen = %d after Reset", s.TotalLen())
+	}
+	s.Insert(2, "b")
+	s.Insert(1, "a")
+	if s.TotalLen() != 2 {
+		t.Fatalf("TotalLen = %d after refill", s.TotalLen())
+	}
+	// Cursor rewound: inserts land in queues 0 then 1, as on a fresh set.
+	if s.Queue(0).Len() != 1 || s.Queue(1).Len() != 1 || s.Queue(2).Len() != 0 {
+		t.Fatalf("round-robin after Reset: lens %d/%d/%d",
+			s.Queue(0).Len(), s.Queue(1).Len(), s.Queue(2).Len())
+	}
+	if it, ok := s.Queue(0).Pop(); !ok || it.Value != "b" {
+		t.Fatalf("queue 0 head = %+v, want b", it)
+	}
+}
+
+func TestHeapResetKeepsCapacity(t *testing.T) {
+	h := NewHeap[int](2)
+	for i := 0; i < 100; i++ {
+		h.Push(float64(100-i), i)
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d after Reset", h.Len())
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("Pop succeeded on reset heap")
+	}
+	h.Push(5, 42)
+	if it, ok := h.Pop(); !ok || it.Value != 42 || it.Priority != 5 {
+		t.Fatalf("heap broken after Reset: %+v", it)
+	}
+}

@@ -28,10 +28,17 @@ type Result = core.Result
 
 // Scan performs serial exact 1-NN search over an in-memory collection with
 // early abandoning — the UCR Suite baseline.
+//
+// The scans here use the same vector.SquaredEDEarlyAbandon kernel as the
+// indexes, so for a series that is never abandoned (in particular the
+// winner, whose partial sums all stay below the threshold) every system
+// computes the identical floating-point sum. That makes the serial scan a
+// bit-exact ground truth for the index and concurrent-engine test suites,
+// not just a tolerance-based one.
 func Scan(coll *series.Collection, q series.Series) Result {
 	best := Result{Pos: -1, Dist: math.Inf(1)}
 	for i := 0; i < coll.Len(); i++ {
-		d := series.SquaredEDEarlyAbandon(q, coll.At(i), best.Dist)
+		d := vector.SquaredEDEarlyAbandon(q, coll.At(i), best.Dist)
 		if d < best.Dist {
 			best = Result{Pos: int32(i), Dist: d}
 		}
@@ -49,7 +56,7 @@ func ScanKNN(coll *series.Collection, q series.Series, k int) []Result {
 	// which doubles as the abandoning threshold.
 	heap := newKBest(k)
 	for i := 0; i < coll.Len(); i++ {
-		d := series.SquaredEDEarlyAbandon(q, coll.At(i), heap.threshold())
+		d := vector.SquaredEDEarlyAbandon(q, coll.At(i), heap.threshold())
 		heap.offer(Result{Pos: int32(i), Dist: d})
 	}
 	return heap.sorted()

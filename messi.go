@@ -1,11 +1,21 @@
 package dsidx
 
 import (
+	"context"
+	"fmt"
+	"sync"
+
 	"dsidx/internal/messi"
 )
 
 // MESSI is the parallel in-memory index (paper §III, Figure 3). Queries are
 // exact; construction and search scale with the number of workers.
+//
+// The index owns a persistent worker pool shared by every in-flight query:
+// all Search variants are safe for concurrent use from any number of
+// goroutines, and BatchSearch / Serve multiplex many queries onto the pool
+// with admission control. Close releases the pool's goroutines; an unclosed
+// index releases them when garbage-collected.
 type MESSI struct {
 	inner *messi.Index
 }
@@ -14,14 +24,20 @@ type MESSI struct {
 func NewMESSI(coll *Collection, opts ...Option) (*MESSI, error) {
 	o := buildOptions(opts)
 	inner, err := messi.Build(coll, o.coreConfig(), messi.Options{
-		Workers:    o.workers,
-		QueueCount: o.queueCount,
+		Workers:     o.workers,
+		QueueCount:  o.queueCount,
+		MaxInFlight: o.maxInFlight,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &MESSI{inner: inner}, nil
 }
+
+// Close stops the index's worker pool. It is idempotent and safe to call
+// with queries in flight; queries issued after Close still answer
+// correctly, executing serially on the calling goroutine.
+func (ix *MESSI) Close() { ix.inner.Close() }
 
 // Search returns the exact nearest neighbor of q under Euclidean distance.
 func (ix *MESSI) Search(q Series) (Match, error) {
@@ -64,3 +80,171 @@ func (ix *MESSI) Stats() IndexStats { return statsOf(ix.inner.Tree()) }
 
 // Len returns the number of indexed series.
 func (ix *MESSI) Len() int { return ix.inner.Count() }
+
+// BatchSearch answers one exact 1-NN query per element of qs, running them
+// concurrently on the shared worker pool under admission control. The
+// result at index i answers qs[i]. Results are identical to issuing each
+// query through Search serially.
+func (ix *MESSI) BatchSearch(qs []Series) ([]Match, error) {
+	rs, err := ix.inner.BatchSearch(qs)
+	return matchesOf(rs), err
+}
+
+// EngineStats is a snapshot of the shared worker pool's throughput
+// counters.
+type EngineStats struct {
+	// Workers is the pool size (tasks executing at any instant ≤ Workers).
+	Workers int
+	// PendingTasks is the current depth of the shared run queue.
+	PendingTasks int
+	// InFlight is the number of queries currently admitted by
+	// BatchSearch/Serve; PeakInFlight is its high-water mark.
+	InFlight     int
+	PeakInFlight int
+	// Queries counts queries executed since the index was built — through
+	// any entry path, direct Search calls included, not only admitted
+	// BatchSearch/Serve traffic. Tasks counts pool tasks executed.
+	// Sampling Queries across an interval yields throughput (QPS).
+	Queries uint64
+	Tasks   uint64
+}
+
+// EngineStats snapshots the worker pool's counters. Sample it periodically
+// to derive throughput.
+func (ix *MESSI) EngineStats() EngineStats {
+	st := ix.inner.EngineStats()
+	return EngineStats{
+		Workers:      st.Workers,
+		PendingTasks: st.PendingTasks,
+		InFlight:     st.InFlight,
+		PeakInFlight: st.PeakInFlight,
+		Queries:      st.Queries,
+		Tasks:        st.Tasks,
+	}
+}
+
+// QueryKind selects the search flavor of a QueryRequest.
+type QueryKind int
+
+const (
+	// QueryNN is an exact 1-NN Euclidean search (the Search method).
+	QueryNN QueryKind = iota
+	// QueryKNN is an exact k-NN Euclidean search; set QueryRequest.K.
+	QueryKNN
+	// QueryDTW is an exact 1-NN DTW search; set QueryRequest.Window.
+	QueryDTW
+	// QueryApprox is the microsecond approximate search.
+	QueryApprox
+)
+
+// QueryRequest is one query submitted to Serve.
+type QueryRequest struct {
+	// ID is echoed in the response, matching answers to requests (responses
+	// arrive in completion order, not submission order).
+	ID int64
+	// Query is the query series; its length must match the index.
+	Query Series
+	// Kind selects the search flavor (default QueryNN).
+	Kind QueryKind
+	// K is the neighbor count for QueryKNN (ignored otherwise).
+	K int
+	// Window is the Sakoe-Chiba half-width for QueryDTW (ignored otherwise).
+	Window int
+}
+
+// QueryResponse answers one QueryRequest.
+type QueryResponse struct {
+	// ID echoes the request's ID.
+	ID int64
+	// Matches holds the answer: one match for QueryNN/QueryDTW/QueryApprox,
+	// up to K for QueryKNN.
+	Matches []Match
+	// Err reports a per-query failure (e.g. wrong query length).
+	Err error
+}
+
+// Serve turns the index into a long-running query server: it answers
+// requests from in until in closes or ctx is canceled, then closes the
+// returned channel. Up to MaxInFlight requests are answered concurrently on
+// the shared worker pool, so responses arrive in completion order — match
+// them to requests by ID. Serve may be called multiple times; all serving
+// loops share the same pool and admission budget.
+func (ix *MESSI) Serve(ctx context.Context, in <-chan QueryRequest) <-chan QueryResponse {
+	out := make(chan QueryResponse)
+	consumers := ix.inner.MaxInFlight()
+	go func() {
+		defer close(out)
+		var wg sync.WaitGroup
+		for c := 0; c < consumers; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case req, ok := <-in:
+						if !ok {
+							return
+						}
+						// Cancellation-aware admission: a canceled server must
+						// not wait behind other traffic for a slot. A query
+						// already executing still runs to completion.
+						release, err := ix.inner.AdmitContext(ctx)
+						if err != nil {
+							return
+						}
+						resp := ix.answer(req)
+						release()
+						select {
+						case out <- resp:
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}()
+	return out
+}
+
+// singleMatch fills a one-match response, leaving Matches empty on error so
+// failed responses never carry a plausible-looking sentinel answer.
+func (r *QueryResponse) singleMatch(m Match, err error) {
+	if err != nil {
+		r.Err = err
+		return
+	}
+	r.Matches = []Match{m}
+}
+
+// answer dispatches one request to the matching search method.
+func (ix *MESSI) answer(req QueryRequest) QueryResponse {
+	resp := QueryResponse{ID: req.ID}
+	switch req.Kind {
+	case QueryKNN:
+		if req.K <= 0 {
+			// Surface the malformed request instead of a silent empty
+			// answer (SearchKNN treats k<=0 as a no-op by contract).
+			resp.Err = fmt.Errorf("dsidx: QueryKNN request %d needs K > 0, got %d", req.ID, req.K)
+			return resp
+		}
+		ms, err := ix.SearchKNN(req.Query, req.K)
+		resp.Matches, resp.Err = ms, err
+	case QueryDTW:
+		m, err := ix.SearchDTW(req.Query, req.Window)
+		resp.singleMatch(m, err)
+	case QueryApprox:
+		m, err := ix.SearchApproximate(req.Query)
+		resp.singleMatch(m, err)
+	case QueryNN:
+		m, err := ix.Search(req.Query)
+		resp.singleMatch(m, err)
+	default:
+		// An unrecognized kind must not silently run some other search.
+		resp.Err = fmt.Errorf("dsidx: request %d has unknown QueryKind %d", req.ID, req.Kind)
+	}
+	return resp
+}

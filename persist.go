@@ -27,7 +27,11 @@ func LoadMESSI(path string, coll *Collection, opts ...Option) (*MESSI, error) {
 		return nil, fmt.Errorf("dsidx: reading index: %w", err)
 	}
 	o := buildOptions(opts)
-	inner, err := messi.Decode(data, coll, messi.Options{Workers: o.workers, QueueCount: o.queueCount})
+	inner, err := messi.Decode(data, coll, messi.Options{
+		Workers:     o.workers,
+		QueueCount:  o.queueCount,
+		MaxInFlight: o.maxInFlight,
+	})
 	if err != nil {
 		return nil, err
 	}
