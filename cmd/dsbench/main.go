@@ -8,10 +8,13 @@
 //	dsbench -experiment fig9
 //	dsbench -experiment all -series 200000 -queries 5
 //	dsbench -experiment concurrent -inflight 1,8,32
+//	dsbench -experiment ingest -appendrate 0,5000,50000
 //
 // The concurrent experiment is the serving-engine workload: it measures
 // MESSI throughput (queries/s) with the given numbers of queries in flight
-// on the shared worker pool.
+// on the shared worker pool. The ingest experiment is the live-write
+// workload: query QPS and append throughput with a writer streaming new
+// series into the serving index at each configured rate.
 //
 // Each experiment prints its measured table followed by a note restating
 // the paper's claim for that figure, so measured-vs-paper comparison is
@@ -31,27 +34,34 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list available experiments and exit")
-		expID    = flag.String("experiment", "all", "experiment ID (see -list) or 'all'")
-		series   = flag.Int("series", 0, "collection size (default 200000)")
-		queries  = flag.Int("queries", 0, "queries per measurement (default 5)")
-		seed     = flag.Int64("seed", 0, "generator seed (default 2020)")
-		cores    = flag.Int("cores", 0, "maximum core count axis (default 24)")
-		inflight = flag.String("inflight", "", "comma-separated in-flight query counts for the concurrent experiment (default 1,4,16)")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		expID      = flag.String("experiment", "all", "experiment ID (see -list) or 'all'")
+		series     = flag.Int("series", 0, "collection size (default 200000)")
+		queries    = flag.Int("queries", 0, "queries per measurement (default 5)")
+		seed       = flag.Int64("seed", 0, "generator seed (default 2020)")
+		cores      = flag.Int("cores", 0, "maximum core count axis (default 24)")
+		inflight   = flag.String("inflight", "", "comma-separated in-flight query counts for the concurrent experiment (default 1,4,16)")
+		appendrate = flag.String("appendrate", "", "comma-separated append rates (series/s) for the ingest experiment (default 0,1000,10000)")
 	)
 	flag.Parse()
 
-	var inflightAxis []int
-	if *inflight != "" {
-		for _, f := range strings.Split(*inflight, ",") {
+	parseAxis := func(name, csv string, minVal int) []int {
+		if csv == "" {
+			return nil
+		}
+		var axis []int
+		for _, f := range strings.Split(csv, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(f))
-			if err != nil || v <= 0 {
-				fmt.Fprintf(os.Stderr, "dsbench: bad -inflight element %q\n", f)
+			if err != nil || v < minVal {
+				fmt.Fprintf(os.Stderr, "dsbench: bad -%s element %q\n", name, f)
 				os.Exit(2)
 			}
-			inflightAxis = append(inflightAxis, v)
+			axis = append(axis, v)
 		}
+		return axis
 	}
+	inflightAxis := parseAxis("inflight", *inflight, 1)
+	appendRates := parseAxis("appendrate", *appendrate, 0)
 
 	if *list {
 		for _, e := range experiments.All {
@@ -66,6 +76,7 @@ func main() {
 		Seed:         *seed,
 		MaxCores:     *cores,
 		InFlightAxis: inflightAxis,
+		AppendRates:  appendRates,
 	}
 
 	var ids []string

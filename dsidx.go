@@ -54,6 +54,21 @@
 // Concurrency changes only scheduling, never answers: every result is
 // identical to the same query issued alone.
 //
+// # Live ingestion
+//
+// A MESSI index also accepts writes while serving: Append and AppendBatch
+// add series concurrently with queries. New series land in a delta buffer
+// and are summarized on arrival; queries exact-scan the buffer alongside
+// the tree, so every answer remains exact over everything the query
+// observed. Once the buffer reaches WithMergeThreshold series, a
+// background merge (on the same worker pool) folds it into the tree
+// without blocking readers. Flush forces a merge; IngestStats reports the
+// pending/merged split; Save persists the buffer so no append is lost.
+//
+//	pos, err := idx.Append(s)        // visible to queries on return
+//	m, err := idx.Search(s)          // finds it, merged or not
+//	idx.Flush()                      // optional: fold the delta in now
+//
 // All distances returned through this package are true (not squared)
 // distances. Search, SearchKNN and SearchDTW are exact: they return
 // provably the nearest series. Only the explicitly named
@@ -171,13 +186,14 @@ func statsOf(t *core.Tree) IndexStats {
 
 // options collects tunables shared by every index constructor.
 type options struct {
-	segments     int
-	maxBits      int
-	leafCapacity int
-	workers      int
-	queueCount   int
-	batchSeries  int
-	maxInFlight  int
+	segments       int
+	maxBits        int
+	leafCapacity   int
+	workers        int
+	queueCount     int
+	batchSeries    int
+	maxInFlight    int
+	mergeThreshold int
 }
 
 // Option customizes index construction.
@@ -212,6 +228,13 @@ func WithBatchSeries(n int) Option { return func(o *options) { o.batchSeries = n
 // knob: higher keeps the pool saturated under bursty traffic, lower bounds
 // the working set.
 func WithMaxInFlight(n int) Option { return func(o *options) { o.maxInFlight = n } }
+
+// WithMergeThreshold sets the delta-buffer size (in series) at which a
+// MESSI index schedules a background merge of live appends into its tree
+// (default 4096). Queries are exact at any setting — unmerged series are
+// exact-scanned — so the threshold only trades merge frequency against
+// per-query delta-scan cost.
+func WithMergeThreshold(n int) Option { return func(o *options) { o.mergeThreshold = n } }
 
 func buildOptions(opts []Option) options {
 	var o options

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildRandomTree inserts n random summaries and returns the tree plus the
+// summaries, so tests can replay inserts against clones.
+func buildRandomTree(t *testing.T, n int) (*Tree, [][]uint8) {
+	t.Helper()
+	cfg := Config{SeriesLen: 16, Segments: 4, MaxBits: 4, LeafCapacity: 4}
+	tree, err := NewTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	sums := make([][]uint8, n)
+	for i := range sums {
+		sax := make([]uint8, 4)
+		for j := range sax {
+			sax[j] = uint8(rng.Intn(16))
+		}
+		sums[i] = sax
+		tree.Insert(sax, int32(i))
+	}
+	return tree, sums
+}
+
+func TestNodeCloneIsDeepForEntries(t *testing.T) {
+	tree, sums := buildRandomTree(t, 200)
+	key := tree.OccupiedKeys()[0]
+	orig := tree.Subtree(key)
+	origCount := orig.Count
+	clone := orig.Clone()
+
+	// Inserting into the clone must not disturb the original: replay every
+	// summary belonging to this subtree into the clone and re-validate.
+	inserted := 0
+	for i, sax := range sums {
+		if tree.RootKey(sax) == key {
+			clone.insert(tree.Config(), sax, int32(10_000+i))
+			inserted++
+		}
+	}
+	if inserted == 0 {
+		t.Fatal("no summaries for the sampled subtree")
+	}
+	if orig.Count != origCount {
+		t.Fatalf("original count changed: %d -> %d", origCount, orig.Count)
+	}
+	if clone.Count != origCount+inserted {
+		t.Fatalf("clone count %d, want %d", clone.Count, origCount+inserted)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("original tree corrupted by clone insert: %v", err)
+	}
+}
+
+func TestNodeCloneNil(t *testing.T) {
+	var n *Node
+	if n.Clone() != nil {
+		t.Fatal("nil clone not nil")
+	}
+}
+
+func TestCloneShellSharesUntouchedSubtrees(t *testing.T) {
+	// 30 series leave some of the 16 root slots empty (fixed seed), so the
+	// fresh-key registration path below is exercised.
+	tree, _ := buildRandomTree(t, 30)
+	shell := tree.CloneShell()
+	keys := tree.OccupiedKeys()
+	if got := shell.OccupiedKeys(); len(got) != len(keys) {
+		t.Fatalf("shell has %d occupied keys, want %d", len(got), len(keys))
+	}
+	for _, key := range keys {
+		if shell.Subtree(key) != tree.Subtree(key) {
+			t.Fatalf("shell subtree %d not shared", key)
+		}
+	}
+	if shell.Count() != tree.Count() {
+		t.Fatalf("shell count %d != %d", shell.Count(), tree.Count())
+	}
+
+	// saxForKey builds a full-cardinality summary routed to key: segment
+	// j's top bit is bit j of the key.
+	saxForKey := func(key uint32) []uint8 {
+		sax := make([]uint8, 4)
+		for j := range sax {
+			sax[j] = uint8((key>>(3-j))&1) << 3
+		}
+		return sax
+	}
+
+	// Replacing one subtree in the shell must leave the original untouched
+	// and register fresh keys exactly once.
+	key := keys[0]
+	replacement := tree.Subtree(key).Clone()
+	replacement.insert(tree.Config(), saxForKey(key), 999)
+	before := tree.Subtree(key).Count
+	shell.SetSubtree(key, replacement)
+	if tree.Subtree(key).Count != before {
+		t.Fatal("SetSubtree on shell mutated the original tree")
+	}
+	if shell.Subtree(key) != replacement {
+		t.Fatal("SetSubtree did not install the replacement")
+	}
+	if got := len(shell.OccupiedKeys()); got != len(keys) {
+		t.Fatalf("replacing an existing key changed occupancy: %d != %d", got, len(keys))
+	}
+
+	// Nil installs are no-ops; installing into an empty slot registers it.
+	shell.SetSubtree(0xFFFF_FFF0%uint32(len(shell.roots)), nil)
+	if got := len(shell.OccupiedKeys()); got != len(keys) {
+		t.Fatal("nil SetSubtree changed occupancy")
+	}
+	fresh := uint32(len(shell.roots))
+	for k := uint32(0); int(k) < len(shell.roots); k++ {
+		if shell.roots[k] == nil {
+			fresh = k
+			break
+		}
+	}
+	if int(fresh) < len(shell.roots) {
+		shell.SubtreeInsert(fresh, saxForKey(fresh), 1234)
+		if got := len(shell.OccupiedKeys()); got != len(keys)+1 {
+			t.Fatalf("fresh key not registered: %d occupied", got)
+		}
+	}
+	if err := shell.CheckInvariants(); err != nil {
+		t.Fatalf("shell invariants: %v", err)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("original tree corrupted: %v", err)
+	}
+}

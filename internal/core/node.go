@@ -136,6 +136,33 @@ func (n *Node) insert(cfg Config, sax []uint8, pos int32) {
 	}
 }
 
+// Clone returns a deep copy of the subtree rooted at n: fresh nodes with
+// copied entry storage. Word slices are shared — words are immutable after
+// construction (splits build child words with Word.Child, which allocates).
+// The live-merge path clones a subtree aside, inserts the pending delta
+// entries into the copy, and swaps it in, so queries keep traversing the
+// original untouched.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{
+		Word:     n.Word,
+		Count:    n.Count,
+		SplitSeg: n.SplitSeg,
+		Flushed:  n.Flushed,
+		Ref:      n.Ref,
+	}
+	if n.SAX != nil {
+		c.SAX = append(make([]uint8, 0, len(n.SAX)), n.SAX...)
+	}
+	if n.Pos != nil {
+		c.Pos = append(make([]int32, 0, len(n.Pos)), n.Pos...)
+	}
+	c.Left, c.Right = n.Left.Clone(), n.Right.Clone()
+	return c
+}
+
 // WalkLeaves invokes fn on every leaf below n in depth-first order.
 func (n *Node) WalkLeaves(fn func(*Node)) {
 	if n == nil {

@@ -171,6 +171,20 @@ func DecodeIndex(data []byte) (*Tree, *SAXArray, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// Symbols index 2^MaxBits-cell query tables at search time; corrupt
+	// bytes must fail the decode, not panic the first scan.
+	checkSymbols := func(bs []uint8) error {
+		for _, s := range bs {
+			if int(s) >= 1<<cfg.MaxBits {
+				return fmt.Errorf("core: summary symbol %d exceeds cardinality %d: %w",
+					s, 1<<cfg.MaxBits, storage.ErrCorrupt)
+			}
+		}
+		return nil
+	}
+	if err := checkSymbols(saxBytes); err != nil {
+		return nil, nil, err
+	}
 	sax := &SAXArray{W: cfg.Segments, Data: append([]uint8(nil), saxBytes...)}
 
 	rootCount, err := r.u32()
@@ -212,6 +226,9 @@ func DecodeIndex(data []byte) (*Tree, *SAXArray, error) {
 		case tagLeaf:
 			sb, err := r.take(int(cnt) * cfg.Segments)
 			if err != nil {
+				return nil, err
+			}
+			if err := checkSymbols(sb); err != nil {
 				return nil, err
 			}
 			n.SAX = append([]uint8(nil), sb...)

@@ -65,6 +65,37 @@ func (t *Tree) ensureRoot(key uint32) *Node {
 	return n
 }
 
+// CloneShell returns a new tree sharing every subtree pointer (and the
+// quantizer) with t. The live-merge path mutates the shell only through
+// SetSubtree and SubtreeInsert on subtrees it has cloned or created first,
+// so t — and any query still traversing it — is never touched.
+func (t *Tree) CloneShell() *Tree {
+	t.mu.Lock()
+	occ := make([]uint32, len(t.occupied))
+	copy(occ, t.occupied)
+	t.mu.Unlock()
+	roots := make([]*Node, len(t.roots))
+	copy(roots, t.roots)
+	return &Tree{cfg: t.cfg, quant: t.quant, roots: roots, occupied: occ}
+}
+
+// SetSubtree installs n as the root child for key, registering the key if
+// it was previously empty. A nil n is a no-op. Distinct keys may be set by
+// distinct goroutines concurrently (the merge parallelization unit, like
+// subtree building); the same key must not.
+func (t *Tree) SetSubtree(key uint32, n *Node) {
+	if n == nil {
+		return
+	}
+	fresh := t.roots[key] == nil
+	t.roots[key] = n
+	if fresh {
+		t.mu.Lock()
+		t.occupied = append(t.occupied, key)
+		t.mu.Unlock()
+	}
+}
+
 // SubtreeInsert inserts a summary into the subtree for key, which the
 // caller has already computed (and owns). sax is copied.
 func (t *Tree) SubtreeInsert(key uint32, sax []uint8, pos int32) {

@@ -78,9 +78,13 @@ type Engine struct {
 
 	// mu serializes Submit's closed-check-then-send against Close, so no
 	// task can be enqueued after the workers have drained and exited.
-	mu     sync.RWMutex
-	closed bool
-	once   sync.Once
+	// closing flips first and gates new background jobs; closed flips after
+	// the background jobs drain and gates task submission.
+	mu      sync.RWMutex
+	closing bool
+	closed  bool
+	once    sync.Once
+	bg      sync.WaitGroup
 
 	sem       chan struct{}
 	inFlight  atomic.Int64
@@ -136,17 +140,56 @@ func (e *Engine) Workers() int { return e.opt.Workers }
 // MaxInFlight returns the admission bound.
 func (e *Engine) MaxInFlight() int { return e.opt.MaxInFlight }
 
-// Close stops the pool. Pending tasks are drained first; tasks submitted
-// after Close run inline on the submitting goroutine. Close is idempotent
-// and safe to call concurrently with running queries.
+// Close stops the pool. In-flight background jobs (Go) are waited for with
+// the pool still live, so a running merge finishes in parallel; then
+// pending tasks are drained and the workers retire. Tasks submitted after
+// Close run inline on the submitting goroutine. Close is idempotent and
+// safe to call concurrently with running queries; concurrent callers block
+// until the first Close completes.
 func (e *Engine) Close() {
 	e.once.Do(func() {
+		e.mu.Lock()
+		e.closing = true
+		e.mu.Unlock()
+		e.bg.Wait()
 		e.mu.Lock()
 		e.closed = true
 		e.mu.Unlock()
 		close(e.quit)
 		e.wg.Wait()
 	})
+}
+
+// Closing reports whether Close has begun. Long-running background jobs
+// poll it between work items and exit early, so a job that could otherwise
+// run forever (e.g. a merge loop racing a sustained append stream) cannot
+// deadlock Close's wait.
+func (e *Engine) Closing() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.closing
+}
+
+// Go runs fn on a tracked background goroutine — the scheduling entry point
+// for maintenance jobs like delta merges, which coordinate from their own
+// goroutine (exactly as query coordinators run on caller goroutines) while
+// their parallel phases Submit tasks to the pool. Close waits for every
+// tracked job before retiring the workers, so a job observes a live pool
+// for its whole run. Returns false, without running fn, once Close has
+// begun: shutdown must not race with new maintenance work.
+func (e *Engine) Go(fn func()) bool {
+	e.mu.RLock()
+	if e.closing {
+		e.mu.RUnlock()
+		return false
+	}
+	e.bg.Add(1)
+	e.mu.RUnlock()
+	go func() {
+		defer e.bg.Done()
+		fn()
+	}()
+	return true
 }
 
 // submit enqueues fn for pool execution, or runs it inline if the engine is

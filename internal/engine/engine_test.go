@@ -231,3 +231,60 @@ func TestDefaults(t *testing.T) {
 		t.Fatalf("default MaxInFlight %d, want %d", e.MaxInFlight(), 2*e.Workers())
 	}
 }
+
+func TestGoBackgroundJobCompletesBeforeClose(t *testing.T) {
+	e := New(Options{Workers: 2})
+	started := make(chan struct{})
+	var finished atomic.Bool
+	ok := e.Go(func() {
+		close(started)
+		// The job fans out on the pool mid-shutdown, like a merge does; the
+		// pool must still execute its tasks.
+		g := e.NewGroup()
+		var ran atomic.Int64
+		for i := 0; i < 8; i++ {
+			g.Submit(func() { ran.Add(1) })
+		}
+		g.Wait()
+		if ran.Load() != 8 {
+			t.Error("background job's pool tasks did not all run")
+		}
+		finished.Store(true)
+	})
+	if !ok {
+		t.Fatal("Go refused on an open engine")
+	}
+	<-started
+	e.Close()
+	if !finished.Load() {
+		t.Fatal("Close returned before the background job finished")
+	}
+}
+
+func TestGoRefusedAfterClose(t *testing.T) {
+	e := New(Options{Workers: 1})
+	e.Close()
+	if e.Go(func() { t.Error("job ran after Close") }) {
+		t.Fatal("Go accepted a job after Close")
+	}
+	// Idempotent close with a refused job pending nowhere.
+	e.Close()
+}
+
+func TestConcurrentCloseWithBackgroundJob(t *testing.T) {
+	e := New(Options{Workers: 2})
+	release := make(chan struct{})
+	e.Go(func() { <-release })
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.Close()
+		}()
+	}
+	// Give closers a moment to block on the job, then let it finish.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+}

@@ -36,6 +36,9 @@ type Config struct {
 	// InFlightAxis lists the concurrent-query levels of the multi-query
 	// throughput experiment (default 1, 4, 16).
 	InFlightAxis []int
+	// AppendRates lists the live-append rates (series/s) of the ingestion
+	// experiment (default 0, 1000, 10000; 0 is the query-only baseline).
+	AppendRates []int
 }
 
 // Normalize fills defaults.
@@ -54,6 +57,9 @@ func (c Config) Normalize() Config {
 	}
 	if len(c.InFlightAxis) == 0 {
 		c.InFlightAxis = []int{1, 4, 16}
+	}
+	if len(c.AppendRates) == 0 {
+		c.AppendRates = []int{0, 1000, 10000}
 	}
 	return c
 }
@@ -183,6 +189,7 @@ var All = []Experiment{
 	{"ablation-leafcap", "MESSI build/query tradeoff vs leaf capacity", AblationLeafCapacity},
 	{"ablation-hardness", "Pruning power vs query difficulty (eps sweep)", AblationQueryHardness},
 	{"concurrent", "MESSI multi-query throughput vs in-flight queries (shared pool)", ConcurrentQPS},
+	{"ingest", "MESSI query throughput under live appends (delta buffer + background merge)", IngestThroughput},
 }
 
 // ByID returns the experiment with the given ID.

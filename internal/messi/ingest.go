@@ -1,0 +1,422 @@
+package messi
+
+// Live ingestion: Append/AppendBatch accept new series while queries run.
+//
+// The write path extends the ParIS+ split between buffer filling and tree
+// construction into an always-on pipeline:
+//
+//   - Appends land in a delta buffer — stable chunked storage for raw
+//     values plus each series' full-cardinality SAX summary, computed on
+//     arrival. Publication is a single atomic count: a query that observes
+//     count a sees the values and summaries of every appended series below
+//     a (release/acquire on the counter), and nothing ever moves.
+//   - Queries union the current tree snapshot's candidates with an exact
+//     scan of the unmerged delta suffix (query.go), so every answer is
+//     bit-identical to a serial scan of the prefix the query observed.
+//   - When the unmerged suffix reaches Options.MergeThreshold, a background
+//     merge is scheduled: a buffer-fill phase groups the pending summaries
+//     by root subtree (workers claim blocks with Fetch&Inc, each filling
+//     its own parts — the paper's footnote-2 design), then a tree-insert
+//     phase clones each affected subtree aside, inserts the new entries,
+//     and installs the results into a shell copy of the tree. Both phases
+//     run as tasks on the index's shared worker pool. The merged snapshot
+//     is swapped in atomically; in-flight queries keep the snapshot they
+//     loaded and never observe a half-merged tree.
+//
+// Consistency guarantees, concretely: Append returns position p only after
+// series ≤ p are visible; a query observes some prefix [0, T) with T at
+// least the count published before the call; merges never change answers,
+// only which data structure serves them.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dsidx/internal/core"
+	"dsidx/internal/series"
+	"dsidx/internal/xsync"
+)
+
+// The saxLog field (a series.ChunkedRows of summary bytes) stores the
+// on-arrival summaries of appended series aligned with the series store:
+// row i is the summary of appended series i. Writers append under the
+// index's ingest mutex; readers may access any row below a published
+// appended count.
+
+// Append adds one series to the index and returns its position. The series
+// is summarized with SAX on arrival and becomes visible to queries before
+// Append returns; a background merge folds it into the tree later. Safe for
+// concurrent use with queries, other appends, Flush and Close.
+func (ix *Index) Append(s series.Series) (int, error) {
+	if len(s) != ix.cfg.SeriesLen {
+		return 0, fmt.Errorf("messi: append length %d != %d", len(s), ix.cfg.SeriesLen)
+	}
+	ix.ingestMu.Lock()
+	pos := ix.baseLen + int(ix.appended.Load())
+	ix.ingestSM.Summarize(s, ix.ingestBf)
+	ix.store.Append(s)
+	ix.saxLog.Append(ix.ingestBf)
+	ix.appended.Add(1) // publish: values and summary precede the count
+	ix.ingestMu.Unlock()
+	ix.appends.Add(1)
+	ix.maybeScheduleMerge()
+	return pos, nil
+}
+
+// AppendBatch adds a batch of series, returning the position of the first;
+// the batch occupies consecutive positions and becomes visible atomically
+// (a query sees either none or all of it).
+func (ix *Index) AppendBatch(ss []series.Series) (int, error) {
+	for i, s := range ss {
+		if len(s) != ix.cfg.SeriesLen {
+			return 0, fmt.Errorf("messi: append batch series %d length %d != %d",
+				i, len(s), ix.cfg.SeriesLen)
+		}
+	}
+	ix.ingestMu.Lock()
+	start := ix.baseLen + int(ix.appended.Load())
+	for _, s := range ss {
+		ix.ingestSM.Summarize(s, ix.ingestBf)
+		ix.store.Append(s)
+		ix.saxLog.Append(ix.ingestBf)
+	}
+	ix.appended.Add(int64(len(ss)))
+	ix.ingestMu.Unlock()
+	ix.appends.Add(uint64(len(ss)))
+	ix.maybeScheduleMerge()
+	return start, nil
+}
+
+// Pending returns the number of appended series not yet merged into the
+// tree (exact-scanned by queries in the meantime). Loading the snapshot
+// before the counter keeps the result non-negative when racing a
+// completing merge (mergedA never exceeds a count published before it).
+func (ix *Index) Pending() int {
+	mergedA := ix.snap.Load().mergedA
+	return int(ix.appended.Load()) - mergedA
+}
+
+// IngestStats is a snapshot of the write path's counters.
+type IngestStats struct {
+	// Appended counts series accepted by Append/AppendBatch since the index
+	// was created (or loaded).
+	Appended uint64
+	// Pending is the current delta-buffer size: appended series the tree
+	// does not cover yet.
+	Pending int
+	// Merged is the number of appended series the tree covers.
+	Merged int
+	// Merges counts completed merge cycles.
+	Merges uint64
+	// MergeThreshold is the delta size that triggers a background merge.
+	MergeThreshold int
+}
+
+// IngestStats snapshots the write path's counters.
+func (ix *Index) IngestStats() IngestStats {
+	snap := ix.snap.Load()
+	return IngestStats{
+		Appended:       ix.appends.Load(),
+		Pending:        int(ix.appended.Load()) - snap.mergedA,
+		Merged:         snap.mergedA,
+		Merges:         ix.merges.Load(),
+		MergeThreshold: ix.opt.MergeThreshold,
+	}
+}
+
+// maybeScheduleMerge starts the background merge job if the delta has
+// reached the threshold and no job is active. After Close the job cannot be
+// scheduled (the engine refuses background work during shutdown); the delta
+// keeps absorbing appends and Flush remains available.
+func (ix *Index) maybeScheduleMerge() {
+	if ix.Pending() < ix.opt.MergeThreshold {
+		return
+	}
+	if !ix.merging.CompareAndSwap(false, true) {
+		return
+	}
+	if !ix.eng.Go(ix.backgroundMerge) {
+		ix.merging.Store(false)
+	}
+}
+
+// backgroundMerge drains the delta while it stays above the threshold. The
+// deactivate-recheck loop closes the window where an append lands after the
+// last merge but before the active flag drops, which would otherwise strand
+// a full delta with no scheduled job. The job also exits as soon as the
+// engine starts closing: Close waits for background jobs, and a sustained
+// append stream could otherwise keep Pending above the threshold forever
+// and deadlock the shutdown; whatever remains in the delta stays exactly
+// searchable and mergeable via Flush.
+func (ix *Index) backgroundMerge() {
+	for {
+		for ix.Pending() >= ix.opt.MergeThreshold && !ix.eng.Closing() {
+			ix.mergeOnce()
+		}
+		ix.merging.Store(false)
+		if ix.eng.Closing() || ix.Pending() < ix.opt.MergeThreshold ||
+			!ix.merging.CompareAndSwap(false, true) {
+			return
+		}
+	}
+}
+
+// Flush merges every series appended before the call into the tree,
+// synchronously. Concurrent appends may leave new pending series behind;
+// concurrent background merges are coordinated with, not duplicated.
+func (ix *Index) Flush() {
+	target := int(ix.appended.Load())
+	for ix.snap.Load().mergedA < target {
+		ix.mergeOnce()
+	}
+}
+
+// mergeBlock is the buffer-fill work-claiming granularity in series.
+const mergeBlock = 1024
+
+// mergeOnce folds the published delta suffix into the tree: buffer-fill
+// groups pending entries by root subtree, tree-insert rebuilds affected
+// subtrees aside, and the new snapshot is installed atomically. Merges are
+// serialized; queries are never blocked — they either hold the old
+// snapshot or pick up the new one on their next call.
+func (ix *Index) mergeOnce() {
+	ix.mergeMu.Lock()
+	defer ix.mergeMu.Unlock()
+	old := ix.snap.Load()
+	total := int(ix.appended.Load())
+	lo := old.mergedA
+	if lo >= total {
+		return // a concurrent mergeOnce already covered this suffix
+	}
+	pending := total - lo
+	blocks := xsync.Blocks(pending, mergeBlock)
+	workers := min(ix.eng.Workers(), len(blocks))
+
+	// Phase 1 — buffer fill (ParIS+ stage 1): workers claim blocks of the
+	// delta suffix with Fetch&Inc and group positions by root key into
+	// their own parts; no synchronization on the buffers themselves.
+	parts := make([]map[uint32][]int32, workers)
+	var cursor xsync.Counter
+	g := ix.eng.NewGroup()
+	for wk := 0; wk < workers; wk++ {
+		wk := wk
+		g.Submit(func() {
+			mine := make(map[uint32][]int32, 64)
+			for {
+				bi := cursor.Next()
+				if int(bi) >= len(blocks) {
+					break
+				}
+				blk := blocks[bi]
+				for i := blk.Lo; i < blk.Hi; i++ {
+					ai := int32(lo + i)
+					key := old.tree.RootKey(ix.saxLog.At(int(ai)))
+					mine[key] = append(mine[key], ai)
+				}
+			}
+			parts[wk] = mine
+		})
+	}
+	g.Wait()
+
+	keySet := make(map[uint32]struct{}, 64)
+	for _, part := range parts {
+		for key := range part {
+			keySet[key] = struct{}{}
+		}
+	}
+	keys := make([]uint32, 0, len(keySet))
+	for key := range keySet {
+		keys = append(keys, key)
+	}
+
+	// Phase 2 — tree insert (ParIS+ stage 2): workers claim affected root
+	// keys with Fetch&Inc; each clones the old subtree aside, inserts the
+	// new entries, and installs the result into a shell copy of the tree.
+	// Untouched subtrees are shared between the old and new snapshot.
+	next := old.tree.CloneShell()
+	var keyCursor xsync.Counter
+	g = ix.eng.NewGroup()
+	for wk := 0; wk < min(ix.eng.Workers(), len(keys)); wk++ {
+		g.Submit(func() {
+			for {
+				ki := keyCursor.Next()
+				if int(ki) >= len(keys) {
+					return
+				}
+				key := keys[ki]
+				next.SetSubtree(key, old.tree.Subtree(key).Clone())
+				for _, part := range parts {
+					for _, ai := range part[key] {
+						next.SubtreeInsert(key, ix.saxLog.At(int(ai)), int32(ix.baseLen)+ai)
+					}
+				}
+			}
+		})
+	}
+	g.Wait()
+
+	// No summary copying: the flat SAX rows of the merged prefix stay in
+	// baseSAX and the saxLog, both immutable below the published counts;
+	// Encode materializes a flat array from them on demand.
+	ix.snap.Store(&snapshot{tree: next, mergedA: total})
+	ix.merges.Add(1)
+}
+
+// Index persistence ("DSL1" live format): the core DSI1 blob (tree + SAX
+// array over base + merged appends) wrapped with the append store, so the
+// delta buffer — merged or not — survives Save/Load. The base collection is
+// still not included and must be supplied again to Decode; appended series
+// ARE included, because they exist nowhere else.
+//
+//	magic "DSL1", u32 version=1
+//	u64 appended (A), u64 mergedA (≤ A)
+//	u64 blobLen, blob (core DSI1 index over baseLen+mergedA series)
+//	A × seriesLen float32 LE appended values
+//	A × segments appended summary bytes
+//
+// An index with no appended series encodes as a bare DSI1 blob,
+// byte-compatible with files written before live ingestion existed; Decode
+// accepts both.
+
+const (
+	liveMagic   = "DSL1"
+	liveVersion = 1
+)
+
+// Encode serializes the index — tree, SAX array and the append store (its
+// raw values and summaries) — so the delta buffer survives Save/Load. The
+// base collection is not included and must be supplied again to Decode.
+// Encode takes no locks and never stalls appenders: the snapshot load is
+// consistent on its own, loading the published count after it guarantees
+// a ≥ mergedA, and every store/log row below that count is immutable, so
+// concurrent appends simply fall outside this save.
+func (ix *Index) Encode() []byte {
+	snap := ix.snap.Load()
+	a := int(ix.appended.Load())
+	w := ix.cfg.Segments
+	// Materialize the flat SAX array of the merged prefix for the core
+	// blob: the base collection's summaries followed by the merged slice of
+	// the append log. This is the only place that needs the flat form, so
+	// merges never copy summary data.
+	data := make([]uint8, (ix.baseLen+snap.mergedA)*w)
+	copy(data, ix.baseSAX.Data)
+	for i := 0; i < snap.mergedA; i++ {
+		copy(data[(ix.baseLen+i)*w:], ix.saxLog.At(i))
+	}
+	blob := core.EncodeIndex(snap.tree, &core.SAXArray{W: w, Data: data})
+	if a == 0 {
+		return blob
+	}
+	var buf bytes.Buffer
+	buf.WriteString(liveMagic)
+	_ = binary.Write(&buf, binary.LittleEndian, uint32(liveVersion))
+	_ = binary.Write(&buf, binary.LittleEndian, uint64(a))
+	_ = binary.Write(&buf, binary.LittleEndian, uint64(snap.mergedA))
+	_ = binary.Write(&buf, binary.LittleEndian, uint64(len(blob)))
+	buf.Write(blob)
+	vals := make([]byte, 4*ix.cfg.SeriesLen)
+	for i := 0; i < a; i++ {
+		s := ix.store.At(i)
+		for j, v := range s {
+			binary.LittleEndian.PutUint32(vals[4*j:], math.Float32bits(v))
+		}
+		buf.Write(vals)
+	}
+	for i := 0; i < a; i++ {
+		buf.Write(ix.saxLog.At(i))
+	}
+	return buf.Bytes()
+}
+
+// Decode reconstructs an index from Encode output over the same base
+// collection it was built from, restoring the append store and the
+// merged/pending split exactly as saved.
+func Decode(data []byte, coll *series.Collection, opt Options) (*Index, error) {
+	opt = opt.normalize()
+	blob, tail, a, mergedA, err := splitLive(data)
+	if err != nil {
+		return nil, err
+	}
+	tree, sax, err := core.DecodeIndex(blob)
+	if err != nil {
+		return nil, fmt.Errorf("messi: %w", err)
+	}
+	cfg := tree.Config()
+	if cfg.SeriesLen != coll.SeriesLen() {
+		return nil, fmt.Errorf("messi: index is for length-%d series, collection has %d",
+			cfg.SeriesLen, coll.SeriesLen())
+	}
+	if sax.Len() != coll.Len()+mergedA {
+		return nil, fmt.Errorf("messi: index covers %d series, collection has %d (+%d merged appends)",
+			sax.Len(), coll.Len(), mergedA)
+	}
+	valBytes := a * cfg.SeriesLen * 4
+	if len(tail) != valBytes+a*cfg.Segments {
+		return nil, fmt.Errorf("messi: corrupt append store: %d bytes for %d series of length %d",
+			len(tail), a, cfg.SeriesLen)
+	}
+	vals, sums := tail[:valBytes], tail[valBytes:]
+	// Summary symbols index per-query lookup tables of 2^MaxBits cells, so
+	// an out-of-range byte in a corrupt file must fail here, not panic in
+	// the first delta scan.
+	for i, s := range sums {
+		if int(s) >= 1<<cfg.MaxBits {
+			return nil, fmt.Errorf("messi: corrupt append store: summary %d symbol %d exceeds cardinality %d",
+				i/cfg.Segments, s, 1<<cfg.MaxBits)
+		}
+	}
+	ix := &Index{cfg: cfg, opt: opt, raw: coll}
+	ix.store = series.NewChunked(cfg.SeriesLen, 0)
+	ix.saxLog = series.NewChunkedRows[uint8](cfg.Segments, 0)
+	s := make(series.Series, cfg.SeriesLen)
+	for i := 0; i < a; i++ {
+		base := i * cfg.SeriesLen * 4
+		for j := 0; j < cfg.SeriesLen; j++ {
+			s[j] = math.Float32frombits(binary.LittleEndian.Uint32(vals[base+4*j:]))
+		}
+		ix.store.Append(s)
+		ix.saxLog.Append(sums[i*cfg.Segments : (i+1)*cfg.Segments])
+	}
+	ix.appended.Store(int64(a))
+	// The decoded flat SAX array covers base + merged appends; the index
+	// keeps only the immutable base prefix (merged summaries live in the
+	// saxLog, re-appended above).
+	baseSAX := &core.SAXArray{W: cfg.Segments, Data: sax.Data[:coll.Len()*cfg.Segments]}
+	ix.initLive(tree, baseSAX, mergedA)
+	// A restored delta may already exceed the threshold; without this, a
+	// read-only workload would pay the full delta scan forever (merges are
+	// otherwise only scheduled from the append path).
+	ix.maybeScheduleMerge()
+	return ix, nil
+}
+
+// splitLive separates a serialized index into its core blob and the append
+// store's raw bytes (values followed by summaries — split by the caller
+// once the blob's config is known). Bare DSI1 blobs pass through unchanged
+// with an empty append store.
+func splitLive(data []byte) (blob, tail []byte, appended, mergedA int, err error) {
+	if !bytes.HasPrefix(data, []byte(liveMagic)) {
+		return data, nil, 0, 0, nil
+	}
+	const header = 4 + 4 + 8 + 8 + 8
+	if len(data) < header {
+		return nil, nil, 0, 0, fmt.Errorf("messi: truncated live index header (%d bytes)", len(data))
+	}
+	version := binary.LittleEndian.Uint32(data[4:])
+	if version != liveVersion {
+		return nil, nil, 0, 0, fmt.Errorf("messi: unsupported live index version %d", version)
+	}
+	a := binary.LittleEndian.Uint64(data[8:])
+	merged := binary.LittleEndian.Uint64(data[16:])
+	blobLen := binary.LittleEndian.Uint64(data[24:])
+	rest := uint64(len(data) - header)
+	if blobLen > rest || merged > a || a > rest {
+		return nil, nil, 0, 0, fmt.Errorf("messi: corrupt live index header (a=%d merged=%d blob=%d of %d)",
+			a, merged, blobLen, rest)
+	}
+	blob = data[header : header+int(blobLen)]
+	return blob, data[header+int(blobLen):], int(a), int(merged), nil
+}

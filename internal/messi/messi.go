@@ -1,5 +1,5 @@
 // Package messi implements MESSI (paper §III, Figure 3), the first parallel
-// in-memory data series index.
+// in-memory data series index, extended into a live serving system.
 //
 // Index creation: the in-memory RawData array is split into fixed-size
 // blocks; index workers claim blocks with Fetch&Inc and write each series'
@@ -21,6 +21,16 @@
 // improve the answer and is abandoned. Compared to ParIS, the tree prunes
 // *before* lower-bound computation and the queues order work best-first —
 // the two effects behind Figure 12's speedups.
+//
+// Live ingestion: the paper builds the index as a one-shot batch job; this
+// implementation additionally accepts new series while queries run (see
+// ingest.go). Appends land in a concurrent delta buffer, summarized with
+// SAX on arrival; queries union the tree's candidates with an exact scan of
+// the delta, so answers stay bit-identical to a serial scan of everything
+// the query observed. A background merge — the ParIS+ buffer-fill /
+// tree-insert split, run as tasks on the index's worker pool — folds the
+// delta into a copied-aside version of the affected subtrees and swaps in
+// the merged snapshot atomically, never blocking readers.
 package messi
 
 import (
@@ -28,6 +38,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dsidx/internal/core"
@@ -59,6 +70,11 @@ type Options struct {
 	// BatchSearch and the serving layer (0 means 2×Workers). Directly
 	// invoked Search calls are not admission-controlled.
 	MaxInFlight int
+	// MergeThreshold is the delta-buffer size (in series) at which a
+	// background merge into the tree is scheduled (0 means 4096). Queries
+	// stay exact at any threshold — the delta is exact-scanned — so this
+	// knob only trades merge frequency against per-query delta-scan cost.
+	MergeThreshold int
 }
 
 func (o Options) normalize() Options {
@@ -71,6 +87,9 @@ func (o Options) normalize() Options {
 	if o.QueueCount <= 0 {
 		o.QueueCount = max(1, o.Workers/2)
 	}
+	if o.MergeThreshold <= 0 {
+		o.MergeThreshold = 4096
+	}
 	return o
 }
 
@@ -81,39 +100,84 @@ type BuildStats struct {
 	Total     time.Duration
 }
 
-// Index is a built MESSI index over an in-memory collection.
+// snapshot is one immutable version of the indexed state: a tree covering
+// the base collection plus the first mergedA appended series. Queries load
+// the current snapshot once and use it throughout, so a concurrent merge
+// (which installs a new snapshot, never mutating a published one) is
+// invisible to in-flight queries. The flat SAX rows backing the snapshot
+// live outside it — baseSAX for the build-time collection, saxLog for
+// appends — both immutable below the published counts, so snapshots stay
+// two words and merges never copy summary data.
+type snapshot struct {
+	tree    *core.Tree
+	mergedA int // appended series covered by the tree
+}
+
+// Index is a MESSI index over an in-memory collection, serving exact
+// queries while accepting live appends.
 //
 // Query answering runs on a persistent, index-owned worker pool shared by
 // every in-flight query (see internal/engine): Search, SearchKNN and
 // SearchDTW may be called concurrently from any number of goroutines, and
 // their traversal/refinement tasks interleave on the pool instead of
-// spawning per-call goroutines. Close releases the pool; an unclosed Index
-// releases it when garbage-collected.
+// spawning per-call goroutines. Append and AppendBatch (ingest.go) are safe
+// concurrently with all of the above. Close releases the pool; an unclosed
+// Index releases it when garbage-collected.
 type Index struct {
-	cfg   core.Config
-	opt   Options
-	tree  *core.Tree
-	sax   *core.SAXArray
-	raw   *series.Collection
-	build BuildStats
+	cfg     core.Config
+	opt     Options
+	raw     *series.Collection // immutable base collection
+	baseLen int
+	build   BuildStats
+
+	// snap is the current tree snapshot; swapped whole by merges.
+	snap atomic.Pointer[snapshot]
+
+	// Live-ingestion state (ingest.go). store and saxLog hold appended
+	// series (raw values and on-arrival summaries) in stable chunked
+	// storage; appended is the published count gating reader visibility
+	// into both. baseSAX holds the build-time collection's summaries,
+	// immutable after construction.
+	baseSAX  *core.SAXArray
+	store    *series.Chunked
+	saxLog   *series.ChunkedRows[uint8]
+	appended atomic.Int64
+	ingestMu sync.Mutex // serializes appenders
+	ingestSM *core.Summarizer
+	ingestBf []uint8
+	mergeMu  sync.Mutex // serializes merges (background and Flush)
+	merging  atomic.Bool
+	merges   atomic.Uint64
+	appends  atomic.Uint64
 
 	eng     *engine.Engine
 	scratch sync.Pool // *searchScratch, sized for cfg/opt
 }
 
-// attachEngine gives a constructed index its worker pool and scratch pool,
-// and arranges for the worker goroutines to be released if the index is
-// garbage-collected without Close (experiments build thousands of
+// initLive gives a constructed index its ingestion state, worker pool and
+// scratch pool, and arranges for the pool goroutines to be released if the
+// index is garbage-collected without Close (experiments build thousands of
 // short-lived indexes).
-func (ix *Index) attachEngine() {
+func (ix *Index) initLive(tree *core.Tree, baseSAX *core.SAXArray, mergedA int) {
+	ix.baseLen = ix.raw.Len()
+	ix.baseSAX = baseSAX
+	if ix.store == nil {
+		ix.store = series.NewChunked(ix.cfg.SeriesLen, 0)
+		ix.saxLog = series.NewChunkedRows[uint8](ix.cfg.Segments, 0)
+	}
+	ix.ingestSM = core.NewSummarizer(ix.cfg, tree.Quantizer())
+	ix.ingestBf = make([]uint8, ix.cfg.Segments)
+	ix.snap.Store(&snapshot{tree: tree, mergedA: mergedA})
 	ix.eng = engine.New(engine.Options{Workers: ix.opt.Workers, MaxInFlight: ix.opt.MaxInFlight})
 	ix.scratch.New = func() any { return ix.newScratch() }
 	runtime.AddCleanup(ix, func(e *engine.Engine) { e.Close() }, ix.eng)
 }
 
-// Close stops the index's worker pool. It is idempotent; queries issued
-// after Close still answer correctly, executing serially on the calling
-// goroutine.
+// Close stops the index's worker pool, first waiting for any in-flight
+// background merge to complete (the pool stays live for it). It is
+// idempotent and safe to call concurrently with appends and queries;
+// afterwards, queries execute serially on the calling goroutine, appends
+// still land in the delta buffer, and merges happen only through Flush.
 func (ix *Index) Close() { ix.eng.Close() }
 
 // EngineStats snapshots the shared pool's throughput counters.
@@ -143,7 +207,8 @@ func Build(coll *series.Collection, cfg core.Config, opt Options) (*Index, error
 	}
 	cfg = tree.Config()
 	n := coll.Len()
-	ix := &Index{cfg: cfg, opt: opt, tree: tree, sax: core.NewSAXArray(n, cfg.Segments), raw: coll}
+	ix := &Index{cfg: cfg, opt: opt, raw: coll}
+	sax := core.NewSAXArray(n, cfg.Segments)
 
 	start := time.Now()
 
@@ -172,7 +237,7 @@ func Build(coll *series.Collection, cfg core.Config, opt Options) (*Index, error
 				}
 				blk := blocks[bi]
 				for i := blk.Lo; i < blk.Hi; i++ {
-					dst := ix.sax.At(i)
+					dst := sax.At(i)
 					sm.Summarize(coll.At(i), dst)
 					key := tree.RootKey(dst)
 					if opt.SharedBuffers {
@@ -227,7 +292,7 @@ func Build(coll *series.Collection, cfg core.Config, opt Options) (*Index, error
 				key := keys[ki]
 				for _, part := range parts {
 					for _, pos := range part[key] {
-						tree.SubtreeInsert(key, ix.sax.At(int(pos)), pos)
+						tree.SubtreeInsert(key, sax.At(int(pos)), pos)
 					}
 				}
 			}
@@ -236,7 +301,7 @@ func Build(coll *series.Collection, cfg core.Config, opt Options) (*Index, error
 	wg.Wait()
 	ix.build.TreeBuild = time.Since(t0)
 	ix.build.Total = time.Since(start)
-	ix.attachEngine()
+	ix.initLive(tree, sax, 0)
 	return ix, nil
 }
 
@@ -253,40 +318,27 @@ func (b *lockedBuffer) append(p int32) {
 	b.mu.Unlock()
 }
 
-// Encode serializes the built index (tree + SAX array); the raw collection
-// is not included and must be supplied again to Decode.
-func (ix *Index) Encode() []byte { return core.EncodeIndex(ix.tree, ix.sax) }
+// Count returns the number of series the index answers over: the base
+// collection plus every published append (merged or not).
+func (ix *Index) Count() int { return ix.baseLen + int(ix.appended.Load()) }
 
-// Decode reconstructs an index from Encode output over the same raw
-// collection it was built from.
-func Decode(data []byte, coll *series.Collection, opt Options) (*Index, error) {
-	opt = opt.normalize()
-	tree, sax, err := core.DecodeIndex(data)
-	if err != nil {
-		return nil, fmt.Errorf("messi: %w", err)
-	}
-	cfg := tree.Config()
-	if cfg.SeriesLen != coll.SeriesLen() {
-		return nil, fmt.Errorf("messi: index is for length-%d series, collection has %d",
-			cfg.SeriesLen, coll.SeriesLen())
-	}
-	if sax.Len() != coll.Len() {
-		return nil, fmt.Errorf("messi: index covers %d series, collection has %d",
-			sax.Len(), coll.Len())
-	}
-	ix := &Index{cfg: cfg, opt: opt, tree: tree, sax: sax, raw: coll}
-	ix.attachEngine()
-	return ix, nil
-}
-
-// Count returns the number of indexed series.
-func (ix *Index) Count() int { return ix.raw.Len() }
-
-// Tree exposes the index tree for diagnostics and tests.
-func (ix *Index) Tree() *core.Tree { return ix.tree }
+// Tree exposes the current snapshot's tree for diagnostics and tests. It
+// covers the base collection plus the merged part of the delta buffer.
+func (ix *Index) Tree() *core.Tree { return ix.snap.Load().tree }
 
 // BuildStats returns the creation-phase breakdown of Figure 5.
 func (ix *Index) BuildStats() BuildStats { return ix.build }
 
-// Raw returns the indexed collection.
+// Raw returns the immutable base collection the index was built over.
+// Appended series live in the index's own stable storage (see At).
 func (ix *Index) Raw() *series.Collection { return ix.raw }
+
+// At returns the series at a global position: the base collection for
+// positions below its length, the append store above. Every position a
+// query result reports resolves through here.
+func (ix *Index) At(pos int) series.Series {
+	if pos < ix.baseLen {
+		return ix.raw.At(pos)
+	}
+	return ix.store.At(pos - ix.baseLen)
+}

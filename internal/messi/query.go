@@ -21,7 +21,29 @@ type QueryStats struct {
 	LeavesPopped   int // leaves actually examined from the queues
 	EntriesChecked int // per-series lower bounds computed
 	RawDistances   int // exact distances computed (incl. approximate phase)
+	// Observed is the number of series this query answered over: the
+	// consistent prefix (base collection + published appends) captured at
+	// query start. A serial scan over exactly that prefix returns the
+	// bit-identical answer.
+	Observed int
 }
+
+// view is the consistent cut one query observes: a tree snapshot plus the
+// count of appended series published at capture time. Loading the snapshot
+// before the append count guarantees aLive ≥ snap.mergedA — the delta
+// suffix [snap.mergedA, aLive) is exactly what the tree does not cover.
+type view struct {
+	snap  *snapshot
+	aLive int // published appended series
+}
+
+func (ix *Index) view() view {
+	s := ix.snap.Load()
+	return view{snap: s, aLive: int(ix.appended.Load())}
+}
+
+// total returns the number of series the view answers over.
+func (v view) total(baseLen int) int { return baseLen + v.aLive }
 
 // queueEntry is a surviving leaf with its lower-bound distance.
 type queueEntry struct {
@@ -47,7 +69,7 @@ type searchScratch struct {
 func (ix *Index) newScratch() *searchScratch {
 	queues := pqueue.NewSet[queueEntry](ix.opt.QueueCount, 64)
 	return &searchScratch{
-		sm:     core.NewSummarizer(ix.cfg, ix.tree.Quantizer()),
+		sm:     core.NewSummarizer(ix.cfg, ix.Tree().Quantizer()),
 		qsax:   make([]uint8, ix.cfg.Segments),
 		qpaa:   make([]float64, ix.cfg.Segments),
 		table:  &isax.QueryTable{},
@@ -66,15 +88,18 @@ func (sc *searchScratch) summarizeQuery(q series.Series) {
 	copy(sc.qpaa, sc.sm.PAA(q))
 }
 
-// Search answers an exact 1-NN query. workers ≤ 0 means the index's
-// configured worker count; the effective parallelism is additionally capped
-// by the index's pool size, which all in-flight queries share.
+// Search answers an exact 1-NN query over everything the index holds at
+// call time: the tree snapshot plus an exact scan of the unmerged delta.
+// workers ≤ 0 means the index's configured worker count; the effective
+// parallelism is additionally capped by the index's pool size, which all
+// in-flight queries share.
 func (ix *Index) Search(q series.Series, workers int) (core.Result, *QueryStats, error) {
 	if len(q) != ix.cfg.SeriesLen {
 		return core.NoResult(), nil, fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
 	}
-	stats := &QueryStats{}
-	if ix.raw.Len() == 0 {
+	v := ix.view()
+	stats := &QueryStats{Observed: v.total(ix.baseLen)}
+	if stats.Observed == 0 {
 		return core.NoResult(), stats, nil
 	}
 
@@ -83,25 +108,39 @@ func (ix *Index) Search(q series.Series, workers int) (core.Result, *QueryStats,
 	sc.summarizeQuery(q)
 
 	best := xsync.NewBest()
+	t := v.snap.tree
 
 	// Approximate phase: exact distances over the closest leaf.
-	if leaf := ix.tree.BestLeafApprox(sc.qsax, sc.qpaa); leaf != nil {
+	if leaf := t.BestLeafApprox(sc.qsax, sc.qpaa); leaf != nil {
 		for _, p := range leaf.Pos {
 			stats.RawDistances++
-			if d := vector.SquaredEDEarlyAbandon(q, ix.raw.At(int(p)), best.Distance()); d < best.Distance() {
+			if d := vector.SquaredEDEarlyAbandon(q, ix.At(int(p)), best.Distance()); d < best.Distance() {
 				best.Update(d, int64(p))
 			}
 		}
 	}
 
-	sc.table.FillED(ix.tree.Quantizer(), sc.qpaa, ix.cfg.SeriesLen)
-	sc.mt.FillFrom(ix.tree.Quantizer(), sc.table)
-	ix.queuedSearch(workers, stats, best.Distance, sc,
+	sc.table.FillED(t.Quantizer(), sc.qpaa, ix.cfg.SeriesLen)
+	sc.mt.FillFrom(t.Quantizer(), sc.table)
+	ix.queuedSearch(workers, stats, best.Distance, sc, v,
 		func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)) {
-			ix.tree.PruneWalkTable(node, sc.mt, bsf, emit)
+			t.PruneWalkTable(node, sc.mt, bsf, emit)
 		},
 		func(leaf *core.Node, limit float64, st *QueryStats) {
 			ix.refineLeafED(q, sc.table, leaf, best, st)
+		},
+		func(lo, hi int, st *QueryStats) {
+			for i := lo; i < hi; i++ {
+				st.EntriesChecked++
+				limit := best.Distance()
+				if sc.table.MinDistSAX(ix.saxLog.At(i)) >= limit {
+					continue
+				}
+				st.RawDistances++
+				if d := vector.SquaredEDEarlyAbandon(q, ix.store.At(i), limit); d < limit {
+					best.Update(d, int64(ix.baseLen+i))
+				}
+			}
 		})
 
 	d, p := best.Load()
@@ -154,18 +193,24 @@ func (ix *Index) refineLeafED(q series.Series, table *isax.QueryTable, leaf *cor
 		}
 		p := leaf.Pos[i]
 		stats.RawDistances++
-		if d := vector.SquaredEDEarlyAbandon(q, ix.raw.At(int(p)), limit); d < limit {
+		if d := vector.SquaredEDEarlyAbandon(q, ix.At(int(p)), limit); d < limit {
 			best.Update(d, int64(p))
 		}
 	}
 }
 
+// deltaBlock is the delta-scan work-claiming granularity in series.
+const deltaBlock = 1024
+
 // queuedSearch runs MESSI stage 3: parallel pruned traversal filling the
-// priority queues, a barrier, then parallel best-first draining. bsf reads
-// the live pruning threshold (the BSF for 1-NN, the k-th best for k-NN);
-// walk and refine abstract the distance flavor (ED vs DTW).
+// priority queues — concurrently with an exact scan of the view's unmerged
+// delta suffix — then a barrier, then parallel best-first draining. bsf
+// reads the live pruning threshold (the BSF for 1-NN, the k-th best for
+// k-NN); walk, refine and scanDelta abstract the distance flavor (ED vs
+// DTW). The delta scan shares the BSF with the traversal, so abandoning
+// thresholds tighten globally whichever side improves the answer first.
 //
-// Both phases execute as tasks on the index's shared worker pool rather
+// All phases execute as tasks on the index's shared worker pool rather
 // than per-call goroutines: with several queries in flight, their tasks
 // interleave through one run queue and the machine runs at most pool-size
 // tasks at any instant. workers caps THIS query's share of the pool (the
@@ -176,8 +221,10 @@ func (ix *Index) queuedSearch(
 	stats *QueryStats,
 	bsf func() float64,
 	sc *searchScratch,
+	v view,
 	walk func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)),
 	refine func(leaf *core.Node, limit float64, st *QueryStats),
+	scanDelta func(lo, hi int, st *QueryStats),
 ) {
 	end := ix.eng.BeginQuery()
 	defer end()
@@ -192,16 +239,20 @@ func (ix *Index) queuedSearch(
 	}
 	queues := sc.queues
 	queues.Reset()
-	keys := ix.tree.OccupiedKeys()
+	t := v.snap.tree
+	keys := t.OccupiedKeys()
 
-	// Phase A: traversal. Tasks claim root subtrees with Fetch&Inc, in
-	// blocks: a tree over a scaled-down collection has tens of thousands of
-	// tiny root subtrees, and per-subtree claims would serialize on the
-	// shared counter's cache line.
+	// Phase A: traversal plus delta scan. Traversal tasks claim root
+	// subtrees with Fetch&Inc, in blocks: a tree over a scaled-down
+	// collection has tens of thousands of tiny root subtrees, and
+	// per-subtree claims would serialize on the shared counter's cache
+	// line. Delta tasks claim blocks of the unmerged suffix the same way.
 	const claimBlock = 256
-	var cursor xsync.Counter
+	var cursor, deltaCursor xsync.Counter
 	var inserted, popped, entries, raws atomic.Int64
 	blocks := (len(keys) + claimBlock - 1) / claimBlock
+	deltaLo, deltaHi := v.snap.mergedA, v.aLive
+	deltaBlocks := (deltaHi - deltaLo + deltaBlock - 1) / deltaBlock
 	g := ix.eng.NewGroup()
 	for w := 0; w < min(workers, max(blocks, 1)); w++ {
 		g.Submit(func() {
@@ -212,12 +263,26 @@ func (ix *Index) queuedSearch(
 				}
 				hi := min(lo+claimBlock, len(keys))
 				for _, key := range keys[lo:hi] {
-					walk(ix.tree.Subtree(key), bsf, func(leaf *core.Node, lb float64) {
+					walk(t.Subtree(key), bsf, func(leaf *core.Node, lb float64) {
 						queues.Insert(lb, queueEntry{leaf: leaf})
 						inserted.Add(1)
 					})
 				}
 			}
+		})
+	}
+	for w := 0; w < min(workers, deltaBlocks); w++ {
+		g.Submit(func() {
+			st := QueryStats{}
+			for {
+				lo := deltaLo + int(deltaCursor.Next())*deltaBlock
+				if lo >= deltaHi {
+					break
+				}
+				scanDelta(lo, min(lo+deltaBlock, deltaHi), &st)
+			}
+			entries.Add(int64(st.EntriesChecked))
+			raws.Add(int64(st.RawDistances))
 		})
 	}
 	g.Wait()
@@ -277,13 +342,17 @@ func (ix *Index) queuedSearch(
 // SearchApproximate answers a query with the approximate algorithm of the
 // iSAX family: descend to the leaf whose word matches the query summary
 // and return the best series in it, with no traversal of the rest of the
-// tree. The answer is not guaranteed to be the true nearest neighbor but
-// is computed in microseconds; its distance upper-bounds the exact answer.
+// tree. The unmerged delta is exact-scanned too (it is small by
+// construction — merges keep it under the threshold), so the answer's
+// distance still upper-bounds the exact answer over everything the call
+// observed. The answer is not guaranteed to be the true nearest neighbor
+// but is computed in microseconds.
 func (ix *Index) SearchApproximate(q series.Series) (core.Result, error) {
 	if len(q) != ix.cfg.SeriesLen {
 		return core.NoResult(), fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
 	}
-	if ix.raw.Len() == 0 {
+	v := ix.view()
+	if v.total(ix.baseLen) == 0 {
 		return core.NoResult(), nil
 	}
 	end := ix.eng.BeginQuery()
@@ -293,13 +362,16 @@ func (ix *Index) SearchApproximate(q series.Series) (core.Result, error) {
 	sc.summarizeQuery(q)
 
 	best := core.NoResult()
-	leaf := ix.tree.BestLeafApprox(sc.qsax, sc.qpaa)
-	if leaf == nil {
-		return best, nil
+	if leaf := v.snap.tree.BestLeafApprox(sc.qsax, sc.qpaa); leaf != nil {
+		for _, p := range leaf.Pos {
+			if d := vector.SquaredEDEarlyAbandon(q, ix.At(int(p)), best.Dist); d < best.Dist {
+				best = core.Result{Pos: p, Dist: d}
+			}
+		}
 	}
-	for _, p := range leaf.Pos {
-		if d := vector.SquaredEDEarlyAbandon(q, ix.raw.At(int(p)), best.Dist); d < best.Dist {
-			best = core.Result{Pos: p, Dist: d}
+	for i := v.snap.mergedA; i < v.aLive; i++ {
+		if d := vector.SquaredEDEarlyAbandon(q, ix.store.At(i), best.Dist); d < best.Dist {
+			best = core.Result{Pos: int32(ix.baseLen + i), Dist: d}
 		}
 	}
 	return best, nil
@@ -314,8 +386,9 @@ func (ix *Index) SearchKNN(q series.Series, k, workers int) ([]core.Result, *Que
 	if k <= 0 {
 		return nil, &QueryStats{}, nil
 	}
-	stats := &QueryStats{}
-	if ix.raw.Len() == 0 {
+	v := ix.view()
+	stats := &QueryStats{Observed: v.total(ix.baseLen)}
+	if stats.Observed == 0 {
 		return nil, stats, nil
 	}
 
@@ -323,22 +396,23 @@ func (ix *Index) SearchKNN(q series.Series, k, workers int) ([]core.Result, *Que
 	defer ix.putScratch(sc)
 	sc.summarizeQuery(q)
 
+	t := v.snap.tree
 	kb := xsync.NewKBest(k)
-	if leaf := ix.tree.BestLeafApprox(sc.qsax, sc.qpaa); leaf != nil {
+	if leaf := t.BestLeafApprox(sc.qsax, sc.qpaa); leaf != nil {
 		for _, p := range leaf.Pos {
 			stats.RawDistances++
-			d := vector.SquaredEDEarlyAbandon(q, ix.raw.At(int(p)), kb.Threshold())
+			d := vector.SquaredEDEarlyAbandon(q, ix.At(int(p)), kb.Threshold())
 			kb.Offer(p, d)
 		}
 	}
 
-	sc.table.FillED(ix.tree.Quantizer(), sc.qpaa, ix.cfg.SeriesLen)
-	sc.mt.FillFrom(ix.tree.Quantizer(), sc.table)
+	sc.table.FillED(t.Quantizer(), sc.qpaa, ix.cfg.SeriesLen)
+	sc.mt.FillFrom(t.Quantizer(), sc.table)
 	table := sc.table
 	// The k-th best distance plays the BSF role in every pruning decision.
-	ix.queuedSearch(workers, stats, kb.Threshold, sc,
+	ix.queuedSearch(workers, stats, kb.Threshold, sc, v,
 		func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)) {
-			ix.tree.PruneWalkTable(node, sc.mt, bsf, emit)
+			t.PruneWalkTable(node, sc.mt, bsf, emit)
 		},
 		func(leaf *core.Node, limit float64, st *QueryStats) {
 			w := ix.cfg.Segments
@@ -350,8 +424,20 @@ func (ix *Index) SearchKNN(q series.Series, k, workers int) ([]core.Result, *Que
 				}
 				p := leaf.Pos[i]
 				st.RawDistances++
-				d := vector.SquaredEDEarlyAbandon(q, ix.raw.At(int(p)), lim)
+				d := vector.SquaredEDEarlyAbandon(q, ix.At(int(p)), lim)
 				kb.Offer(p, d)
+			}
+		},
+		func(lo, hi int, st *QueryStats) {
+			for i := lo; i < hi; i++ {
+				st.EntriesChecked++
+				lim := kb.Threshold()
+				if table.MinDistSAX(ix.saxLog.At(i)) >= lim {
+					continue
+				}
+				st.RawDistances++
+				d := vector.SquaredEDEarlyAbandon(q, ix.store.At(i), lim)
+				kb.Offer(int32(ix.baseLen+i), d)
 			}
 		})
 
@@ -365,7 +451,8 @@ func (ix *Index) SearchKNN(q series.Series, k, workers int) ([]core.Result, *Que
 // SearchDTW answers an exact 1-NN query under DTW with a Sakoe-Chiba band
 // of half-width window, on the unchanged index (paper §V): node pruning and
 // per-entry filtering use the envelope-based iSAX lower bound, candidates
-// pass an LB_Keogh check, and survivors pay the full dynamic program.
+// pass an LB_Keogh check, and survivors pay the full dynamic program. The
+// unmerged delta runs through the same cascade.
 func (ix *Index) SearchDTW(q series.Series, window, workers int) (core.Result, *QueryStats, error) {
 	if len(q) != ix.cfg.SeriesLen {
 		return core.NoResult(), nil, fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
@@ -373,8 +460,9 @@ func (ix *Index) SearchDTW(q series.Series, window, workers int) (core.Result, *
 	if window < 0 {
 		window = 0
 	}
-	stats := &QueryStats{}
-	if ix.raw.Len() == 0 {
+	v := ix.view()
+	stats := &QueryStats{Observed: v.total(ix.baseLen)}
+	if stats.Observed == 0 {
 		return core.NoResult(), stats, nil
 	}
 
@@ -387,24 +475,25 @@ func (ix *Index) SearchDTW(q series.Series, window, workers int) (core.Result, *
 	loPAA := paa.Transform(env.Lower, ix.cfg.Segments)
 	n := ix.cfg.SeriesLen
 
+	t := v.snap.tree
 	best := xsync.NewBest()
-	if leaf := ix.tree.BestLeafApprox(sc.qsax, sc.qpaa); leaf != nil {
+	if leaf := t.BestLeafApprox(sc.qsax, sc.qpaa); leaf != nil {
 		for _, p := range leaf.Pos {
 			stats.RawDistances++
-			if d := series.DTW(q, ix.raw.At(int(p)), window, best.Distance()); d < best.Distance() {
+			if d := series.DTW(q, ix.At(int(p)), window, best.Distance()); d < best.Distance() {
 				best.Update(d, int64(p))
 			}
 		}
 	}
 
-	sc.table.FillDTW(ix.tree.Quantizer(), upPAA, loPAA, n)
+	sc.table.FillDTW(t.Quantizer(), upPAA, loPAA, n)
 	// The multi-cardinality view of the DTW table remains a valid DTW lower
 	// bound: coarse cells are minima over their sub-regions.
-	sc.mt.FillFrom(ix.tree.Quantizer(), sc.table)
+	sc.mt.FillFrom(t.Quantizer(), sc.table)
 	table := sc.table
-	ix.queuedSearch(workers, stats, best.Distance, sc,
+	ix.queuedSearch(workers, stats, best.Distance, sc, v,
 		func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)) {
-			ix.tree.PruneWalkTable(node, sc.mt, bsf, emit)
+			t.PruneWalkTable(node, sc.mt, bsf, emit)
 		},
 		func(leaf *core.Node, limit float64, st *QueryStats) {
 			w := ix.cfg.Segments
@@ -414,13 +503,30 @@ func (ix *Index) SearchDTW(q series.Series, window, workers int) (core.Result, *
 				if table.MinDistSAX(leaf.SAX[i*w:(i+1)*w]) >= lim {
 					continue
 				}
-				s := ix.raw.At(int(leaf.Pos[i]))
+				s := ix.At(int(leaf.Pos[i]))
 				if series.LBKeogh(env, s, lim) >= lim {
 					continue
 				}
 				st.RawDistances++
 				if d := series.DTW(q, s, window, lim); d < lim {
 					best.Update(d, int64(leaf.Pos[i]))
+				}
+			}
+		},
+		func(lo, hi int, st *QueryStats) {
+			for i := lo; i < hi; i++ {
+				st.EntriesChecked++
+				lim := best.Distance()
+				if table.MinDistSAX(ix.saxLog.At(i)) >= lim {
+					continue
+				}
+				s := ix.store.At(i)
+				if series.LBKeogh(env, s, lim) >= lim {
+					continue
+				}
+				st.RawDistances++
+				if d := series.DTW(q, s, window, lim); d < lim {
+					best.Update(d, int64(ix.baseLen+i))
 				}
 			}
 		})

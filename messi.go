@@ -16,6 +16,14 @@ import (
 // goroutines, and BatchSearch / Serve multiplex many queries onto the pool
 // with admission control. Close releases the pool's goroutines; an unclosed
 // index releases them when garbage-collected.
+//
+// The index also accepts live writes: Append and AppendBatch add series
+// while queries run. New series land in a delta buffer (summarized on
+// arrival, exact-scanned by queries, so answers stay exact), and a
+// background merge — scheduled on the same worker pool once the buffer
+// reaches WithMergeThreshold — folds them into the tree without blocking
+// readers. IngestStats exposes the write path's counters; Flush forces a
+// synchronous merge.
 type MESSI struct {
 	inner *messi.Index
 }
@@ -24,9 +32,10 @@ type MESSI struct {
 func NewMESSI(coll *Collection, opts ...Option) (*MESSI, error) {
 	o := buildOptions(opts)
 	inner, err := messi.Build(coll, o.coreConfig(), messi.Options{
-		Workers:     o.workers,
-		QueueCount:  o.queueCount,
-		MaxInFlight: o.maxInFlight,
+		Workers:        o.workers,
+		QueueCount:     o.queueCount,
+		MaxInFlight:    o.maxInFlight,
+		MergeThreshold: o.mergeThreshold,
 	})
 	if err != nil {
 		return nil, err
@@ -78,8 +87,55 @@ func (ix *MESSI) SearchApproximate(q Series) (Match, error) {
 // Stats returns the index tree shape.
 func (ix *MESSI) Stats() IndexStats { return statsOf(ix.inner.Tree()) }
 
-// Len returns the number of indexed series.
+// Len returns the number of indexed series, including live appends.
 func (ix *MESSI) Len() int { return ix.inner.Count() }
+
+// Append adds one series to the serving index and returns its position
+// (positions continue past the build-time collection). The series becomes
+// visible to queries before Append returns; a background merge folds it
+// into the index tree later. Safe for concurrent use with queries, other
+// appends, Flush, Save and Close.
+func (ix *MESSI) Append(s Series) (int, error) { return ix.inner.Append(s) }
+
+// AppendBatch adds a batch of series at consecutive positions, returning
+// the position of the first. The batch becomes visible atomically: a
+// concurrent query sees either none or all of it.
+func (ix *MESSI) AppendBatch(ss []Series) (int, error) { return ix.inner.AppendBatch(ss) }
+
+// Flush synchronously merges every series appended before the call into
+// the index tree. Queries do not require it — unmerged series are already
+// searched exactly — so Flush is about merge timing (e.g. before Save, or
+// to bound per-query delta-scan cost ahead of a traffic spike).
+func (ix *MESSI) Flush() { ix.inner.Flush() }
+
+// IngestStats is a snapshot of the live-ingestion counters.
+type IngestStats struct {
+	// Appended counts series accepted by Append/AppendBatch since the
+	// index was created or loaded.
+	Appended uint64
+	// Pending is the current delta-buffer size: appended series not yet
+	// merged into the tree (queries exact-scan them in the meantime).
+	Pending int
+	// Merged is the number of appended series the tree covers.
+	Merged int
+	// Merges counts completed background/Flush merge cycles.
+	Merges uint64
+	// MergeThreshold is the delta size that triggers a background merge
+	// (the WithMergeThreshold option).
+	MergeThreshold int
+}
+
+// IngestStats snapshots the write path's counters.
+func (ix *MESSI) IngestStats() IngestStats {
+	st := ix.inner.IngestStats()
+	return IngestStats{
+		Appended:       st.Appended,
+		Pending:        st.Pending,
+		Merged:         st.Merged,
+		Merges:         st.Merges,
+		MergeThreshold: st.MergeThreshold,
+	}
+}
 
 // BatchSearch answers one exact 1-NN query per element of qs, running them
 // concurrently on the shared worker pool under admission control. The

@@ -11,16 +11,22 @@ import (
 
 // Index persistence: a built index can be saved to a file and reopened
 // without rebuilding. The index file stores the tree and the summaries,
-// not the raw series — reopening requires the same collection (MESSI) or
-// the same DiskCollection (ParIS) the index was built over.
+// not the build-time raw series — reopening requires the same collection
+// (MESSI) or the same DiskCollection (ParIS) the index was built over.
+// Live appends are the exception: a MESSI index's appended series exist
+// nowhere but in the index, so Save includes them — raw values, on-arrival
+// summaries, and the merged/pending split — and LoadMESSI restores the
+// delta buffer exactly as it was, no Flush required before saving.
 
-// Save writes the MESSI index to path.
+// Save writes the MESSI index to path, including its live-append store
+// (both merged and still-pending series).
 func (ix *MESSI) Save(path string) error {
 	return writeFileAtomic(path, ix.inner.Encode())
 }
 
 // LoadMESSI reopens a saved MESSI index over the collection it was built
-// from. The collection's shape is validated against the index.
+// from. The collection's shape is validated against the index; appended
+// series are restored from the file itself.
 func LoadMESSI(path string, coll *Collection, opts ...Option) (*MESSI, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -28,9 +34,10 @@ func LoadMESSI(path string, coll *Collection, opts ...Option) (*MESSI, error) {
 	}
 	o := buildOptions(opts)
 	inner, err := messi.Decode(data, coll, messi.Options{
-		Workers:     o.workers,
-		QueueCount:  o.queueCount,
-		MaxInFlight: o.maxInFlight,
+		Workers:        o.workers,
+		QueueCount:     o.queueCount,
+		MaxInFlight:    o.maxInFlight,
+		MergeThreshold: o.mergeThreshold,
 	})
 	if err != nil {
 		return nil, err

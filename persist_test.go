@@ -178,3 +178,73 @@ func TestParISPublicKNNAndDTW(t *testing.T) {
 		t.Fatalf("approximate %v below exact %v", approx.Distance, exact.Distance)
 	}
 }
+
+func TestMESSISaveLoadWithLiveAppends(t *testing.T) {
+	// The delta buffer — merged and pending appends alike — must survive
+	// Save/Load: appended series exist nowhere but inside the index.
+	coll := dsidx.Generate(dsidx.Synthetic, 800, 128, 26)
+	idx, err := dsidx.NewMESSI(coll, dsidx.WithLeafCapacity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	extra := dsidx.Generate(dsidx.Synthetic, 300, 128, 27)
+	for i := 0; i < 200; i++ {
+		if _, err := idx.Append(extra.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx.Flush() // first 200 merged into the tree
+	batch := make([]dsidx.Series, 100)
+	for i := range batch {
+		batch[i] = extra.At(200 + i)
+	}
+	if start, err := idx.AppendBatch(batch); err != nil || start != 1000 {
+		t.Fatalf("batch start %d err %v", start, err)
+	}
+	st := idx.IngestStats()
+	if st.Appended != 300 || st.Merged != 200 || st.Pending != 100 {
+		t.Fatalf("ingest stats before save: %+v", st)
+	}
+
+	path := filepath.Join(t.TempDir(), "messi-live.dsi")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := dsidx.LoadMESSI(path, coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if loaded.Len() != 1100 {
+		t.Fatalf("loaded Len %d, want 1100", loaded.Len())
+	}
+	if lst := loaded.IngestStats(); lst.Pending != 100 || lst.Merged != 200 {
+		t.Fatalf("loaded ingest stats: %+v", lst)
+	}
+	// An appended-and-pending series is its own nearest neighbor in the
+	// loaded index, at the position Append reported.
+	m, err := loaded.Search(extra.At(250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Pos != 1050 || m.Distance != 0 {
+		t.Fatalf("loaded self-query: (#%d, %v)", m.Pos, m.Distance)
+	}
+	queries := dsidx.GeneratePerturbedQueries(coll, 5, 0.05, 26)
+	for qi := 0; qi < queries.Len(); qi++ {
+		q := queries.At(qi)
+		a, err := idx.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Pos != b.Pos || a.Distance != b.Distance {
+			t.Fatalf("query %d: loaded (#%d, %v) != original (#%d, %v)",
+				qi, b.Pos, b.Distance, a.Pos, a.Distance)
+		}
+	}
+}
