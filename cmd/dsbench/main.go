@@ -9,6 +9,7 @@
 //	dsbench -experiment all -series 200000 -queries 5
 //	dsbench -experiment concurrent -inflight 1,8,32
 //	dsbench -experiment ingest -appendrate 0,5000,50000
+//	dsbench -benchjson BENCH_query.json -series 50000 -queries 16
 //
 // The concurrent experiment is the serving-engine workload: it measures
 // MESSI throughput (queries/s) with the given numbers of queries in flight
@@ -19,6 +20,11 @@
 // Each experiment prints its measured table followed by a note restating
 // the paper's claim for that figure, so measured-vs-paper comparison is
 // immediate. See EXPERIMENTS.md for recorded results.
+//
+// -benchjson writes the machine-readable query-performance record
+// (ns/query, QPS across the in-flight sweep, raw distances per query) to
+// the given path instead of running experiments — the perf-trajectory
+// point tracked across PRs and by the CI bench-smoke step.
 package main
 
 import (
@@ -42,6 +48,7 @@ func main() {
 		cores      = flag.Int("cores", 0, "maximum core count axis (default 24)")
 		inflight   = flag.String("inflight", "", "comma-separated in-flight query counts for the concurrent experiment (default 1,4,16)")
 		appendrate = flag.String("appendrate", "", "comma-separated append rates (series/s) for the ingest experiment (default 0,1000,10000)")
+		benchjson  = flag.String("benchjson", "", "write the machine-readable query benchmark to this path and exit")
 	)
 	flag.Parse()
 
@@ -77,6 +84,21 @@ func main() {
 		MaxCores:     *cores,
 		InFlightAxis: inflightAxis,
 		AppendRates:  appendRates,
+	}
+
+	if *benchjson != "" {
+		res, err := experiments.RunQueryBench(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsbench: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := res.WriteJSON(*benchjson); err != nil {
+			fmt.Fprintf(os.Stderr, "dsbench: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: %.0f ns/query, %.1f raw distances/query, QPS %v\n",
+			*benchjson, res.NsPerQuery, res.RawDistancesPerQuery, res.QPSByInflight)
+		return
 	}
 
 	var ids []string

@@ -194,6 +194,8 @@ type options struct {
 	batchSeries    int
 	maxInFlight    int
 	mergeThreshold int
+	probeLeaves    int
+	leafRawOff     bool
 }
 
 // Option customizes index construction.
@@ -235,6 +237,23 @@ func WithMaxInFlight(n int) Option { return func(o *options) { o.maxInFlight = n
 // exact-scanned — so the threshold only trades merge frequency against
 // per-query delta-scan cost.
 func WithMergeThreshold(n int) Option { return func(o *options) { o.mergeThreshold = n } }
+
+// WithProbeLeaves sets how many index leaves a MESSI exact search probes to
+// seed its best-so-far distance before pruning the tree (default 2; 1
+// restores the paper's classic single-leaf approximate seed). Each probe
+// costs a few candidate distances up front and buys a tighter initial
+// bound, so more of the index is pruned without ever being touched.
+func WithProbeLeaves(p int) Option { return func(o *options) { o.probeLeaves = p } }
+
+// WithLeafMaterialization toggles MESSI's leaf-ordered raw storage
+// (default enabled): every index leaf keeps a contiguous copy of its
+// series' values, so query refinement streams sequential memory instead of
+// chasing candidate positions through the collection. The copy doubles raw
+// memory; disable it to trade that memory back for slower (random-access)
+// refinement on very large collections.
+func WithLeafMaterialization(enabled bool) Option {
+	return func(o *options) { o.leafRawOff = !enabled }
+}
 
 func buildOptions(opts []Option) options {
 	var o options

@@ -39,7 +39,7 @@ func TestNodeCloneIsDeepForEntries(t *testing.T) {
 	inserted := 0
 	for i, sax := range sums {
 		if tree.RootKey(sax) == key {
-			clone.insert(tree.Config(), sax, int32(10_000+i))
+			clone.insert(tree.Config(), sax, int32(10_000+i), nil)
 			inserted++
 		}
 	}
@@ -96,7 +96,7 @@ func TestCloneShellSharesUntouchedSubtrees(t *testing.T) {
 	// and register fresh keys exactly once.
 	key := keys[0]
 	replacement := tree.Subtree(key).Clone()
-	replacement.insert(tree.Config(), saxForKey(key), 999)
+	replacement.insert(tree.Config(), saxForKey(key), 999, nil)
 	before := tree.Subtree(key).Count
 	shell.SetSubtree(key, replacement)
 	if tree.Subtree(key).Count != before {

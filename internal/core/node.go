@@ -27,6 +27,14 @@ type Node struct {
 	// (stride = segments); Pos holds the positions of the raw series.
 	SAX []uint8
 	Pos []int32
+	// Raw optionally holds the leaf's raw series values back-to-back
+	// (stride = series length), aligned with SAX/Pos: entry i occupies
+	// [i*n, (i+1)*n). A materialized leaf lets refinement read candidates
+	// sequentially instead of chasing Pos through the collection — the
+	// cache behavior MESSI's SIMD scans depend on. Either every leaf of a
+	// tree is materialized or none is; Pos remains the source of truth for
+	// reported result positions.
+	Raw []float32
 
 	// Flushed leaf state (ParIS): when a leaf has been materialized to
 	// disk, SAX/Pos are released and Ref locates the blob.
@@ -37,15 +45,28 @@ type Node struct {
 // IsLeaf reports whether n is a leaf.
 func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
 
-// appendEntry adds one (summary, position) entry to a leaf.
-func (n *Node) appendEntry(sax []uint8, pos int32) {
+// appendEntry adds one (summary, position) entry to a leaf, carrying the
+// raw values when the tree is materialized (raw may be nil otherwise).
+func (n *Node) appendEntry(sax []uint8, pos int32, raw []float32) {
 	n.SAX = append(n.SAX, sax...)
 	n.Pos = append(n.Pos, pos)
+	if raw != nil {
+		n.Raw = append(n.Raw, raw...)
+	}
 	n.Count++
 }
 
 // entrySAX returns the i-th summary stored in a leaf.
 func (n *Node) entrySAX(i, w int) []uint8 { return n.SAX[i*w : (i+1)*w] }
+
+// EntryRaw returns the i-th materialized series of a leaf (series length
+// sl), or nil if the leaf is not materialized.
+func (n *Node) EntryRaw(i, sl int) []float32 {
+	if n.Raw == nil {
+		return nil
+	}
+	return n.Raw[i*sl : (i+1)*sl : (i+1)*sl]
+}
 
 // route returns the child of an inner node that covers the given summary.
 func (n *Node) route(sax []uint8, maxBits int) *Node {
@@ -96,28 +117,38 @@ func (n *Node) split(cfg Config, seg int) {
 	w := cfg.Segments
 	left := &Node{Word: n.Word.Child(seg, 0)}
 	right := &Node{Word: n.Word.Child(seg, 1)}
+	sl := 0
+	if n.Raw != nil {
+		sl = len(n.Raw) / n.Count
+	}
 	for i := 0; i < n.Count; i++ {
 		sax := n.entrySAX(i, w)
+		var raw []float32
+		if sl > 0 {
+			raw = n.Raw[i*sl : (i+1)*sl]
+		}
 		if n.Word.PrefixBitAt(seg, sax[seg], cfg.MaxBits) == 0 {
-			left.appendEntry(sax, n.Pos[i])
+			left.appendEntry(sax, n.Pos[i], raw)
 		} else {
-			right.appendEntry(sax, n.Pos[i])
+			right.appendEntry(sax, n.Pos[i], raw)
 		}
 	}
 	n.SplitSeg = seg
 	n.Left, n.Right = left, right
-	n.SAX, n.Pos = nil, nil
+	n.SAX, n.Pos, n.Raw = nil, nil, nil
 }
 
 // insert adds an entry below n, splitting leaves that exceed capacity.
-// Called only by the goroutine owning this root subtree.
-func (n *Node) insert(cfg Config, sax []uint8, pos int32) {
+// raw carries the series values into materialized leaves and must be nil
+// for unmaterialized trees. Called only by the goroutine owning this root
+// subtree.
+func (n *Node) insert(cfg Config, sax []uint8, pos int32, raw []float32) {
 	node := n
 	for !node.IsLeaf() {
 		node.Count++
 		node = node.route(sax, cfg.MaxBits)
 	}
-	node.appendEntry(sax, pos)
+	node.appendEntry(sax, pos, raw)
 	for node.Count > cfg.LeafCapacity {
 		seg, ok := node.splittable(cfg)
 		if !ok {
@@ -158,6 +189,9 @@ func (n *Node) Clone() *Node {
 	}
 	if n.Pos != nil {
 		c.Pos = append(make([]int32, 0, len(n.Pos)), n.Pos...)
+	}
+	if n.Raw != nil {
+		c.Raw = append(make([]float32, 0, len(n.Raw)), n.Raw...)
 	}
 	c.Left, c.Right = n.Left.Clone(), n.Right.Clone()
 	return c

@@ -238,7 +238,17 @@ func DecodeIndex(data []byte) (*Tree, *SAXArray, error) {
 			}
 			n.Pos = make([]int32, cnt)
 			for i := range n.Pos {
-				n.Pos[i] = int32(binary.LittleEndian.Uint32(pb[i*4:]))
+				p := int32(binary.LittleEndian.Uint32(pb[i*4:]))
+				// Leaf positions index the collection (and, for live
+				// indexes, the append store) — an out-of-range position in
+				// a corrupt file must fail the decode, not panic the first
+				// access that resolves it (leaf materialization touches
+				// every position eagerly at load).
+				if p < 0 || uint64(p) >= count {
+					return nil, fmt.Errorf("core: leaf position %d exceeds series count %d: %w",
+						p, count, storage.ErrCorrupt)
+				}
+				n.Pos[i] = p
 			}
 		case tagFlushedLeaf:
 			off, err := r.u64()

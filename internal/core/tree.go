@@ -99,7 +99,15 @@ func (t *Tree) SetSubtree(key uint32, n *Node) {
 // SubtreeInsert inserts a summary into the subtree for key, which the
 // caller has already computed (and owns). sax is copied.
 func (t *Tree) SubtreeInsert(key uint32, sax []uint8, pos int32) {
-	t.ensureRoot(key).insert(t.cfg, sax, pos)
+	t.ensureRoot(key).insert(t.cfg, sax, pos, nil)
+}
+
+// SubtreeInsertRaw is SubtreeInsert carrying the series' raw values into
+// the destination leaf, for trees with materialized (leaf-ordered) raw
+// storage. sax and raw are copied. Every insert into a materialized tree
+// must use this form, or leaves would hold fewer raw blocks than entries.
+func (t *Tree) SubtreeInsertRaw(key uint32, sax []uint8, pos int32, raw []float32) {
+	t.ensureRoot(key).insert(t.cfg, sax, pos, raw)
 }
 
 // Insert routes a summary to its root subtree and inserts it. Convenience
@@ -161,6 +169,99 @@ func (t *Tree) BestLeafApprox(querySAX []uint8, queryPAA []float64) *Node {
 		node = node.route(querySAX, t.cfg.MaxBits)
 	}
 	return node
+}
+
+// BestLeavesApprox returns up to p distinct leaves ordered by how
+// promising they are for seeding the BSF: the leaf BestLeafApprox finds,
+// then the multi-probe extension — each further probe descends the
+// unexplored sibling subtree with the smallest node lower bound among all
+// siblings passed so far (the neighboring regions a slightly-perturbed
+// query summary would have routed to). Probing p leaves instead of one
+// tightens the initial BSF, so fewer leaves survive tree pruning in the
+// exact phase. Costs p descents plus one MinDist per passed sibling; no
+// full root scan beyond the one BestLeafApprox already performs for an
+// empty matching root. Returns nil for an empty tree.
+func (t *Tree) BestLeavesApprox(querySAX []uint8, queryPAA []float64, p int) []*Node {
+	if p <= 1 {
+		// The classic single-leaf seed: no sibling bounds to compute.
+		if leaf := t.BestLeafApprox(querySAX, queryPAA); leaf != nil {
+			return []*Node{leaf}
+		}
+		return nil
+	}
+	start := t.roots[t.RootKey(querySAX)]
+	if start == nil {
+		// Same fallback as BestLeafApprox: the best occupied root child.
+		bestDist := math.Inf(1)
+		for _, key := range t.OccupiedKeys() {
+			d := isax.MinDist(t.quant, queryPAA, t.roots[key].Word, t.cfg.SeriesLen)
+			if d < bestDist {
+				start, bestDist = t.roots[key], d
+			}
+		}
+		if start == nil {
+			return nil
+		}
+	}
+	leaves := make([]*Node, 0, p)
+	// siblings collects the un-routed child at every inner node passed,
+	// with its lower bound; probes pop the minimum. Descent paths are
+	// MaxDepth deep and p is small, so a linear-scan pop beats a heap.
+	// The final probe's descent skips the bound computations entirely —
+	// nothing will pop what it would collect.
+	type cand struct {
+		n  *Node
+		lb float64
+	}
+	var siblings []cand
+	descend := func(n *Node, collect bool) *Node {
+		for !n.IsLeaf() {
+			next := n.route(querySAX, t.cfg.MaxBits)
+			if collect {
+				sib := n.Left
+				if sib == next {
+					sib = n.Right
+				}
+				siblings = append(siblings, cand{sib, isax.MinDist(t.quant, queryPAA, sib.Word, t.cfg.SeriesLen)})
+			}
+			n = next
+		}
+		return n
+	}
+	leaves = append(leaves, descend(start, p > 1))
+	for len(leaves) < p && len(siblings) > 0 {
+		best := 0
+		for i := 1; i < len(siblings); i++ {
+			if siblings[i].lb < siblings[best].lb {
+				best = i
+			}
+		}
+		next := siblings[best].n
+		siblings[best] = siblings[len(siblings)-1]
+		siblings = siblings[:len(siblings)-1]
+		leaves = append(leaves, descend(next, len(leaves)+1 < p))
+	}
+	return leaves
+}
+
+// MaterializeLeaves fills every leaf below n with its entries' raw values
+// in leaf order: fetch resolves a stored position to that series' values
+// (sl points each), and the leaf's Raw block is laid out entry-aligned
+// with SAX/Pos. Leaves already materialized are skipped, so the walk is
+// idempotent; flushed leaves have no in-memory entries and are skipped
+// too. Callers own the subtree (build and merge both materialize before
+// publishing a snapshot).
+func (n *Node) MaterializeLeaves(sl int, fetch func(pos int32) []float32) {
+	n.WalkLeaves(func(leaf *Node) {
+		if leaf.Raw != nil || leaf.Flushed || leaf.Count == 0 {
+			return
+		}
+		raw := make([]float32, leaf.Count*sl)
+		for i, p := range leaf.Pos {
+			copy(raw[i*sl:(i+1)*sl], fetch(p))
+		}
+		leaf.Raw = raw
+	})
 }
 
 // PruneWalk traverses the subtree rooted at n, pruning every node whose
@@ -256,6 +357,10 @@ func (t *Tree) CheckInvariants() error {
 					return fmt.Errorf("leaf %v: count %d vs %d pos, %d sax bytes",
 						n.Word, n.Count, len(n.Pos), len(n.SAX))
 				}
+			}
+			if n.Raw != nil && len(n.Raw) != n.Count*t.cfg.SeriesLen {
+				return fmt.Errorf("leaf %v: %d raw values for %d entries of length %d",
+					n.Word, len(n.Raw), n.Count, t.cfg.SeriesLen)
 			}
 			for i := 0; i < len(n.Pos); i++ {
 				sax := n.entrySAX(i, w)

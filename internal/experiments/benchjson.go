@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dsidx/internal/core"
+	"dsidx/internal/gen"
+	"dsidx/internal/messi"
+	"dsidx/internal/series"
+)
+
+// QueryBenchResult is the machine-readable query-performance record
+// dsbench -benchjson writes (BENCH_query.json): one trajectory point of
+// the hot-path numbers tracked across PRs. Fields are stable — additions
+// are fine, renames are not — so historical files stay comparable.
+type QueryBenchResult struct {
+	Schema      string `json:"schema"` // "dsidx-bench-query/v1"
+	GeneratedAt string `json:"generated_at"`
+	GOMAXPROCS  int    `json:"gomaxprocs"` // cores actually available
+	Workers     int    `json:"workers"`    // index worker-pool size
+
+	SeriesCount int `json:"series_count"`
+	SeriesLen   int `json:"series_len"`
+	QueryCount  int `json:"query_count"`
+	ProbeLeaves int `json:"probe_leaves"`
+
+	// NsPerQuery is single-stream mean exact-query latency; QPSByInflight
+	// is throughput with 1/4/16 (or the configured axis) queries in
+	// flight on the shared pool.
+	NsPerQuery    float64            `json:"ns_per_query"`
+	QPSByInflight map[string]float64 `json:"qps_by_inflight"`
+
+	// Per-query pruning means, from QueryStats: raw distances paid and
+	// lower bounds computed per exact query.
+	RawDistancesPerQuery   float64 `json:"raw_distances_per_query"`
+	EntriesCheckedPerQuery float64 `json:"entries_checked_per_query"`
+
+	Note string `json:"note,omitempty"`
+}
+
+// RunQueryBench builds a MESSI index over the configured workload and
+// measures the exact-query hot path: latency, the in-flight throughput
+// sweep, and the mean pruning stats. It is the programmatic form of the
+// dsbench -benchjson flag and the CI bench-smoke step.
+func RunQueryBench(cfg Config) (*QueryBenchResult, error) {
+	cfg = cfg.Normalize()
+	w := newWorkload(cfg, gen.Synthetic)
+	ix, err := messi.Build(w.coll, core.Config{LeafCapacity: leafCapacity},
+		messi.Options{Workers: cfg.MaxCores, MaxInFlight: maxInt(cfg.InFlightAxis)})
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	defer ix.Close()
+
+	qs := make([]series.Series, w.queries.Len())
+	for i := range qs {
+		qs[i] = w.queries.At(i)
+	}
+	// Warm pools and stats in one pass, collecting the pruning profile.
+	_, stats, err := ix.BatchSearchStats(qs)
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	var raw, entries int
+	for _, st := range stats {
+		raw += st.RawDistances
+		entries += st.EntriesChecked
+	}
+
+	res := &QueryBenchResult{
+		Schema:                 "dsidx-bench-query/v1",
+		GeneratedAt:            time.Now().UTC().Format(time.RFC3339),
+		GOMAXPROCS:             runtime.GOMAXPROCS(0),
+		Workers:                cfg.MaxCores,
+		SeriesCount:            w.coll.Len(),
+		SeriesLen:              w.coll.SeriesLen(),
+		QueryCount:             len(qs),
+		ProbeLeaves:            ix.ProbeLeaves(),
+		QPSByInflight:          make(map[string]float64, len(cfg.InFlightAxis)),
+		RawDistancesPerQuery:   float64(raw) / float64(len(qs)),
+		EntriesCheckedPerQuery: float64(entries) / float64(len(qs)),
+		Note: "absolute numbers are machine-bound; compare points generated " +
+			"on the same hardware (see EXPERIMENTS.md)",
+	}
+
+	for _, p := range cfg.InFlightAxis {
+		total := max(4*p, 2*len(qs))
+		elapsed, err := runConcurrent(ix, w.queries, p, total)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson@%d: %w", p, err)
+		}
+		res.QPSByInflight[fmt.Sprint(p)] = float64(total) / elapsed.Seconds()
+		if p == 1 {
+			res.NsPerQuery = float64(elapsed.Nanoseconds()) / float64(total)
+		}
+	}
+	if res.NsPerQuery == 0 {
+		// The axis may omit 1-in-flight; measure the single stream anyway.
+		elapsed, err := runConcurrent(ix, w.queries, 1, 2*len(qs))
+		if err != nil {
+			return nil, fmt.Errorf("benchjson@1: %w", err)
+		}
+		res.NsPerQuery = float64(elapsed.Nanoseconds()) / float64(2*len(qs))
+	}
+	return res, nil
+}
+
+// WriteJSON writes the record, pretty-printed with a trailing newline, to
+// path.
+func (r *QueryBenchResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -104,5 +106,49 @@ func TestAllExperimentsSmoke(t *testing.T) {
 				t.Error("rendered table missing ID")
 			}
 		})
+	}
+}
+
+// TestRunQueryBench validates the machine-readable trajectory record the
+// dsbench -benchjson flag and the CI bench-smoke step produce.
+func TestRunQueryBench(t *testing.T) {
+	res, err := RunQueryBench(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != "dsidx-bench-query/v1" {
+		t.Errorf("schema %q", res.Schema)
+	}
+	if res.NsPerQuery <= 0 {
+		t.Errorf("ns/query %v", res.NsPerQuery)
+	}
+	if res.RawDistancesPerQuery <= 0 || res.EntriesCheckedPerQuery <= 0 {
+		t.Errorf("pruning stats empty: %+v", res)
+	}
+	if res.ProbeLeaves < 1 {
+		t.Errorf("probe leaves %d", res.ProbeLeaves)
+	}
+	if len(res.QPSByInflight) == 0 {
+		t.Error("no QPS sweep")
+	}
+	for p, qps := range res.QPSByInflight {
+		if qps <= 0 {
+			t.Errorf("inflight %s: qps %v", p, qps)
+		}
+	}
+	path := t.TempDir() + "/BENCH_query.json"
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back QueryBenchResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.NsPerQuery != res.NsPerQuery || back.SeriesCount != res.SeriesCount {
+		t.Errorf("round-trip mismatch: %+v vs %+v", back, res)
 	}
 }

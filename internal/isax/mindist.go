@@ -98,6 +98,10 @@ func (t *QueryTable) reshape(segs, card int) {
 // batched kernels in internal/vector. The slice must not be modified.
 func (t *QueryTable) Cells() []float64 { return t.cells }
 
+// Card returns the cardinality of the table — the row stride of Cells,
+// which batched kernels need alongside the cell array.
+func (t *QueryTable) Card() int { return t.card }
+
 // MinDistSAX returns the lower-bounding distance between the query
 // underlying t and one full-cardinality summary.
 func (t *QueryTable) MinDistSAX(fullSAX []uint8) float64 {

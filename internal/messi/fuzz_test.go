@@ -2,12 +2,15 @@ package messi
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"dsidx/internal/core"
 	"dsidx/internal/gen"
+	"dsidx/internal/isax"
 	"dsidx/internal/series"
 	"dsidx/internal/ucr"
+	"dsidx/internal/vector"
 )
 
 // FuzzPersistRoundTrip drives the live persistence format from both ends:
@@ -111,6 +114,88 @@ func FuzzPersistRoundTrip(f *testing.F) {
 		want := ucr.Scan(live, q)
 		if a != b || b.Pos != want.Pos || b.Dist != want.Dist {
 			t.Fatalf("round-trip answers diverge: %+v vs %+v vs serial %+v", a, b, want)
+		}
+	})
+}
+
+// FuzzBatchedLowerBounds is the differential guarantee behind the batched
+// refinement hot path: for random leaves (SAX blocks), cardinalities and
+// segment counts, the batched kernel used by leaf refinement and the delta
+// scans (vector.MinDistBatch, both the generic and the unrolled w=16 form)
+// and the strided table form must produce bounds BIT-IDENTICAL to the
+// per-entry QueryTable.MinDistSAX path — so batched and per-entry
+// refinement make the same pruning decisions down to the last ulp, and the
+// set of entries surviving any limit is the same.
+func FuzzBatchedLowerBounds(f *testing.F) {
+	f.Add(int64(1), uint8(16), uint8(8), uint8(64), false)
+	f.Add(int64(2), uint8(16), uint8(3), uint8(1), true)
+	f.Add(int64(3), uint8(4), uint8(1), uint8(255), false)
+	f.Add(int64(4), uint8(7), uint8(5), uint8(17), true)
+	f.Add(int64(5), uint8(32), uint8(8), uint8(9), false)
+
+	f.Fuzz(func(t *testing.T, seed int64, wRaw, bitsRaw, cntRaw uint8, dtw bool) {
+		w := 1 + int(wRaw)%32 // segments; 16 exercises the unrolled kernel
+		maxBits := 1 + int(bitsRaw)%isax.MaxBits
+		count := 1 + int(cntRaw) // leaf entries
+		rng := rand.New(rand.NewSource(seed))
+
+		quant, err := isax.NewQuantizer(maxBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paaA := make([]float64, w)
+		paaB := make([]float64, w)
+		for j := range paaA {
+			paaA[j] = rng.NormFloat64()
+			paaB[j] = rng.NormFloat64()
+		}
+		n := w * (1 + rng.Intn(32)) // series length, a multiple of w
+		table := &isax.QueryTable{}
+		if dtw {
+			// Envelope tables feed the same kernels; upper must dominate.
+			for j := range paaA {
+				if paaA[j] < paaB[j] {
+					paaA[j], paaB[j] = paaB[j], paaA[j]
+				}
+			}
+			table.FillDTW(quant, paaA, paaB, n)
+		} else {
+			table.FillED(quant, paaA, n)
+		}
+
+		// A random leaf: count full-cardinality summaries back-to-back.
+		card := 1 << maxBits
+		sax := make([]uint8, count*w)
+		for i := range sax {
+			sax[i] = uint8(rng.Intn(card))
+		}
+
+		perEntry := make([]float64, count)
+		for i := 0; i < count; i++ {
+			perEntry[i] = table.MinDistSAX(sax[i*w : (i+1)*w])
+		}
+		batched := make([]float64, count)
+		vector.MinDistBatch(table.Cells(), sax, w, table.Card(), batched)
+		strided := make([]float64, count)
+		table.MinDistSAXStrided(sax, strided)
+		for i := 0; i < count; i++ {
+			if batched[i] != perEntry[i] {
+				t.Fatalf("w=%d bits=%d entry %d: batched bound %v != per-entry %v",
+					w, maxBits, i, batched[i], perEntry[i])
+			}
+			if strided[i] != perEntry[i] {
+				t.Fatalf("w=%d bits=%d entry %d: strided bound %v != per-entry %v",
+					w, maxBits, i, strided[i], perEntry[i])
+			}
+		}
+
+		// Same survivor set under a pruning limit drawn from the bounds
+		// themselves (the adversarial spot: limits equal to a bound).
+		limit := perEntry[rng.Intn(count)]
+		for i := 0; i < count; i++ {
+			if (batched[i] >= limit) != (perEntry[i] >= limit) {
+				t.Fatalf("entry %d: batched and per-entry paths disagree on pruning at limit %v", i, limit)
+			}
 		}
 	})
 }

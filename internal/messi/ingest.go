@@ -235,7 +235,11 @@ func (ix *Index) mergeOnce() {
 	// Phase 2 — tree insert (ParIS+ stage 2): workers claim affected root
 	// keys with Fetch&Inc; each clones the old subtree aside, inserts the
 	// new entries, and installs the result into a shell copy of the tree.
-	// Untouched subtrees are shared between the old and new snapshot.
+	// Untouched subtrees are shared between the old and new snapshot. On a
+	// materialized index the inserts carry each merged series' raw values
+	// into the destination leaf (and through any splits), so leaf-ordered
+	// storage survives merge cycles: a refined leaf streams its merged-in
+	// entries exactly like its build-time ones.
 	next := old.tree.CloneShell()
 	var keyCursor xsync.Counter
 	g = ix.eng.NewGroup()
@@ -250,7 +254,12 @@ func (ix *Index) mergeOnce() {
 				next.SetSubtree(key, old.tree.Subtree(key).Clone())
 				for _, part := range parts {
 					for _, ai := range part[key] {
-						next.SubtreeInsert(key, ix.saxLog.At(int(ai)), int32(ix.baseLen)+ai)
+						if ix.opt.DisableLeafRaw {
+							next.SubtreeInsert(key, ix.saxLog.At(int(ai)), int32(ix.baseLen)+ai)
+						} else {
+							next.SubtreeInsertRaw(key, ix.saxLog.At(int(ai)), int32(ix.baseLen)+ai,
+								ix.store.At(int(ai)))
+						}
 					}
 				}
 			}
@@ -381,6 +390,21 @@ func Decode(data []byte, coll *series.Collection, opt Options) (*Index, error) {
 		ix.saxLog.Append(sums[i*cfg.Segments : (i+1)*cfg.Segments])
 	}
 	ix.appended.Store(int64(a))
+	// The serialized form carries no leaf raw blocks (values exist in the
+	// collection and append store already, and the format predates the
+	// layout) — rebuild leaf-ordered storage from them, resolving merged
+	// append positions through the restored store. One linear pass at load
+	// time buys every query the sequential refinement layout.
+	if !opt.DisableLeafRaw {
+		for _, key := range tree.OccupiedKeys() {
+			tree.Subtree(key).MaterializeLeaves(cfg.SeriesLen, func(pos int32) []float32 {
+				if int(pos) < coll.Len() {
+					return coll.At(int(pos))
+				}
+				return ix.store.At(int(pos) - coll.Len())
+			})
+		}
+	}
 	// The decoded flat SAX array covers base + merged appends; the index
 	// keeps only the immutable base prefix (merged summaries live in the
 	// saxLog, re-appended above).

@@ -10,17 +10,22 @@
 // claim whole buffers with Fetch&Inc and build the corresponding subtrees
 // independently (footnote 3).
 //
-// Query answering: an approximate tree search seeds the shared BSF; workers
+// Query answering: a multi-probe approximate search (the Options.ProbeLeaves
+// best leaves under the query's summary) seeds the shared BSF; workers
 // then traverse distinct root subtrees, pruning by node-level lower bounds
-// against the live BSF, and push surviving leaves into a set of concurrent
-// min-priority queues (round-robin, for load balancing). After the
-// traversal, workers drain the queues in ascending lower-bound order: a
-// popped leaf whose bound beats the BSF has its entries checked first by
-// summary lower bound and only then by early-abandoning real distance.
-// When a queue's minimum is not below the BSF, the whole queue can never
-// improve the answer and is abandoned. Compared to ParIS, the tree prunes
-// *before* lower-bound computation and the queues order work best-first —
-// the two effects behind Figure 12's speedups.
+// against the live BSF, and push surviving leaves — minus the already-probed
+// ones — into a set of concurrent min-priority queues (round-robin, for load
+// balancing). After the traversal, workers drain the queues in ascending
+// lower-bound order: a popped leaf whose bound beats the BSF has its whole
+// summary block lower-bounded in one batched pass (bit-identical to the
+// per-entry bounds), then survivors pay an early-abandoning real distance
+// read from the leaf's contiguous raw block (leaf-ordered storage, unless
+// Options.DisableLeafRaw). When a queue's minimum is not below the BSF, the
+// whole queue can never improve the answer and is abandoned. Compared to
+// ParIS, the tree prunes *before* lower-bound computation and the queues
+// order work best-first — the two effects behind Figure 12's speedups; the
+// batched bounds and leaf-ordered reads give the refinement loop the
+// sequential memory behavior the paper gets from SIMD over flat arrays.
 //
 // Live ingestion: the paper builds the index as a one-shot batch job; this
 // implementation additionally accepts new series while queries run (see
@@ -75,6 +80,20 @@ type Options struct {
 	// stay exact at any threshold — the delta is exact-scanned — so this
 	// knob only trades merge frequency against per-query delta-scan cost.
 	MergeThreshold int
+	// ProbeLeaves is the number of leaves the approximate phase probes to
+	// seed the best-so-far before exact search (0 means 2; 1 restores the
+	// paper's single-leaf seed). More probes cost a few extra candidate
+	// distances up front but tighten the BSF, so tree pruning discards
+	// more of the index — the net raw-distance count must not grow, which
+	// the pruning regression test enforces for the default.
+	ProbeLeaves int
+	// DisableLeafRaw turns off leaf-ordered raw storage. By default every
+	// leaf keeps a contiguous copy of its series' values (filled at build,
+	// carried through splits and live merges), so leaf refinement streams
+	// sequential memory instead of chasing positions through the
+	// collection — at the cost of one extra copy of the raw data.
+	// Disabling trades that memory back for per-entry random reads.
+	DisableLeafRaw bool
 }
 
 func (o Options) normalize() Options {
@@ -89,6 +108,9 @@ func (o Options) normalize() Options {
 	}
 	if o.MergeThreshold <= 0 {
 		o.MergeThreshold = 4096
+	}
+	if o.ProbeLeaves <= 0 {
+		o.ProbeLeaves = 2
 	}
 	return o
 }
@@ -152,6 +174,7 @@ type Index struct {
 
 	eng     *engine.Engine
 	scratch sync.Pool // *searchScratch, sized for cfg/opt
+	lbPool  sync.Pool // *lbScratch, one per concurrently running task
 }
 
 // initLive gives a constructed index its ingestion state, worker pool and
@@ -170,6 +193,7 @@ func (ix *Index) initLive(tree *core.Tree, baseSAX *core.SAXArray, mergedA int) 
 	ix.snap.Store(&snapshot{tree: tree, mergedA: mergedA})
 	ix.eng = engine.New(engine.Options{Workers: ix.opt.Workers, MaxInFlight: ix.opt.MaxInFlight})
 	ix.scratch.New = func() any { return ix.newScratch() }
+	ix.lbPool.New = func() any { return &lbScratch{} }
 	runtime.AddCleanup(ix, func(e *engine.Engine) { e.Close() }, ix.eng)
 }
 
@@ -196,6 +220,11 @@ func (ix *Index) AdmitContext(ctx context.Context) (release func(), err error) {
 
 // MaxInFlight returns the admission bound on concurrently admitted queries.
 func (ix *Index) MaxInFlight() int { return ix.eng.MaxInFlight() }
+
+// ProbeLeaves returns the configured approximate-phase probe count (the
+// per-query QueryStats.ProbeLeaves may be lower when a query's root
+// subtree holds fewer leaves).
+func (ix *Index) ProbeLeaves() int { return ix.opt.ProbeLeaves }
 
 // Build creates a MESSI index over coll.
 func Build(coll *series.Collection, cfg core.Config, opt Options) (*Index, error) {
@@ -294,6 +323,14 @@ func Build(coll *series.Collection, cfg core.Config, opt Options) (*Index, error
 					for _, pos := range part[key] {
 						tree.SubtreeInsert(key, sax.At(int(pos)), pos)
 					}
+				}
+				// Leaf-ordered storage: once the subtree's shape is final
+				// (no more splits), copy each leaf's series into one
+				// contiguous block — materializing after the build avoids
+				// re-copying raw values through every intermediate split.
+				if !opt.DisableLeafRaw {
+					tree.Subtree(key).MaterializeLeaves(cfg.SeriesLen,
+						func(pos int32) []float32 { return coll.At(int(pos)) })
 				}
 			}
 		}()

@@ -17,6 +17,7 @@ import (
 // QueryStats counts the work of one query, exposing the pruning effects the
 // paper credits for MESSI's speedups.
 type QueryStats struct {
+	ProbeLeaves    int // leaves probed by the BSF-seeding approximate phase
 	LeavesInserted int // leaves that survived tree pruning
 	LeavesPopped   int // leaves actually examined from the queues
 	EntriesChecked int // per-series lower bounds computed
@@ -64,6 +65,12 @@ type searchScratch struct {
 	mt     *isax.MultiTable
 	queues *pqueue.Set[queueEntry]
 	done   []atomic.Bool
+	// probed records the leaves the approximate phase refined, so the
+	// traversal skips re-inserting them: a probed leaf is already fully
+	// refined against a bound at least as tight, and re-refining it would
+	// double-count its surviving entries' distances. Read-only during the
+	// traversal; len ≤ ProbeLeaves, so membership is a pointer scan.
+	probed []*core.Node
 }
 
 func (ix *Index) newScratch() *searchScratch {
@@ -79,13 +86,110 @@ func (ix *Index) newScratch() *searchScratch {
 	}
 }
 
-func (ix *Index) getScratch() *searchScratch   { return ix.scratch.Get().(*searchScratch) }
-func (ix *Index) putScratch(sc *searchScratch) { ix.scratch.Put(sc) }
+func (ix *Index) getScratch() *searchScratch { return ix.scratch.Get().(*searchScratch) }
+
+func (ix *Index) putScratch(sc *searchScratch) {
+	// Drop the probed-leaf pointers before parking in the pool: after a
+	// merge retires a snapshot, a pooled scratch must not pin the old
+	// subtrees' materialized raw blocks until its next reuse.
+	clear(sc.probed)
+	sc.probed = sc.probed[:0]
+	ix.scratch.Put(sc)
+}
+
+// lbScratch is a reusable lower-bound buffer. Every refinement or
+// delta-scan task checks one out of the index's pool for its lifetime, so
+// concurrent tasks of the same query never share a buffer and sustained
+// traffic recycles a bounded set (one buffer per concurrently running
+// task, not per leaf).
+type lbScratch struct{ buf []float64 }
+
+// take returns a length-n bound buffer, growing the backing array only
+// when a leaf exceeds every previous one (over-capacity duplicate leaves
+// can exceed the configured leaf capacity).
+func (s *lbScratch) take(n int) []float64 {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n)
+	}
+	return s.buf[:n]
+}
+
+func (ix *Index) getLB() *lbScratch  { return ix.lbPool.Get().(*lbScratch) }
+func (ix *Index) putLB(s *lbScratch) { ix.lbPool.Put(s) }
 
 // summarizeQuery fills the scratch summary buffers for q.
 func (sc *searchScratch) summarizeQuery(q series.Series) {
 	sc.sm.Summarize(q, sc.qsax)
 	copy(sc.qpaa, sc.sm.PAA(q))
+}
+
+// leafSeries returns leaf entry i's raw values: the leaf's materialized
+// block when present — entries of one leaf are then consecutive in memory,
+// so refinement streams through them — falling back to a positional read
+// from the collection/append store for unmaterialized trees.
+func (ix *Index) leafSeries(leaf *core.Node, i int) series.Series {
+	if raw := leaf.EntryRaw(i, ix.cfg.SeriesLen); raw != nil {
+		return raw
+	}
+	return ix.At(int(leaf.Pos[i]))
+}
+
+// forLeafBounds computes the whole leaf's summary lower bounds in one
+// batched pass over its contiguous SAX block (bit-identical to the
+// per-entry MinDistSAX values) and invokes each for every entry. Callers
+// read their live pruning threshold inside each, so every compare sees
+// the freshest BSF. This is the shared skeleton of all three refinement
+// flavors (ED, k-NN, DTW).
+func (ix *Index) forLeafBounds(table *isax.QueryTable, leaf *core.Node, st *QueryStats, lb *lbScratch, each func(i int, bound float64)) {
+	bounds := lb.take(leaf.Count)
+	vector.MinDistBatch(table.Cells(), leaf.SAX, ix.cfg.Segments, table.Card(), bounds)
+	st.EntriesChecked += leaf.Count
+	for i, b := range bounds {
+		each(i, b)
+	}
+}
+
+// forDeltaBounds is forLeafBounds over the delta suffix [lo, hi): bounds
+// are batched run-by-run over the append log's chunk-contiguous rows, and
+// each receives absolute delta indexes.
+func (ix *Index) forDeltaBounds(table *isax.QueryTable, lo, hi int, st *QueryStats, lb *lbScratch, each func(i int, bound float64)) {
+	for i := lo; i < hi; {
+		rows, k := ix.saxLog.Run(i, hi)
+		bounds := lb.take(k)
+		vector.MinDistBatch(table.Cells(), rows, ix.cfg.Segments, table.Card(), bounds)
+		st.EntriesChecked += k
+		for j, b := range bounds {
+			each(i+j, b)
+		}
+		i += k
+	}
+}
+
+// probeLeaves runs the approximate phase: the p best leaves under the
+// query's summary (see core.Tree.BestLeavesApprox) are refined with the
+// same closure the queue-drain phase uses, seeding the BSF with exact
+// distances. Probing several neighboring leaves instead of one tightens
+// the initial BSF, which shrinks everything downstream: fewer leaves
+// survive tree pruning, fewer entries survive the lower-bound filter.
+func (ix *Index) probeLeaves(sc *searchScratch, t *core.Tree, stats *QueryStats,
+	refine func(leaf *core.Node, limit float64, st *QueryStats, lb *lbScratch)) {
+	lb := ix.getLB()
+	sc.probed = append(sc.probed[:0], t.BestLeavesApprox(sc.qsax, sc.qpaa, ix.opt.ProbeLeaves)...)
+	for _, leaf := range sc.probed {
+		stats.ProbeLeaves++
+		refine(leaf, 0, stats, lb)
+	}
+	ix.putLB(lb)
+}
+
+// wasProbed reports whether the approximate phase already refined leaf.
+func (sc *searchScratch) wasProbed(leaf *core.Node) bool {
+	for _, p := range sc.probed {
+		if p == leaf {
+			return true
+		}
+	}
+	return false
 }
 
 // Search answers an exact 1-NN query over everything the index holds at
@@ -109,50 +213,45 @@ func (ix *Index) Search(q series.Series, workers int) (core.Result, *QueryStats,
 
 	best := xsync.NewBest()
 	t := v.snap.tree
-
-	// Approximate phase: exact distances over the closest leaf.
-	if leaf := t.BestLeafApprox(sc.qsax, sc.qpaa); leaf != nil {
-		for _, p := range leaf.Pos {
-			stats.RawDistances++
-			if d := vector.SquaredEDEarlyAbandon(q, ix.At(int(p)), best.Distance()); d < best.Distance() {
-				best.Update(d, int64(p))
-			}
-		}
-	}
-
 	sc.table.FillED(t.Quantizer(), sc.qpaa, ix.cfg.SeriesLen)
 	sc.mt.FillFrom(t.Quantizer(), sc.table)
+
+	refine := func(leaf *core.Node, _ float64, st *QueryStats, lb *lbScratch) {
+		ix.refineLeafED(q, sc.table, leaf, best, st, lb)
+	}
+	// Approximate phase: exact distances over the closest p leaves.
+	ix.probeLeaves(sc, t, stats, refine)
+
 	ix.queuedSearch(workers, stats, best.Distance, sc, v,
 		func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)) {
 			t.PruneWalkTable(node, sc.mt, bsf, emit)
 		},
-		func(leaf *core.Node, limit float64, st *QueryStats) {
-			ix.refineLeafED(q, sc.table, leaf, best, st)
-		},
-		func(lo, hi int, st *QueryStats) {
-			for i := lo; i < hi; i++ {
-				st.EntriesChecked++
+		refine,
+		func(lo, hi int, st *QueryStats, lb *lbScratch) {
+			ix.forDeltaBounds(sc.table, lo, hi, st, lb, func(i int, b float64) {
 				limit := best.Distance()
-				if sc.table.MinDistSAX(ix.saxLog.At(i)) >= limit {
-					continue
+				if b >= limit {
+					return
 				}
 				st.RawDistances++
 				if d := vector.SquaredEDEarlyAbandon(q, ix.store.At(i), limit); d < limit {
 					best.Update(d, int64(ix.baseLen+i))
 				}
-			}
+			})
 		})
 
 	d, p := best.Load()
 	return core.Result{Pos: int32(p), Dist: d}, stats, nil
 }
 
-// BatchSearch answers many exact 1-NN queries concurrently on the shared
-// worker pool, bounded by the engine's admission control. results[i] is the
-// answer for qs[i]; the first query error (if any) is returned after all
-// queries finish.
-func (ix *Index) BatchSearch(qs []series.Series) ([]core.Result, error) {
+// BatchSearchStats answers many exact 1-NN queries concurrently on the
+// shared worker pool, bounded by the engine's admission control, returning
+// each query's answer and work stats. results[i] and stats[i] answer
+// qs[i]; the first query error (if any) is returned after all queries
+// finish.
+func (ix *Index) BatchSearchStats(qs []series.Series) ([]core.Result, []QueryStats, error) {
 	results := make([]core.Result, len(qs))
+	stats := make([]QueryStats, len(qs))
 	errs := make([]error, len(qs))
 	spawn := min(len(qs), ix.eng.MaxInFlight())
 	var next xsync.Counter
@@ -167,7 +266,11 @@ func (ix *Index) BatchSearch(qs []series.Series) ([]core.Result, error) {
 					return
 				}
 				release := ix.eng.Admit()
-				results[i], _, errs[i] = ix.Search(qs[i], 0)
+				var st *QueryStats
+				results[i], st, errs[i] = ix.Search(qs[i], 0)
+				if st != nil {
+					stats[i] = *st
+				}
 				release()
 			}
 		}()
@@ -175,28 +278,34 @@ func (ix *Index) BatchSearch(qs []series.Series) ([]core.Result, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return results, err
+			return results, stats, err
 		}
 	}
-	return results, nil
+	return results, stats, nil
 }
 
-// refineLeafED checks a leaf's entries: summary lower bound first, then
-// early-abandoning real distance.
-func (ix *Index) refineLeafED(q series.Series, table *isax.QueryTable, leaf *core.Node, best *xsync.Best, stats *QueryStats) {
-	w := ix.cfg.Segments
-	for i := 0; i < leaf.Count; i++ {
-		stats.EntriesChecked++
+// BatchSearch is BatchSearchStats without the per-query stats.
+func (ix *Index) BatchSearch(qs []series.Series) ([]core.Result, error) {
+	results, _, err := ix.BatchSearchStats(qs)
+	return results, err
+}
+
+// refineLeafED checks a leaf's entries: lower bounds for the whole leaf
+// are computed in one batched pass over its contiguous SAX block (bit-
+// identical to the per-entry MinDistSAX values), then survivors pay an
+// early-abandoning real distance against the leaf's materialized raw
+// block — two sequential streams instead of per-entry pointer chasing.
+func (ix *Index) refineLeafED(q series.Series, table *isax.QueryTable, leaf *core.Node, best *xsync.Best, stats *QueryStats, lb *lbScratch) {
+	ix.forLeafBounds(table, leaf, stats, lb, func(i int, b float64) {
 		limit := best.Distance()
-		if table.MinDistSAX(leaf.SAX[i*w:(i+1)*w]) >= limit {
-			continue
+		if b >= limit {
+			return
 		}
-		p := leaf.Pos[i]
 		stats.RawDistances++
-		if d := vector.SquaredEDEarlyAbandon(q, ix.At(int(p)), limit); d < limit {
-			best.Update(d, int64(p))
+		if d := vector.SquaredEDEarlyAbandon(q, ix.leafSeries(leaf, i), limit); d < limit {
+			best.Update(d, int64(leaf.Pos[i]))
 		}
-	}
+	})
 }
 
 // deltaBlock is the delta-scan work-claiming granularity in series.
@@ -209,6 +318,8 @@ const deltaBlock = 1024
 // k-NN); walk, refine and scanDelta abstract the distance flavor (ED vs
 // DTW). The delta scan shares the BSF with the traversal, so abandoning
 // thresholds tighten globally whichever side improves the answer first.
+// refine and scanDelta receive a per-task lower-bound buffer for their
+// batched bound computations.
 //
 // All phases execute as tasks on the index's shared worker pool rather
 // than per-call goroutines: with several queries in flight, their tasks
@@ -223,8 +334,8 @@ func (ix *Index) queuedSearch(
 	sc *searchScratch,
 	v view,
 	walk func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)),
-	refine func(leaf *core.Node, limit float64, st *QueryStats),
-	scanDelta func(lo, hi int, st *QueryStats),
+	refine func(leaf *core.Node, limit float64, st *QueryStats, lb *lbScratch),
+	scanDelta func(lo, hi int, st *QueryStats, lb *lbScratch),
 ) {
 	end := ix.eng.BeginQuery()
 	defer end()
@@ -256,6 +367,17 @@ func (ix *Index) queuedSearch(
 	g := ix.eng.NewGroup()
 	for w := 0; w < min(workers, max(blocks, 1)); w++ {
 		g.Submit(func() {
+			// One emit closure per task, not per subtree: a scaled-down
+			// tree has thousands of root keys, and allocating the closure
+			// inside the key loop used to dominate the query's allocation
+			// count.
+			emit := func(leaf *core.Node, lb float64) {
+				if sc.wasProbed(leaf) {
+					return
+				}
+				queues.Insert(lb, queueEntry{leaf: leaf})
+				inserted.Add(1)
+			}
 			for {
 				lo := int(cursor.Next()) * claimBlock
 				if lo >= len(keys) {
@@ -263,10 +385,7 @@ func (ix *Index) queuedSearch(
 				}
 				hi := min(lo+claimBlock, len(keys))
 				for _, key := range keys[lo:hi] {
-					walk(t.Subtree(key), bsf, func(leaf *core.Node, lb float64) {
-						queues.Insert(lb, queueEntry{leaf: leaf})
-						inserted.Add(1)
-					})
+					walk(t.Subtree(key), bsf, emit)
 				}
 			}
 		})
@@ -274,13 +393,15 @@ func (ix *Index) queuedSearch(
 	for w := 0; w < min(workers, deltaBlocks); w++ {
 		g.Submit(func() {
 			st := QueryStats{}
+			lb := ix.getLB()
 			for {
 				lo := deltaLo + int(deltaCursor.Next())*deltaBlock
 				if lo >= deltaHi {
 					break
 				}
-				scanDelta(lo, min(lo+deltaBlock, deltaHi), &st)
+				scanDelta(lo, min(lo+deltaBlock, deltaHi), &st, lb)
 			}
+			ix.putLB(lb)
 			entries.Add(int64(st.EntriesChecked))
 			raws.Add(int64(st.RawDistances))
 		})
@@ -298,6 +419,7 @@ func (ix *Index) queuedSearch(
 	for w := 0; w < workers; w++ {
 		g.Submit(func() {
 			st := QueryStats{}
+			lb := ix.getLB()
 			for remaining := true; remaining; {
 				remaining = false
 				for qi := 0; qi < queues.Count(); qi++ {
@@ -313,7 +435,7 @@ func (ix *Index) queuedSearch(
 							break
 						}
 						popped.Add(1)
-						refine(it.Value.leaf, it.Priority, &st)
+						refine(it.Value.leaf, it.Priority, &st, lb)
 					}
 				}
 				// Re-scan in case another worker inserted... no inserts can
@@ -327,6 +449,7 @@ func (ix *Index) queuedSearch(
 					}
 				}
 			}
+			ix.putLB(lb)
 			entries.Add(int64(st.EntriesChecked))
 			raws.Add(int64(st.RawDistances))
 		})
@@ -340,8 +463,9 @@ func (ix *Index) queuedSearch(
 }
 
 // SearchApproximate answers a query with the approximate algorithm of the
-// iSAX family: descend to the leaf whose word matches the query summary
-// and return the best series in it, with no traversal of the rest of the
+// iSAX family, extended with multi-probing: descend to the ProbeLeaves
+// best-matching leaves (the single matching leaf at the classic p=1) and
+// return the best series among them, with no traversal of the rest of the
 // tree. The unmerged delta is exact-scanned too (it is small by
 // construction — merges keep it under the threshold), so the answer's
 // distance still upper-bounds the exact answer over everything the call
@@ -362,10 +486,10 @@ func (ix *Index) SearchApproximate(q series.Series) (core.Result, error) {
 	sc.summarizeQuery(q)
 
 	best := core.NoResult()
-	if leaf := v.snap.tree.BestLeafApprox(sc.qsax, sc.qpaa); leaf != nil {
-		for _, p := range leaf.Pos {
-			if d := vector.SquaredEDEarlyAbandon(q, ix.At(int(p)), best.Dist); d < best.Dist {
-				best = core.Result{Pos: p, Dist: d}
+	for _, leaf := range v.snap.tree.BestLeavesApprox(sc.qsax, sc.qpaa, ix.opt.ProbeLeaves) {
+		for i := range leaf.Pos {
+			if d := vector.SquaredEDEarlyAbandon(q, ix.leafSeries(leaf, i), best.Dist); d < best.Dist {
+				best = core.Result{Pos: leaf.Pos[i], Dist: d}
 			}
 		}
 	}
@@ -398,47 +522,37 @@ func (ix *Index) SearchKNN(q series.Series, k, workers int) ([]core.Result, *Que
 
 	t := v.snap.tree
 	kb := xsync.NewKBest(k)
-	if leaf := t.BestLeafApprox(sc.qsax, sc.qpaa); leaf != nil {
-		for _, p := range leaf.Pos {
-			stats.RawDistances++
-			d := vector.SquaredEDEarlyAbandon(q, ix.At(int(p)), kb.Threshold())
-			kb.Offer(p, d)
-		}
-	}
-
 	sc.table.FillED(t.Quantizer(), sc.qpaa, ix.cfg.SeriesLen)
 	sc.mt.FillFrom(t.Quantizer(), sc.table)
 	table := sc.table
+
+	refine := func(leaf *core.Node, _ float64, st *QueryStats, lb *lbScratch) {
+		ix.forLeafBounds(table, leaf, st, lb, func(i int, b float64) {
+			lim := kb.Threshold()
+			if b >= lim {
+				return
+			}
+			st.RawDistances++
+			kb.Offer(leaf.Pos[i], vector.SquaredEDEarlyAbandon(q, ix.leafSeries(leaf, i), lim))
+		})
+	}
+	ix.probeLeaves(sc, t, stats, refine)
+
 	// The k-th best distance plays the BSF role in every pruning decision.
 	ix.queuedSearch(workers, stats, kb.Threshold, sc, v,
 		func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)) {
 			t.PruneWalkTable(node, sc.mt, bsf, emit)
 		},
-		func(leaf *core.Node, limit float64, st *QueryStats) {
-			w := ix.cfg.Segments
-			for i := 0; i < leaf.Count; i++ {
-				st.EntriesChecked++
+		refine,
+		func(lo, hi int, st *QueryStats, lb *lbScratch) {
+			ix.forDeltaBounds(table, lo, hi, st, lb, func(i int, b float64) {
 				lim := kb.Threshold()
-				if table.MinDistSAX(leaf.SAX[i*w:(i+1)*w]) >= lim {
-					continue
-				}
-				p := leaf.Pos[i]
-				st.RawDistances++
-				d := vector.SquaredEDEarlyAbandon(q, ix.At(int(p)), lim)
-				kb.Offer(p, d)
-			}
-		},
-		func(lo, hi int, st *QueryStats) {
-			for i := lo; i < hi; i++ {
-				st.EntriesChecked++
-				lim := kb.Threshold()
-				if table.MinDistSAX(ix.saxLog.At(i)) >= lim {
-					continue
+				if b >= lim {
+					return
 				}
 				st.RawDistances++
-				d := vector.SquaredEDEarlyAbandon(q, ix.store.At(i), lim)
-				kb.Offer(int32(ix.baseLen+i), d)
-			}
+				kb.Offer(int32(ix.baseLen+i), vector.SquaredEDEarlyAbandon(q, ix.store.At(i), lim))
+			})
 		})
 
 	out := make([]core.Result, 0, k)
@@ -477,58 +591,50 @@ func (ix *Index) SearchDTW(q series.Series, window, workers int) (core.Result, *
 
 	t := v.snap.tree
 	best := xsync.NewBest()
-	if leaf := t.BestLeafApprox(sc.qsax, sc.qpaa); leaf != nil {
-		for _, p := range leaf.Pos {
-			stats.RawDistances++
-			if d := series.DTW(q, ix.At(int(p)), window, best.Distance()); d < best.Distance() {
-				best.Update(d, int64(p))
-			}
-		}
-	}
-
 	sc.table.FillDTW(t.Quantizer(), upPAA, loPAA, n)
 	// The multi-cardinality view of the DTW table remains a valid DTW lower
 	// bound: coarse cells are minima over their sub-regions.
 	sc.mt.FillFrom(t.Quantizer(), sc.table)
 	table := sc.table
+
+	refine := func(leaf *core.Node, _ float64, st *QueryStats, lb *lbScratch) {
+		ix.forLeafBounds(table, leaf, st, lb, func(i int, b float64) {
+			lim := best.Distance()
+			if b >= lim {
+				return
+			}
+			s := ix.leafSeries(leaf, i)
+			if series.LBKeogh(env, s, lim) >= lim {
+				return
+			}
+			st.RawDistances++
+			if d := series.DTW(q, s, window, lim); d < lim {
+				best.Update(d, int64(leaf.Pos[i]))
+			}
+		})
+	}
+	ix.probeLeaves(sc, t, stats, refine)
+
 	ix.queuedSearch(workers, stats, best.Distance, sc, v,
 		func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)) {
 			t.PruneWalkTable(node, sc.mt, bsf, emit)
 		},
-		func(leaf *core.Node, limit float64, st *QueryStats) {
-			w := ix.cfg.Segments
-			for i := 0; i < leaf.Count; i++ {
-				st.EntriesChecked++
+		refine,
+		func(lo, hi int, st *QueryStats, lb *lbScratch) {
+			ix.forDeltaBounds(table, lo, hi, st, lb, func(i int, b float64) {
 				lim := best.Distance()
-				if table.MinDistSAX(leaf.SAX[i*w:(i+1)*w]) >= lim {
-					continue
-				}
-				s := ix.At(int(leaf.Pos[i]))
-				if series.LBKeogh(env, s, lim) >= lim {
-					continue
-				}
-				st.RawDistances++
-				if d := series.DTW(q, s, window, lim); d < lim {
-					best.Update(d, int64(leaf.Pos[i]))
-				}
-			}
-		},
-		func(lo, hi int, st *QueryStats) {
-			for i := lo; i < hi; i++ {
-				st.EntriesChecked++
-				lim := best.Distance()
-				if table.MinDistSAX(ix.saxLog.At(i)) >= lim {
-					continue
+				if b >= lim {
+					return
 				}
 				s := ix.store.At(i)
 				if series.LBKeogh(env, s, lim) >= lim {
-					continue
+					return
 				}
 				st.RawDistances++
 				if d := series.DTW(q, s, window, lim); d < lim {
 					best.Update(d, int64(ix.baseLen+i))
 				}
-			}
+			})
 		})
 
 	d, p := best.Load()

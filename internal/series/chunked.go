@@ -95,6 +95,19 @@ func (c *ChunkedRows[T]) At(i int) []T {
 	return dir[ci][off : off+c.width : off+c.width]
 }
 
+// Run returns the longest contiguous run of rows starting at lo and
+// capped at hi: rows [lo, lo+k) share one chunk, so they come back as a
+// single flat slice of k*width elements (capacity-capped). Batched
+// scans walk [lo, hi) in runs instead of chasing At row by row. lo must
+// be below a Len value the caller observed; hi must not exceed one.
+func (c *ChunkedRows[T]) Run(lo, hi int) (rows []T, k int) {
+	dir := *c.dir.Load()
+	ci := lo / c.chunkCap
+	off := lo % c.chunkCap
+	k = min(hi-lo, c.chunkCap-off)
+	return dir[ci][off*c.width : (off+k)*c.width : (off+k)*c.width], k
+}
+
 // Chunked is an append-only collection of equal-length series over a
 // ChunkedRows store: the concurrent-append counterpart of Collection used
 // by the serving engine's write path.

@@ -98,22 +98,41 @@ func SquaredEDEarlyAbandon(a, b []float32, limit float64) float64 {
 // configuration). cells is the query table laid out row-major
 // (segment × cardinality); sax is one 16-segment summary; card is the
 // cardinality (row stride).
+//
+// The additions are kept in strict segment order: every batched lower
+// bound in this package is BIT-IDENTICAL to the scalar
+// isax.QueryTable.MinDistSAX accumulation (differential-fuzzed in
+// internal/messi), so the batched and per-entry refinement paths make the
+// same pruning decisions down to the last ulp. The unroll's win is the
+// eliminated bounds checks and loop control, not reassociation — a
+// multi-accumulator variant would be slightly faster but would round
+// differently.
 func MinDistLookup16(cells []float64, sax []uint8, card int) float64 {
 	_ = sax[15]
-	s0 := cells[int(sax[0])] + cells[card+int(sax[1])]
-	s1 := cells[2*card+int(sax[2])] + cells[3*card+int(sax[3])]
-	s2 := cells[4*card+int(sax[4])] + cells[5*card+int(sax[5])]
-	s3 := cells[6*card+int(sax[6])] + cells[7*card+int(sax[7])]
-	s0 += cells[8*card+int(sax[8])] + cells[9*card+int(sax[9])]
-	s1 += cells[10*card+int(sax[10])] + cells[11*card+int(sax[11])]
-	s2 += cells[12*card+int(sax[12])] + cells[13*card+int(sax[13])]
-	s3 += cells[14*card+int(sax[14])] + cells[15*card+int(sax[15])]
-	return (s0 + s1) + (s2 + s3)
+	acc := cells[int(sax[0])]
+	acc += cells[card+int(sax[1])]
+	acc += cells[2*card+int(sax[2])]
+	acc += cells[3*card+int(sax[3])]
+	acc += cells[4*card+int(sax[4])]
+	acc += cells[5*card+int(sax[5])]
+	acc += cells[6*card+int(sax[6])]
+	acc += cells[7*card+int(sax[7])]
+	acc += cells[8*card+int(sax[8])]
+	acc += cells[9*card+int(sax[9])]
+	acc += cells[10*card+int(sax[10])]
+	acc += cells[11*card+int(sax[11])]
+	acc += cells[12*card+int(sax[12])]
+	acc += cells[13*card+int(sax[13])]
+	acc += cells[14*card+int(sax[14])]
+	acc += cells[15*card+int(sax[15])]
+	return acc
 }
 
 // MinDistBatch computes lower bounds for a batch of w-segment summaries laid
 // out back-to-back in sax, writing one bound per summary into out. It
-// dispatches to the unrolled 16-segment kernel when w == 16.
+// dispatches to the unrolled 16-segment kernel when w == 16. Each bound is
+// bit-identical to the per-entry isax.QueryTable.MinDistSAX value (see
+// MinDistLookup16) — the contract the batched refinement hot path relies on.
 func MinDistBatch(cells []float64, sax []uint8, w, card int, out []float64) {
 	if w == 16 {
 		for i := range out {

@@ -80,8 +80,8 @@ func TestMinDistLookup16(t *testing.T) {
 	for j, s := range sax {
 		want += cells[j*card+int(s)]
 	}
-	if math.Abs(got-want) > 1e-12 {
-		t.Fatalf("MinDistLookup16 = %v, want %v", got, want)
+	if got != want {
+		t.Fatalf("MinDistLookup16 = %v, want %v (must be bit-identical to the sequential sum)", got, want)
 	}
 }
 
@@ -105,8 +105,8 @@ func TestMinDistBatchGenericAndUnrolledAgree(t *testing.T) {
 			for j := 0; j < w; j++ {
 				want += cells[j*card+int(sax[i*w+j])]
 			}
-			if math.Abs(out[i]-want) > 1e-12 {
-				t.Fatalf("w=%d batch[%d] = %v, want %v", w, i, out[i], want)
+			if out[i] != want {
+				t.Fatalf("w=%d batch[%d] = %v, want %v (must be bit-identical to the sequential sum)", w, i, out[i], want)
 			}
 		}
 	}

@@ -50,6 +50,16 @@ func NewBest() *Best {
 // Distance returns the current best distance.
 func (b *Best) Distance() float64 { return math.Float64frombits(b.bits.Load()) }
 
+// Reset rewinds the pair to (+Inf, -1) so a single owner can reuse the
+// allocation across searches. Must not race with concurrent Update/Load
+// callers — reuse is between searches, not during one.
+func (b *Best) Reset() {
+	b.mu.Lock()
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	b.pos = -1
+	b.mu.Unlock()
+}
+
 // Load returns the current best distance and position. The pair is
 // consistent: it reflects some update that actually happened.
 func (b *Best) Load() (float64, int64) {

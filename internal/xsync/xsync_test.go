@@ -213,3 +213,18 @@ func TestBlocks(t *testing.T) {
 		t.Error("degenerate Blocks should be nil")
 	}
 }
+
+func TestBestReset(t *testing.T) {
+	b := NewBest()
+	if !b.Update(3.5, 7) {
+		t.Fatal("update rejected")
+	}
+	b.Reset()
+	d, p := b.Load()
+	if !math.IsInf(d, 1) || p != -1 {
+		t.Fatalf("after Reset: (%v, %d), want (+Inf, -1)", d, p)
+	}
+	if !b.Update(1.0, 2) {
+		t.Fatal("update after Reset rejected")
+	}
+}

@@ -36,6 +36,8 @@ func NewMESSI(coll *Collection, opts ...Option) (*MESSI, error) {
 		QueueCount:     o.queueCount,
 		MaxInFlight:    o.maxInFlight,
 		MergeThreshold: o.mergeThreshold,
+		ProbeLeaves:    o.probeLeaves,
+		DisableLeafRaw: o.leafRawOff,
 	})
 	if err != nil {
 		return nil, err
@@ -144,6 +146,51 @@ func (ix *MESSI) IngestStats() IngestStats {
 func (ix *MESSI) BatchSearch(qs []Series) ([]Match, error) {
 	rs, err := ix.inner.BatchSearch(qs)
 	return matchesOf(rs), err
+}
+
+// SearchStats reports the work one query performed — the pruning behavior
+// behind its latency. Lower RawDistances relative to Observed means the
+// index discarded more of the collection without touching raw values.
+type SearchStats struct {
+	// ProbeLeaves is the number of leaves the approximate phase probed to
+	// seed the best-so-far (the WithProbeLeaves option).
+	ProbeLeaves int
+	// LeavesInserted counts leaves that survived tree pruning;
+	// LeavesPopped counts those actually examined afterwards.
+	LeavesInserted int
+	LeavesPopped   int
+	// EntriesChecked counts per-series lower bounds computed.
+	EntriesChecked int
+	// RawDistances counts exact distances computed, approximate phase
+	// included.
+	RawDistances int
+	// Observed is the number of series the query answered over (base
+	// collection plus published appends at query start).
+	Observed int
+}
+
+func statsFromQuery(st messi.QueryStats) SearchStats {
+	return SearchStats{
+		ProbeLeaves:    st.ProbeLeaves,
+		LeavesInserted: st.LeavesInserted,
+		LeavesPopped:   st.LeavesPopped,
+		EntriesChecked: st.EntriesChecked,
+		RawDistances:   st.RawDistances,
+		Observed:       st.Observed,
+	}
+}
+
+// BatchSearchStats is BatchSearch additionally returning each query's work
+// stats, so batched workloads can report pruning ratios the same way
+// single-query experiments do. stats[i] describes the query that produced
+// results[i].
+func (ix *MESSI) BatchSearchStats(qs []Series) ([]Match, []SearchStats, error) {
+	rs, sts, err := ix.inner.BatchSearchStats(qs)
+	stats := make([]SearchStats, len(sts))
+	for i, st := range sts {
+		stats[i] = statsFromQuery(st)
+	}
+	return matchesOf(rs), stats, err
 }
 
 // EngineStats is a snapshot of the shared worker pool's throughput

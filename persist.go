@@ -38,6 +38,8 @@ func LoadMESSI(path string, coll *Collection, opts ...Option) (*MESSI, error) {
 		QueueCount:     o.queueCount,
 		MaxInFlight:    o.maxInFlight,
 		MergeThreshold: o.mergeThreshold,
+		ProbeLeaves:    o.probeLeaves,
+		DisableLeafRaw: o.leafRawOff,
 	})
 	if err != nil {
 		return nil, err
