@@ -9,7 +9,9 @@
 //	dsbench -experiment all -series 200000 -queries 5
 //	dsbench -experiment concurrent -inflight 1,8,32
 //	dsbench -experiment ingest -appendrate 0,5000,50000
+//	dsbench -experiment sharded -shards 1,2,4
 //	dsbench -benchjson BENCH_query.json -series 50000 -queries 16
+//	dsbench -shardedjson BENCH_sharded.json -shards 1,2,4
 //
 // The concurrent experiment is the serving-engine workload: it measures
 // MESSI throughput (queries/s) with the given numbers of queries in flight
@@ -21,10 +23,15 @@
 // the paper's claim for that figure, so measured-vs-paper comparison is
 // immediate. See EXPERIMENTS.md for recorded results.
 //
+// The sharded experiment sweeps shard counts: the same collection
+// partitioned across N MESSI shards answering by scatter-gather with one
+// shared best-so-far on one shared worker pool.
+//
 // -benchjson writes the machine-readable query-performance record
 // (ns/query, QPS across the in-flight sweep, raw distances per query) to
 // the given path instead of running experiments — the perf-trajectory
-// point tracked across PRs and by the CI bench-smoke step.
+// point tracked across PRs and by the CI bench-smoke step. -shardedjson
+// does the same for the shard-count sweep (BENCH_sharded.json).
 package main
 
 import (
@@ -40,15 +47,17 @@ import (
 
 func main() {
 	var (
-		list       = flag.Bool("list", false, "list available experiments and exit")
-		expID      = flag.String("experiment", "all", "experiment ID (see -list) or 'all'")
-		series     = flag.Int("series", 0, "collection size (default 200000)")
-		queries    = flag.Int("queries", 0, "queries per measurement (default 5)")
-		seed       = flag.Int64("seed", 0, "generator seed (default 2020)")
-		cores      = flag.Int("cores", 0, "maximum core count axis (default 24)")
-		inflight   = flag.String("inflight", "", "comma-separated in-flight query counts for the concurrent experiment (default 1,4,16)")
-		appendrate = flag.String("appendrate", "", "comma-separated append rates (series/s) for the ingest experiment (default 0,1000,10000)")
-		benchjson  = flag.String("benchjson", "", "write the machine-readable query benchmark to this path and exit")
+		list        = flag.Bool("list", false, "list available experiments and exit")
+		expID       = flag.String("experiment", "all", "experiment ID (see -list) or 'all'")
+		series      = flag.Int("series", 0, "collection size (default 200000)")
+		queries     = flag.Int("queries", 0, "queries per measurement (default 5)")
+		seed        = flag.Int64("seed", 0, "generator seed (default 2020)")
+		cores       = flag.Int("cores", 0, "maximum core count axis (default 24)")
+		inflight    = flag.String("inflight", "", "comma-separated in-flight query counts for the concurrent experiment (default 1,4,16)")
+		appendrate  = flag.String("appendrate", "", "comma-separated append rates (series/s) for the ingest experiment (default 0,1000,10000)")
+		shards      = flag.String("shards", "", "comma-separated shard counts for the sharded experiment (default 1,2,4)")
+		benchjson   = flag.String("benchjson", "", "write the machine-readable query benchmark to this path and exit")
+		shardedjson = flag.String("shardedjson", "", "write the machine-readable sharded benchmark to this path and exit")
 	)
 	flag.Parse()
 
@@ -69,6 +78,7 @@ func main() {
 	}
 	inflightAxis := parseAxis("inflight", *inflight, 1)
 	appendRates := parseAxis("appendrate", *appendrate, 0)
+	shardAxis := parseAxis("shards", *shards, 1)
 
 	if *list {
 		for _, e := range experiments.All {
@@ -84,6 +94,7 @@ func main() {
 		MaxCores:     *cores,
 		InFlightAxis: inflightAxis,
 		AppendRates:  appendRates,
+		ShardAxis:    shardAxis,
 	}
 
 	if *benchjson != "" {
@@ -98,6 +109,23 @@ func main() {
 		}
 		fmt.Printf("wrote %s: %.0f ns/query, %.1f raw distances/query, QPS %v\n",
 			*benchjson, res.NsPerQuery, res.RawDistancesPerQuery, res.QPSByInflight)
+		return
+	}
+
+	if *shardedjson != "" {
+		res, err := experiments.RunShardedBench(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsbench: shardedjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := res.WriteJSON(*shardedjson); err != nil {
+			fmt.Fprintf(os.Stderr, "dsbench: shardedjson: %v\n", err)
+			os.Exit(1)
+		}
+		for _, pt := range res.Points {
+			fmt.Printf("wrote %s: %d shards: %.0f ns/query, %.1f raw distances/query, build %.2fs\n",
+				*shardedjson, pt.Shards, pt.NsPerQuery, pt.RawDistancesPerQuery, pt.BuildSeconds)
+		}
 		return
 	}
 

@@ -69,6 +69,21 @@
 //	m, err := idx.Search(s)          // finds it, merged or not
 //	idx.Flush()                      // optional: fold the delta in now
 //
+// # Sharding
+//
+// NewSharded partitions the collection across N independent MESSI shards
+// (WithShards, WithShardPolicy) that answer as one index: queries scatter
+// to every shard with a single shared best-so-far — a tight bound found on
+// one shard prunes the others mid-flight — and gather answers in the
+// collection's global position space, so results are identical to the
+// unsharded index. All shards share one worker pool and one admission
+// budget; appends route by policy and publish one consistent cross-shard
+// cut. Sharded indexes persist as a DSS1 manifest over the per-shard files
+// (Save / OpenSharded); plain MESSI files open as a 1-shard instance.
+//
+//	s, err := dsidx.NewSharded(coll, dsidx.WithShards(4))
+//	m, err := s.Search(q)            // same answer as the unsharded index
+//
 // All distances returned through this package are true (not squared)
 // distances. Search, SearchKNN and SearchDTW are exact: they return
 // provably the nearest series. Only the explicitly named
@@ -196,6 +211,9 @@ type options struct {
 	mergeThreshold int
 	probeLeaves    int
 	leafRawOff     bool
+	shards         int
+	shardPolicy    ShardPolicy
+	shardPolicySet bool
 }
 
 // Option customizes index construction.

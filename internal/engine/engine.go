@@ -24,6 +24,13 @@
 //     admitted queries, so a burst cannot oversubscribe memory (each
 //     admitted query pins scratch buffers) or grow the run queue without
 //     bound.
+//
+// One pool can serve several indexes: a sharding layer builds N indexes and
+// hands each the same Engine (Retain/Close reference counting keeps the pool
+// alive until the last holder closes), so total parallelism is governed
+// globally — N shards of one query, or tasks of N unrelated queries, all
+// share the same Workers execution slots and the same admission budget, and
+// FairShare splits the pool over every query active on any attached index.
 package engine
 
 import (
@@ -86,6 +93,11 @@ type Engine struct {
 	once    sync.Once
 	bg      sync.WaitGroup
 
+	// refs counts the holders sharing this pool (New returns the first
+	// reference, Retain adds one). Close releases a reference; the pool
+	// only shuts down when the last one is released.
+	refs atomic.Int64
+
 	sem       chan struct{}
 	inFlight  atomic.Int64
 	peak      atomic.Int64
@@ -104,6 +116,7 @@ func New(opt Options) *Engine {
 		quit:  make(chan struct{}),
 		sem:   make(chan struct{}, opt.MaxInFlight),
 	}
+	e.refs.Store(1)
 	for w := 0; w < opt.Workers; w++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -140,13 +153,27 @@ func (e *Engine) Workers() int { return e.opt.Workers }
 // MaxInFlight returns the admission bound.
 func (e *Engine) MaxInFlight() int { return e.opt.MaxInFlight }
 
-// Close stops the pool. In-flight background jobs (Go) are waited for with
-// the pool still live, so a running merge finishes in parallel; then
-// pending tasks are drained and the workers retire. Tasks submitted after
-// Close run inline on the submitting goroutine. Close is idempotent and
-// safe to call concurrently with running queries; concurrent callers block
-// until the first Close completes.
+// Retain adds a reference to the pool and returns it, so several indexes
+// can share one set of workers: each holder calls Close exactly once, and
+// the pool shuts down only when the last reference is released. The first
+// reference belongs to the New caller.
+func (e *Engine) Retain() *Engine {
+	e.refs.Add(1)
+	return e
+}
+
+// Close releases one reference to the pool; the last release stops it.
+// In-flight background jobs (Go) are waited for with the pool still live,
+// so a running merge finishes in parallel; then pending tasks are drained
+// and the workers retire. Tasks submitted after the final Close run inline
+// on the submitting goroutine. Extra Close calls past the reference count
+// are ignored, so a single-owner engine keeps its idempotent-Close
+// contract; the final Close is safe to call concurrently with running
+// queries.
 func (e *Engine) Close() {
+	if e.refs.Add(-1) > 0 {
+		return
+	}
 	e.once.Do(func() {
 		e.mu.Lock()
 		e.closing = true
@@ -251,8 +278,22 @@ func (e *Engine) admitted() (release func()) {
 // it, so ActiveQueries — and the Stats.Queries throughput counter — see
 // direct Search calls too, not just admitted traffic.
 func (e *Engine) BeginQuery() (end func()) {
+	e.CountQuery()
+	return e.BeginSubQuery()
+}
+
+// CountQuery records one logical query in the Stats.Queries throughput
+// counter without marking an active executor. A sharding layer counts each
+// scatter-gather query exactly once through here, while its N per-shard
+// sub-searches drive ActiveQueries via BeginSubQuery — so sampling Queries
+// still yields logical QPS no matter the shard count.
+func (e *Engine) CountQuery() { e.queries.Add(1) }
+
+// BeginSubQuery marks one branch of an already-counted query as actively
+// executing: FairShare splits the pool over it, Stats.Queries does not
+// double-count it.
+func (e *Engine) BeginSubQuery() (end func()) {
 	e.active.Add(1)
-	e.queries.Add(1)
 	return func() { e.active.Add(-1) }
 }
 

@@ -13,12 +13,13 @@ import (
 	"dsidx/internal/series"
 )
 
-// QueryBenchResult is the machine-readable query-performance record
-// dsbench -benchjson writes (BENCH_query.json): one trajectory point of
-// the hot-path numbers tracked across PRs. Fields are stable — additions
-// are fine, renames are not — so historical files stay comparable.
-type QueryBenchResult struct {
-	Schema      string `json:"schema"` // "dsidx-bench-query/v1"
+// BenchHeader is the shared envelope of every machine-readable benchmark
+// record dsbench writes (BENCH_*.json): the schema tag plus the workload
+// and machine shape every trajectory point needs to be comparable. Records
+// embed it, so each schema's JSON keys stay flat and stable — additions
+// are fine, renames are not.
+type BenchHeader struct {
+	Schema      string `json:"schema"`
 	GeneratedAt string `json:"generated_at"`
 	GOMAXPROCS  int    `json:"gomaxprocs"` // cores actually available
 	Workers     int    `json:"workers"`    // index worker-pool size
@@ -26,6 +27,40 @@ type QueryBenchResult struct {
 	SeriesCount int `json:"series_count"`
 	SeriesLen   int `json:"series_len"`
 	QueryCount  int `json:"query_count"`
+}
+
+// header fills the shared envelope for one workload.
+func header(schema string, cfg Config, w workload) BenchHeader {
+	return BenchHeader{
+		Schema:      schema,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Workers:     cfg.MaxCores,
+		SeriesCount: w.coll.Len(),
+		SeriesLen:   w.coll.SeriesLen(),
+		QueryCount:  w.queries.Len(),
+	}
+}
+
+// machineBoundNote is the caveat stamped on every bench record.
+const machineBoundNote = "absolute numbers are machine-bound; compare points generated " +
+	"on the same hardware (see EXPERIMENTS.md)"
+
+// WriteBenchJSON writes any bench record, pretty-printed with a trailing
+// newline, to path — the one JSON writer every BENCH_*.json schema shares.
+func WriteBenchJSON(path string, record any) error {
+	data, err := json.MarshalIndent(record, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// QueryBenchResult is the machine-readable query-performance record
+// dsbench -benchjson writes (BENCH_query.json): one trajectory point of
+// the hot-path numbers tracked across PRs.
+type QueryBenchResult struct {
+	BenchHeader
 	ProbeLeaves int `json:"probe_leaves"`
 
 	// NsPerQuery is single-stream mean exact-query latency; QPSByInflight
@@ -40,6 +75,15 @@ type QueryBenchResult struct {
 	EntriesCheckedPerQuery float64 `json:"entries_checked_per_query"`
 
 	Note string `json:"note,omitempty"`
+}
+
+// searchIndex is the measurement surface shared by a plain index and a
+// sharded one: admission-controlled exact search. Both runConcurrent and
+// the bench runners measure through it, so the sharded benchmark reuses
+// the query benchmark's machinery instead of duplicating it.
+type searchIndex interface {
+	Admit() (release func())
+	Search(q series.Series, workers int) (core.Result, *messi.QueryStats, error)
 }
 
 // RunQueryBench builds a MESSI index over the configured workload and
@@ -72,49 +116,48 @@ func RunQueryBench(cfg Config) (*QueryBenchResult, error) {
 	}
 
 	res := &QueryBenchResult{
-		Schema:                 "dsidx-bench-query/v1",
-		GeneratedAt:            time.Now().UTC().Format(time.RFC3339),
-		GOMAXPROCS:             runtime.GOMAXPROCS(0),
-		Workers:                cfg.MaxCores,
-		SeriesCount:            w.coll.Len(),
-		SeriesLen:              w.coll.SeriesLen(),
-		QueryCount:             len(qs),
+		BenchHeader:            header("dsidx-bench-query/v1", cfg, w),
 		ProbeLeaves:            ix.ProbeLeaves(),
 		QPSByInflight:          make(map[string]float64, len(cfg.InFlightAxis)),
 		RawDistancesPerQuery:   float64(raw) / float64(len(qs)),
 		EntriesCheckedPerQuery: float64(entries) / float64(len(qs)),
-		Note: "absolute numbers are machine-bound; compare points generated " +
-			"on the same hardware (see EXPERIMENTS.md)",
+		Note:                   machineBoundNote,
 	}
 
-	for _, p := range cfg.InFlightAxis {
-		total := max(4*p, 2*len(qs))
-		elapsed, err := runConcurrent(ix, w.queries, p, total)
-		if err != nil {
-			return nil, fmt.Errorf("benchjson@%d: %w", p, err)
-		}
-		res.QPSByInflight[fmt.Sprint(p)] = float64(total) / elapsed.Seconds()
-		if p == 1 {
-			res.NsPerQuery = float64(elapsed.Nanoseconds()) / float64(total)
-		}
+	ns, qps, err := sweepInflight(ix, w.queries, cfg.InFlightAxis, len(qs))
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
 	}
-	if res.NsPerQuery == 0 {
-		// The axis may omit 1-in-flight; measure the single stream anyway.
-		elapsed, err := runConcurrent(ix, w.queries, 1, 2*len(qs))
-		if err != nil {
-			return nil, fmt.Errorf("benchjson@1: %w", err)
-		}
-		res.NsPerQuery = float64(elapsed.Nanoseconds()) / float64(2*len(qs))
-	}
+	res.NsPerQuery, res.QPSByInflight = ns, qps
 	return res, nil
 }
 
-// WriteJSON writes the record, pretty-printed with a trailing newline, to
-// path.
-func (r *QueryBenchResult) WriteJSON(path string) error {
-	data, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
+// sweepInflight measures throughput at each in-flight level and the
+// single-stream latency (measured separately if the axis omits 1).
+func sweepInflight(ix searchIndex, queries *series.Collection, axis []int, queryCount int) (nsPerQuery float64, qps map[string]float64, err error) {
+	qps = make(map[string]float64, len(axis))
+	for _, p := range axis {
+		total := max(4*p, 2*queryCount)
+		elapsed, err := runConcurrent(ix, queries, p, total)
+		if err != nil {
+			return 0, nil, fmt.Errorf("inflight %d: %w", p, err)
+		}
+		qps[fmt.Sprint(p)] = float64(total) / elapsed.Seconds()
+		if p == 1 {
+			nsPerQuery = float64(elapsed.Nanoseconds()) / float64(total)
+		}
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	if nsPerQuery == 0 {
+		total := 2 * queryCount
+		elapsed, err := runConcurrent(ix, queries, 1, total)
+		if err != nil {
+			return 0, nil, fmt.Errorf("inflight 1: %w", err)
+		}
+		nsPerQuery = float64(elapsed.Nanoseconds()) / float64(total)
+	}
+	return nsPerQuery, qps, nil
 }
+
+// WriteJSON writes the record to path (kept as a method for the dsbench
+// entry point; all schemas funnel through WriteBenchJSON).
+func (r *QueryBenchResult) WriteJSON(path string) error { return WriteBenchJSON(path, r) }

@@ -39,6 +39,9 @@ type Config struct {
 	// AppendRates lists the live-append rates (series/s) of the ingestion
 	// experiment (default 0, 1000, 10000; 0 is the query-only baseline).
 	AppendRates []int
+	// ShardAxis lists the shard counts of the sharded scatter-gather
+	// experiment (default 1, 2, 4; 1 is the unsharded baseline).
+	ShardAxis []int
 }
 
 // Normalize fills defaults.
@@ -60,6 +63,9 @@ func (c Config) Normalize() Config {
 	}
 	if len(c.AppendRates) == 0 {
 		c.AppendRates = []int{0, 1000, 10000}
+	}
+	if len(c.ShardAxis) == 0 {
+		c.ShardAxis = []int{1, 2, 4}
 	}
 	return c
 }
@@ -190,6 +196,7 @@ var All = []Experiment{
 	{"ablation-hardness", "Pruning power vs query difficulty (eps sweep)", AblationQueryHardness},
 	{"concurrent", "MESSI multi-query throughput vs in-flight queries (shared pool)", ConcurrentQPS},
 	{"ingest", "MESSI query throughput under live appends (delta buffer + background merge)", IngestThroughput},
+	{"sharded", "Sharded scatter-gather vs shard count (shared pool, shared BSF)", ShardedSweep},
 }
 
 // ByID returns the experiment with the given ID.

@@ -151,4 +151,70 @@ func TestRunQueryBench(t *testing.T) {
 	if back.NsPerQuery != res.NsPerQuery || back.SeriesCount != res.SeriesCount {
 		t.Errorf("round-trip mismatch: %+v vs %+v", back, res)
 	}
+	// The shared envelope keys must stay flat (embedding, not nesting) so
+	// historical BENCH_query.json files remain comparable.
+	var flat map[string]any
+	if err := json.Unmarshal(data, &flat); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "generated_at", "gomaxprocs", "workers",
+		"series_count", "series_len", "query_count", "ns_per_query"} {
+		if _, ok := flat[key]; !ok {
+			t.Errorf("BENCH_query.json missing flat key %q", key)
+		}
+	}
+}
+
+// TestRunShardedBench validates the shard-sweep trajectory record the
+// dsbench -shardedjson flag and the CI sharded bench-smoke step produce —
+// and that it shares the query benchmark's envelope and writer.
+func TestRunShardedBench(t *testing.T) {
+	cfg := tiny()
+	cfg.ShardAxis = []int{1, 2}
+	res, err := RunShardedBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != "dsidx-bench-sharded/v1" {
+		t.Errorf("schema %q", res.Schema)
+	}
+	if res.Policy == "" {
+		t.Error("no policy recorded")
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points, want 2", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.Shards <= 0 || pt.NsPerQuery <= 0 || pt.BuildSeconds <= 0 || pt.RawDistancesPerQuery <= 0 {
+			t.Errorf("implausible point: %+v", pt)
+		}
+		if len(pt.QPSByInflight) == 0 {
+			t.Errorf("point %d has no QPS sweep", pt.Shards)
+		}
+	}
+	path := t.TempDir() + "/BENCH_sharded.json"
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ShardedBenchResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(back.Points) != 2 || back.Points[1].NsPerQuery != res.Points[1].NsPerQuery {
+		t.Errorf("round-trip mismatch: %+v vs %+v", back, res)
+	}
+	var flat map[string]any
+	if err := json.Unmarshal(data, &flat); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "generated_at", "gomaxprocs", "workers",
+		"series_count", "series_len", "query_count", "policy", "points"} {
+		if _, ok := flat[key]; !ok {
+			t.Errorf("BENCH_sharded.json missing flat key %q", key)
+		}
+	}
 }

@@ -58,8 +58,10 @@ func ConcurrentQPS(cfg Config) (*Table, error) {
 }
 
 // runConcurrent answers total queries with exactly inflight query
-// goroutines sharing the index's pool, returning the wall time.
-func runConcurrent(ix *messi.Index, queries *series.Collection, inflight, total int) (time.Duration, error) {
+// goroutines sharing the index's pool, returning the wall time. It
+// measures through the searchIndex surface, so plain and sharded indexes
+// run the identical harness.
+func runConcurrent(ix searchIndex, queries *series.Collection, inflight, total int) (time.Duration, error) {
 	var cursor xsync.Counter
 	errs := make([]error, inflight)
 	var wg sync.WaitGroup

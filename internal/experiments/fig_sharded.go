@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dsidx/internal/core"
+	"dsidx/internal/gen"
+	"dsidx/internal/messi"
+	"dsidx/internal/series"
+	"dsidx/internal/shard"
+)
+
+// shardedPoint is one shard count's measurement: build wall time, exact
+// query latency/throughput (through the same runConcurrent harness as the
+// query benchmark), and the pruning profile of the cross-shard shared BSF.
+type shardedPoint struct {
+	Shards               int                `json:"shards"`
+	BuildSeconds         float64            `json:"build_seconds"`
+	NsPerQuery           float64            `json:"ns_per_query"`
+	QPSByInflight        map[string]float64 `json:"qps_by_inflight"`
+	RawDistancesPerQuery float64            `json:"raw_distances_per_query"`
+}
+
+// measureSharded builds a sharded index at one shard count and measures it
+// — the shared core of the sharded experiment table and BENCH_sharded.json
+// (satellite of the factored bench-JSON writer: one measurement, two
+// presentations).
+func measureSharded(cfg Config, w workload, shards int) (shardedPoint, error) {
+	pt := shardedPoint{Shards: shards}
+	t0 := time.Now()
+	s, err := shard.Build(w.coll, core.Config{LeafCapacity: leafCapacity}, shard.Options{
+		Shards:  shards,
+		Options: messi.Options{Workers: cfg.MaxCores, MaxInFlight: maxInt(cfg.InFlightAxis)},
+	})
+	if err != nil {
+		return pt, fmt.Errorf("sharded@%d: %w", shards, err)
+	}
+	defer s.Close()
+	pt.BuildSeconds = time.Since(t0).Seconds()
+
+	qs := make([]series.Series, w.queries.Len())
+	for i := range qs {
+		qs[i] = w.queries.At(i)
+	}
+	_, stats, err := s.BatchSearchStats(qs)
+	if err != nil {
+		return pt, fmt.Errorf("sharded@%d: %w", shards, err)
+	}
+	raw := 0
+	for _, st := range stats {
+		raw += st.RawDistances
+	}
+	pt.RawDistancesPerQuery = float64(raw) / float64(len(qs))
+
+	pt.NsPerQuery, pt.QPSByInflight, err = sweepInflight(s, w.queries, cfg.InFlightAxis, len(qs))
+	if err != nil {
+		return pt, fmt.Errorf("sharded@%d: %w", shards, err)
+	}
+	return pt, nil
+}
+
+// ShardedSweep is the sharded scatter-gather experiment: the same workload
+// indexed at each configured shard count, all shards of an index sharing
+// one worker pool and every query threading one BSF through all of them.
+// Expected shape: answers identical at every shard count (the conformance
+// suite enforces it); build time roughly flat (the same total work split
+// into independent trees); query latency close to flat because the shared
+// BSF keeps total pruned work near the single-tree case — the per-query
+// raw-distance row makes that visible; QPS at higher in-flight levels
+// tracks the concurrent experiment since the pool is shared either way.
+func ShardedSweep(cfg Config) (*Table, error) {
+	cfg = cfg.Normalize()
+	w := newWorkload(cfg, gen.Synthetic)
+	t := &Table{
+		ID:    "sharded",
+		Title: "Sharded scatter-gather vs shard count (shared pool, shared BSF)",
+	}
+	builds := make([]float64, 0, len(cfg.ShardAxis))
+	lat := make([]float64, 0, len(cfg.ShardAxis))
+	qps := make([]float64, 0, len(cfg.ShardAxis))
+	raws := make([]float64, 0, len(cfg.ShardAxis))
+	maxIF := maxInt(cfg.InFlightAxis)
+	for _, n := range cfg.ShardAxis {
+		t.Columns = append(t.Columns, fmt.Sprintf("%d shards", n))
+		pt, err := measureSharded(cfg, w, n)
+		if err != nil {
+			return nil, err
+		}
+		builds = append(builds, pt.BuildSeconds)
+		lat = append(lat, pt.NsPerQuery/1e6)
+		qps = append(qps, pt.QPSByInflight[fmt.Sprint(maxIF)])
+		raws = append(raws, pt.RawDistancesPerQuery)
+	}
+	t.AddRow("build time [s]", builds...)
+	t.AddRow("mean query latency [ms]", lat...)
+	t.AddRow(fmt.Sprintf("QPS @ %d in-flight", maxIF), qps...)
+	t.AddRow("raw distances/query", raws...)
+	t.Note("all shards share ONE worker pool and every query shares ONE best-so-far across shards")
+	t.Note("expected: answers identical at every shard count; latency ~flat (shared BSF keeps pruned work near 1-shard)")
+	return t, nil
+}
+
+// ShardedBenchResult is the machine-readable sharded trajectory record
+// dsbench -shardedjson writes (BENCH_sharded.json): one point per shard
+// count, sharing the bench envelope and writer with BENCH_query.json.
+type ShardedBenchResult struct {
+	BenchHeader
+	Policy string         `json:"policy"`
+	Points []shardedPoint `json:"points"`
+	Note   string         `json:"note,omitempty"`
+}
+
+// RunShardedBench measures the configured shard-count sweep — the
+// programmatic form of the dsbench -shardedjson flag and the CI sharded
+// bench-smoke step.
+func RunShardedBench(cfg Config) (*ShardedBenchResult, error) {
+	cfg = cfg.Normalize()
+	w := newWorkload(cfg, gen.Synthetic)
+	res := &ShardedBenchResult{
+		BenchHeader: header("dsidx-bench-sharded/v1", cfg, w),
+		Policy:      shard.RoundRobin{}.Name(),
+		Note:        machineBoundNote,
+	}
+	for _, n := range cfg.ShardAxis {
+		pt, err := measureSharded(cfg, w, n)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// WriteJSON writes the record to path via the shared bench writer.
+func (r *ShardedBenchResult) WriteJSON(path string) error { return WriteBenchJSON(path, r) }

@@ -94,6 +94,13 @@ type Options struct {
 	// collection — at the cost of one extra copy of the raw data.
 	// Disabling trades that memory back for per-entry random reads.
 	DisableLeafRaw bool
+	// Engine attaches the index to an existing shared worker pool instead
+	// of creating its own — how a sharding layer runs every shard's tasks
+	// through one globally governed pool. The engine is retained for the
+	// index's lifetime; Close releases only this index's reference, so the
+	// pool survives until its last holder closes. When set, Workers and
+	// MaxInFlight describe the shared pool (they do not size a new one).
+	Engine *engine.Engine
 }
 
 func (o Options) normalize() Options {
@@ -173,9 +180,20 @@ type Index struct {
 	appends  atomic.Uint64
 
 	eng     *engine.Engine
+	engRef  *engineRef
 	scratch sync.Pool // *searchScratch, sized for cfg/opt
 	lbPool  sync.Pool // *lbScratch, one per concurrently running task
 }
+
+// engineRef pairs the index's engine reference with a once, so Close and
+// the garbage-collection cleanup release it exactly one time even when a
+// shared pool (Options.Engine) is counting references across indexes.
+type engineRef struct {
+	eng  *engine.Engine
+	once sync.Once
+}
+
+func (r *engineRef) release() { r.once.Do(r.eng.Close) }
 
 // initLive gives a constructed index its ingestion state, worker pool and
 // scratch pool, and arranges for the pool goroutines to be released if the
@@ -191,18 +209,25 @@ func (ix *Index) initLive(tree *core.Tree, baseSAX *core.SAXArray, mergedA int) 
 	ix.ingestSM = core.NewSummarizer(ix.cfg, tree.Quantizer())
 	ix.ingestBf = make([]uint8, ix.cfg.Segments)
 	ix.snap.Store(&snapshot{tree: tree, mergedA: mergedA})
-	ix.eng = engine.New(engine.Options{Workers: ix.opt.Workers, MaxInFlight: ix.opt.MaxInFlight})
+	if ix.opt.Engine != nil {
+		ix.eng = ix.opt.Engine.Retain()
+	} else {
+		ix.eng = engine.New(engine.Options{Workers: ix.opt.Workers, MaxInFlight: ix.opt.MaxInFlight})
+	}
+	ix.engRef = &engineRef{eng: ix.eng}
 	ix.scratch.New = func() any { return ix.newScratch() }
 	ix.lbPool.New = func() any { return &lbScratch{} }
-	runtime.AddCleanup(ix, func(e *engine.Engine) { e.Close() }, ix.eng)
+	runtime.AddCleanup(ix, func(r *engineRef) { r.release() }, ix.engRef)
 }
 
-// Close stops the index's worker pool, first waiting for any in-flight
-// background merge to complete (the pool stays live for it). It is
-// idempotent and safe to call concurrently with appends and queries;
-// afterwards, queries execute serially on the calling goroutine, appends
-// still land in the delta buffer, and merges happen only through Flush.
-func (ix *Index) Close() { ix.eng.Close() }
+// Close releases the index's worker pool reference. An index-owned pool
+// stops after any in-flight background merge completes (the pool stays
+// live for it); a shared pool (Options.Engine) keeps running for its other
+// holders. Close is idempotent and safe to call concurrently with appends
+// and queries; after the pool fully stops, queries execute serially on the
+// calling goroutine, appends still land in the delta buffer, and merges
+// happen only through Flush.
+func (ix *Index) Close() { ix.engRef.release() }
 
 // EngineStats snapshots the shared pool's throughput counters.
 func (ix *Index) EngineStats() engine.Stats { return ix.eng.Stats() }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"dsidx/internal/core"
+	"dsidx/internal/engine"
 	"dsidx/internal/isax"
 	"dsidx/internal/paa"
 	"dsidx/internal/pqueue"
@@ -192,6 +193,40 @@ func (sc *searchScratch) wasProbed(leaf *core.Node) bool {
 	return false
 }
 
+// identPos is the position map of an unsharded query: local positions ARE
+// the answer positions.
+func identPos(p int32) int32 { return p }
+
+// beginQuery registers a query with the engine's counters. A sub-search —
+// one shard's branch of a scatter-gather query, recognizable by its
+// non-nil position map — contributes to pool scheduling (FairShare) but
+// not to the Queries throughput counter: the sharding layer counts the
+// logical query exactly once.
+func (ix *Index) beginQuery(sub bool) (end func()) {
+	if sub {
+		return ix.eng.BeginSubQuery()
+	}
+	return ix.eng.BeginQuery()
+}
+
+// sharedCut prepares the cross-index search state: the view (its delta
+// suffix capped at appendCut when a sharding layer pins this query to a
+// consistent global prefix), the position map, and the exclusive local
+// position limit. A merge may already have folded appends beyond the cut
+// into the tree snapshot — those entries are filtered by position during
+// refinement, so the answer covers exactly [0, baseLen+cut).
+func (ix *Index) sharedCut(mapPos func(int32) int32, appendCut int) (v view, mp func(int32) int32, posLimit int32) {
+	v = ix.view()
+	if appendCut >= 0 && appendCut < v.aLive {
+		v.aLive = appendCut
+	}
+	mp = mapPos
+	if mp == nil {
+		mp = identPos
+	}
+	return v, mp, int32(ix.baseLen + v.aLive)
+}
+
 // Search answers an exact 1-NN query over everything the index holds at
 // call time: the tree snapshot plus an exact scan of the unmerged delta.
 // workers ≤ 0 means the index's configured worker count; the effective
@@ -201,28 +236,51 @@ func (ix *Index) Search(q series.Series, workers int) (core.Result, *QueryStats,
 	if len(q) != ix.cfg.SeriesLen {
 		return core.NoResult(), nil, fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
 	}
-	v := ix.view()
+	best := xsync.NewBest()
+	stats, err := ix.SearchShared(q, workers, best, nil, -1)
+	if err != nil {
+		return core.NoResult(), nil, err
+	}
+	d, p := best.Load()
+	return core.Result{Pos: int32(p), Dist: d}, stats, nil
+}
+
+// SearchShared is the scatter-gather form of Search, the injection point a
+// sharding layer uses to run one logical query across many indexes: the
+// best-so-far lives in the caller-owned best, so a tight bound found by any
+// shard immediately prunes every other shard's traversal, lower-bound
+// filtering and early abandoning — not just the merged answer afterwards.
+// Every improvement is recorded under mapPos (local position → the caller's
+// global position space; nil means identity). appendCut, when ≥ 0, bounds
+// the query to the first appendCut appended series, so a sharding layer can
+// pin one consistent cross-shard prefix; -1 answers over everything
+// published. The caller reads the answer from best after the call (and
+// after every sibling shard's call, when sharing).
+func (ix *Index) SearchShared(q series.Series, workers int, best *xsync.Best, mapPos func(int32) int32, appendCut int) (*QueryStats, error) {
+	if len(q) != ix.cfg.SeriesLen {
+		return nil, fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
+	}
+	v, mp, posLimit := ix.sharedCut(mapPos, appendCut)
 	stats := &QueryStats{Observed: v.total(ix.baseLen)}
 	if stats.Observed == 0 {
-		return core.NoResult(), stats, nil
+		return stats, nil
 	}
 
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
 	sc.summarizeQuery(q)
 
-	best := xsync.NewBest()
 	t := v.snap.tree
 	sc.table.FillED(t.Quantizer(), sc.qpaa, ix.cfg.SeriesLen)
 	sc.mt.FillFrom(t.Quantizer(), sc.table)
 
 	refine := func(leaf *core.Node, _ float64, st *QueryStats, lb *lbScratch) {
-		ix.refineLeafED(q, sc.table, leaf, best, st, lb)
+		ix.refineLeafED(q, sc.table, leaf, best, st, lb, mp, posLimit)
 	}
 	// Approximate phase: exact distances over the closest p leaves.
 	ix.probeLeaves(sc, t, stats, refine)
 
-	ix.queuedSearch(workers, stats, best.Distance, sc, v,
+	ix.queuedSearch(workers, mapPos != nil, stats, best.Distance, sc, v,
 		func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)) {
 			t.PruneWalkTable(node, sc.mt, bsf, emit)
 		},
@@ -235,25 +293,25 @@ func (ix *Index) Search(q series.Series, workers int) (core.Result, *QueryStats,
 				}
 				st.RawDistances++
 				if d := vector.SquaredEDEarlyAbandon(q, ix.store.At(i), limit); d < limit {
-					best.Update(d, int64(ix.baseLen+i))
+					best.Update(d, int64(mp(int32(ix.baseLen+i))))
 				}
 			})
 		})
-
-	d, p := best.Load()
-	return core.Result{Pos: int32(p), Dist: d}, stats, nil
+	return stats, nil
 }
 
-// BatchSearchStats answers many exact 1-NN queries concurrently on the
-// shared worker pool, bounded by the engine's admission control, returning
-// each query's answer and work stats. results[i] and stats[i] answer
-// qs[i]; the first query error (if any) is returned after all queries
-// finish.
-func (ix *Index) BatchSearchStats(qs []series.Series) ([]core.Result, []QueryStats, error) {
+// RunBatch answers one exact query per element of qs concurrently under
+// eng's admission control — the shared skeleton of every BatchSearch
+// surface (plain and sharded): at most MaxInFlight worker goroutines claim
+// queries with Fetch&Inc, each holding an admission slot for the duration
+// of its search. results[i] and stats[i] answer qs[i]; the first query
+// error (if any) is returned after all queries finish.
+func RunBatch(eng *engine.Engine, qs []series.Series,
+	search func(q series.Series) (core.Result, *QueryStats, error)) ([]core.Result, []QueryStats, error) {
 	results := make([]core.Result, len(qs))
 	stats := make([]QueryStats, len(qs))
 	errs := make([]error, len(qs))
-	spawn := min(len(qs), ix.eng.MaxInFlight())
+	spawn := min(len(qs), eng.MaxInFlight())
 	var next xsync.Counter
 	var wg sync.WaitGroup
 	for w := 0; w < spawn; w++ {
@@ -265,9 +323,9 @@ func (ix *Index) BatchSearchStats(qs []series.Series) ([]core.Result, []QuerySta
 				if i >= len(qs) {
 					return
 				}
-				release := ix.eng.Admit()
+				release := eng.Admit()
 				var st *QueryStats
-				results[i], st, errs[i] = ix.Search(qs[i], 0)
+				results[i], st, errs[i] = search(qs[i])
 				if st != nil {
 					stats[i] = *st
 				}
@@ -284,6 +342,15 @@ func (ix *Index) BatchSearchStats(qs []series.Series) ([]core.Result, []QuerySta
 	return results, stats, nil
 }
 
+// BatchSearchStats answers many exact 1-NN queries concurrently on the
+// shared worker pool, bounded by the engine's admission control, returning
+// each query's answer and work stats.
+func (ix *Index) BatchSearchStats(qs []series.Series) ([]core.Result, []QueryStats, error) {
+	return RunBatch(ix.eng, qs, func(q series.Series) (core.Result, *QueryStats, error) {
+		return ix.Search(q, 0)
+	})
+}
+
 // BatchSearch is BatchSearchStats without the per-query stats.
 func (ix *Index) BatchSearch(qs []series.Series) ([]core.Result, error) {
 	results, _, err := ix.BatchSearchStats(qs)
@@ -295,15 +362,17 @@ func (ix *Index) BatchSearch(qs []series.Series) ([]core.Result, error) {
 // identical to the per-entry MinDistSAX values), then survivors pay an
 // early-abandoning real distance against the leaf's materialized raw
 // block — two sequential streams instead of per-entry pointer chasing.
-func (ix *Index) refineLeafED(q series.Series, table *isax.QueryTable, leaf *core.Node, best *xsync.Best, stats *QueryStats, lb *lbScratch) {
+// Entries at or past posLimit (merged appends beyond a sharding layer's
+// consistent cut) are skipped; improvements land in best under mp.
+func (ix *Index) refineLeafED(q series.Series, table *isax.QueryTable, leaf *core.Node, best *xsync.Best, stats *QueryStats, lb *lbScratch, mp func(int32) int32, posLimit int32) {
 	ix.forLeafBounds(table, leaf, stats, lb, func(i int, b float64) {
 		limit := best.Distance()
-		if b >= limit {
+		if b >= limit || leaf.Pos[i] >= posLimit {
 			return
 		}
 		stats.RawDistances++
 		if d := vector.SquaredEDEarlyAbandon(q, ix.leafSeries(leaf, i), limit); d < limit {
-			best.Update(d, int64(leaf.Pos[i]))
+			best.Update(d, int64(mp(leaf.Pos[i])))
 		}
 	})
 }
@@ -326,9 +395,11 @@ const deltaBlock = 1024
 // interleave through one run queue and the machine runs at most pool-size
 // tasks at any instant. workers caps THIS query's share of the pool (the
 // per-call scaling knob); each phase submits at most that many tasks and
-// the phase barrier waits only for its own.
+// the phase barrier waits only for its own. sub marks a sharded
+// sub-search (see beginQuery).
 func (ix *Index) queuedSearch(
 	workers int,
+	sub bool,
 	stats *QueryStats,
 	bsf func() float64,
 	sc *searchScratch,
@@ -337,7 +408,7 @@ func (ix *Index) queuedSearch(
 	refine func(leaf *core.Node, limit float64, st *QueryStats, lb *lbScratch),
 	scanDelta func(lo, hi int, st *QueryStats, lb *lbScratch),
 ) {
-	end := ix.eng.BeginQuery()
+	end := ix.beginQuery(sub)
 	defer end()
 	if workers <= 0 {
 		// Unpinned queries take a fair share of the pool: full fan-out when
@@ -362,7 +433,10 @@ func (ix *Index) queuedSearch(
 	var cursor, deltaCursor xsync.Counter
 	var inserted, popped, entries, raws atomic.Int64
 	blocks := (len(keys) + claimBlock - 1) / claimBlock
-	deltaLo, deltaHi := v.snap.mergedA, v.aLive
+	// A sharding layer's append cut may sit below mergedA (a merge folded
+	// appends past the cut into the tree, where the position filter handles
+	// them) — there is no delta suffix to scan then.
+	deltaLo, deltaHi := v.snap.mergedA, max(v.aLive, v.snap.mergedA)
 	deltaBlocks := (deltaHi - deltaLo + deltaBlock - 1) / deltaBlock
 	g := ix.eng.NewGroup()
 	for w := 0; w < min(workers, max(blocks, 1)); w++ {
@@ -472,14 +546,23 @@ func (ix *Index) queuedSearch(
 // observed. The answer is not guaranteed to be the true nearest neighbor
 // but is computed in microseconds.
 func (ix *Index) SearchApproximate(q series.Series) (core.Result, error) {
+	return ix.SearchApproximateShared(q, nil, -1)
+}
+
+// SearchApproximateShared is the scatter form of SearchApproximate: the
+// sharding layer probes every shard under one consistent append cut and
+// keeps the best mapped answer, so the reported global position always
+// lies inside the prefix the caller captured — never a series that landed
+// mid-scatter. See SearchShared for the mapPos and appendCut contracts.
+func (ix *Index) SearchApproximateShared(q series.Series, mapPos func(int32) int32, appendCut int) (core.Result, error) {
 	if len(q) != ix.cfg.SeriesLen {
 		return core.NoResult(), fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
 	}
-	v := ix.view()
+	v, mp, posLimit := ix.sharedCut(mapPos, appendCut)
 	if v.total(ix.baseLen) == 0 {
 		return core.NoResult(), nil
 	}
-	end := ix.eng.BeginQuery()
+	end := ix.beginQuery(mapPos != nil)
 	defer end()
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
@@ -488,14 +571,17 @@ func (ix *Index) SearchApproximate(q series.Series) (core.Result, error) {
 	best := core.NoResult()
 	for _, leaf := range v.snap.tree.BestLeavesApprox(sc.qsax, sc.qpaa, ix.opt.ProbeLeaves) {
 		for i := range leaf.Pos {
+			if leaf.Pos[i] >= posLimit {
+				continue
+			}
 			if d := vector.SquaredEDEarlyAbandon(q, ix.leafSeries(leaf, i), best.Dist); d < best.Dist {
-				best = core.Result{Pos: leaf.Pos[i], Dist: d}
+				best = core.Result{Pos: mp(leaf.Pos[i]), Dist: d}
 			}
 		}
 	}
 	for i := v.snap.mergedA; i < v.aLive; i++ {
 		if d := vector.SquaredEDEarlyAbandon(q, ix.store.At(i), best.Dist); d < best.Dist {
-			best = core.Result{Pos: int32(ix.baseLen + i), Dist: d}
+			best = core.Result{Pos: mp(int32(ix.baseLen + i)), Dist: d}
 		}
 	}
 	return best, nil
@@ -510,10 +596,35 @@ func (ix *Index) SearchKNN(q series.Series, k, workers int) ([]core.Result, *Que
 	if k <= 0 {
 		return nil, &QueryStats{}, nil
 	}
-	v := ix.view()
+	kb := xsync.NewKBest(k)
+	stats, err := ix.SearchKNNShared(q, k, workers, kb, nil, -1)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]core.Result, 0, k)
+	for _, e := range kb.Sorted() {
+		out = append(out, core.Result{Pos: e.Pos, Dist: e.Dist})
+	}
+	return out, stats, nil
+}
+
+// SearchKNNShared is the scatter-gather form of SearchKNN: the k-best set
+// lives in the caller-owned kb — shared across shards, its k-th-best
+// threshold tightens globally as any shard improves the set — and every
+// offer is recorded under mapPos, so the per-position deduplication in kb
+// operates on globally unique positions. See SearchShared for the mapPos
+// and appendCut contracts; the caller reads the answer from kb.Sorted().
+func (ix *Index) SearchKNNShared(q series.Series, k, workers int, kb *xsync.KBest, mapPos func(int32) int32, appendCut int) (*QueryStats, error) {
+	if len(q) != ix.cfg.SeriesLen {
+		return nil, fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
+	}
+	if k <= 0 {
+		return &QueryStats{}, nil
+	}
+	v, mp, posLimit := ix.sharedCut(mapPos, appendCut)
 	stats := &QueryStats{Observed: v.total(ix.baseLen)}
 	if stats.Observed == 0 {
-		return nil, stats, nil
+		return stats, nil
 	}
 
 	sc := ix.getScratch()
@@ -521,7 +632,6 @@ func (ix *Index) SearchKNN(q series.Series, k, workers int) ([]core.Result, *Que
 	sc.summarizeQuery(q)
 
 	t := v.snap.tree
-	kb := xsync.NewKBest(k)
 	sc.table.FillED(t.Quantizer(), sc.qpaa, ix.cfg.SeriesLen)
 	sc.mt.FillFrom(t.Quantizer(), sc.table)
 	table := sc.table
@@ -529,17 +639,17 @@ func (ix *Index) SearchKNN(q series.Series, k, workers int) ([]core.Result, *Que
 	refine := func(leaf *core.Node, _ float64, st *QueryStats, lb *lbScratch) {
 		ix.forLeafBounds(table, leaf, st, lb, func(i int, b float64) {
 			lim := kb.Threshold()
-			if b >= lim {
+			if b >= lim || leaf.Pos[i] >= posLimit {
 				return
 			}
 			st.RawDistances++
-			kb.Offer(leaf.Pos[i], vector.SquaredEDEarlyAbandon(q, ix.leafSeries(leaf, i), lim))
+			kb.Offer(mp(leaf.Pos[i]), vector.SquaredEDEarlyAbandon(q, ix.leafSeries(leaf, i), lim))
 		})
 	}
 	ix.probeLeaves(sc, t, stats, refine)
 
 	// The k-th best distance plays the BSF role in every pruning decision.
-	ix.queuedSearch(workers, stats, kb.Threshold, sc, v,
+	ix.queuedSearch(workers, mapPos != nil, stats, kb.Threshold, sc, v,
 		func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)) {
 			t.PruneWalkTable(node, sc.mt, bsf, emit)
 		},
@@ -551,15 +661,10 @@ func (ix *Index) SearchKNN(q series.Series, k, workers int) ([]core.Result, *Que
 					return
 				}
 				st.RawDistances++
-				kb.Offer(int32(ix.baseLen+i), vector.SquaredEDEarlyAbandon(q, ix.store.At(i), lim))
+				kb.Offer(mp(int32(ix.baseLen+i)), vector.SquaredEDEarlyAbandon(q, ix.store.At(i), lim))
 			})
 		})
-
-	out := make([]core.Result, 0, k)
-	for _, e := range kb.Sorted() {
-		out = append(out, core.Result{Pos: e.Pos, Dist: e.Dist})
-	}
-	return out, stats, nil
+	return stats, nil
 }
 
 // SearchDTW answers an exact 1-NN query under DTW with a Sakoe-Chiba band
@@ -571,13 +676,30 @@ func (ix *Index) SearchDTW(q series.Series, window, workers int) (core.Result, *
 	if len(q) != ix.cfg.SeriesLen {
 		return core.NoResult(), nil, fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
 	}
+	best := xsync.NewBest()
+	stats, err := ix.SearchDTWShared(q, window, workers, best, nil, -1)
+	if err != nil {
+		return core.NoResult(), nil, err
+	}
+	d, p := best.Load()
+	return core.Result{Pos: int32(p), Dist: d}, stats, nil
+}
+
+// SearchDTWShared is the scatter-gather form of SearchDTW: the caller-owned
+// best is shared across shards, so any shard's improvement tightens the
+// LB_Keogh and dynamic-program abandoning thresholds everywhere. See
+// SearchShared for the mapPos and appendCut contracts.
+func (ix *Index) SearchDTWShared(q series.Series, window, workers int, best *xsync.Best, mapPos func(int32) int32, appendCut int) (*QueryStats, error) {
+	if len(q) != ix.cfg.SeriesLen {
+		return nil, fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
+	}
 	if window < 0 {
 		window = 0
 	}
-	v := ix.view()
+	v, mp, posLimit := ix.sharedCut(mapPos, appendCut)
 	stats := &QueryStats{Observed: v.total(ix.baseLen)}
 	if stats.Observed == 0 {
-		return core.NoResult(), stats, nil
+		return stats, nil
 	}
 
 	sc := ix.getScratch()
@@ -590,7 +712,6 @@ func (ix *Index) SearchDTW(q series.Series, window, workers int) (core.Result, *
 	n := ix.cfg.SeriesLen
 
 	t := v.snap.tree
-	best := xsync.NewBest()
 	sc.table.FillDTW(t.Quantizer(), upPAA, loPAA, n)
 	// The multi-cardinality view of the DTW table remains a valid DTW lower
 	// bound: coarse cells are minima over their sub-regions.
@@ -600,7 +721,7 @@ func (ix *Index) SearchDTW(q series.Series, window, workers int) (core.Result, *
 	refine := func(leaf *core.Node, _ float64, st *QueryStats, lb *lbScratch) {
 		ix.forLeafBounds(table, leaf, st, lb, func(i int, b float64) {
 			lim := best.Distance()
-			if b >= lim {
+			if b >= lim || leaf.Pos[i] >= posLimit {
 				return
 			}
 			s := ix.leafSeries(leaf, i)
@@ -609,13 +730,13 @@ func (ix *Index) SearchDTW(q series.Series, window, workers int) (core.Result, *
 			}
 			st.RawDistances++
 			if d := series.DTW(q, s, window, lim); d < lim {
-				best.Update(d, int64(leaf.Pos[i]))
+				best.Update(d, int64(mp(leaf.Pos[i])))
 			}
 		})
 	}
 	ix.probeLeaves(sc, t, stats, refine)
 
-	ix.queuedSearch(workers, stats, best.Distance, sc, v,
+	ix.queuedSearch(workers, mapPos != nil, stats, best.Distance, sc, v,
 		func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)) {
 			t.PruneWalkTable(node, sc.mt, bsf, emit)
 		},
@@ -632,11 +753,9 @@ func (ix *Index) SearchDTW(q series.Series, window, workers int) (core.Result, *
 				}
 				st.RawDistances++
 				if d := series.DTW(q, s, window, lim); d < lim {
-					best.Update(d, int64(ix.baseLen+i))
+					best.Update(d, int64(mp(int32(ix.baseLen+i))))
 				}
 			})
 		})
-
-	d, p := best.Load()
-	return core.Result{Pos: int32(p), Dist: d}, stats, nil
+	return stats, nil
 }

@@ -1,6 +1,7 @@
 package messi
 
 import (
+	"math"
 	"testing"
 
 	"dsidx/internal/core"
@@ -56,7 +57,7 @@ func BenchmarkMESSIRefineLeaf(b *testing.B) {
 				for _, leaf := range leaves {
 					best.Reset()
 					best.Update(loose, -1)
-					ix.refineLeafED(q, sc.table, leaf, best, stats, lb)
+					ix.refineLeafED(q, sc.table, leaf, best, stats, lb, identPos, math.MaxInt32)
 				}
 			}
 			b.StopTimer()

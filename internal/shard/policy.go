@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+
+	"dsidx/internal/series"
+)
+
+// Policy decides which shard a series belongs to. Routing must be a pure
+// function of its inputs: persistence re-derives the build-time split by
+// replaying the policy over the base collection, so the same (seq, values,
+// shards) must always land on the same shard.
+type Policy interface {
+	// Route returns the shard in [0, shards) for the seq-th series overall
+	// (base collection positions first, then appends in arrival order).
+	Route(seq int, s series.Series, shards int) int
+	// ID is the policy's stable on-disk identifier (DSS1 manifest field).
+	ID() uint32
+	// Name is the human-readable policy name used in diagnostics.
+	Name() string
+}
+
+// Policy IDs recorded in DSS1 manifests. Values are stable: files written
+// with one build keep loading forever.
+const (
+	policyRoundRobinID uint32 = 0
+	policyHashID       uint32 = 1
+)
+
+// RoundRobin routes series by arrival order: series seq lands on shard
+// seq mod shards. Base collections split into near-equal interleaved
+// stripes, and a steady append stream spreads uniformly regardless of
+// content — the default policy.
+type RoundRobin struct{}
+
+// Route implements Policy.
+func (RoundRobin) Route(seq int, _ series.Series, shards int) int { return seq % shards }
+
+// ID implements Policy.
+func (RoundRobin) ID() uint32 { return policyRoundRobinID }
+
+// Name implements Policy.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// HashSeries routes a series by an FNV-1a hash of its values, so identical
+// series always land on the same shard no matter when they arrive — the
+// policy for deduplication-adjacent workloads and for routing that must be
+// stable under reordering of the input.
+type HashSeries struct{}
+
+// Route implements Policy.
+func (HashSeries) Route(_ int, s series.Series, shards int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range s {
+		bits := math.Float32bits(v)
+		for b := 0; b < 4; b++ {
+			h ^= uint64(bits >> (8 * b) & 0xff)
+			h *= prime64
+		}
+	}
+	return int(h % uint64(shards))
+}
+
+// ID implements Policy.
+func (HashSeries) ID() uint32 { return policyHashID }
+
+// Name implements Policy.
+func (HashSeries) Name() string { return "hash-series" }
+
+// policyByID resolves a manifest's policy field; unknown IDs are a decode
+// error, never a panic.
+func policyByID(id uint32) (Policy, error) {
+	switch id {
+	case policyRoundRobinID:
+		return RoundRobin{}, nil
+	case policyHashID:
+		return HashSeries{}, nil
+	default:
+		return nil, fmt.Errorf("shard: unknown shard policy id %d", id)
+	}
+}

@@ -1,0 +1,534 @@
+// Package shard partitions a collection across N independent MESSI shards
+// that answer as one index — the coarse-grained layer above the paper's
+// intra-tree parallelism. One tree scales by fanning its phases out to a
+// worker pool (internal/messi); a serving system at collection sizes past a
+// single tree's memory ceiling additionally partitions the data, so builds,
+// merges and ingestion parallelize across trees ("Parallel and Distributed
+// Data Series Processing on Modern and Emerging Hardware" names exactly
+// this distribution step above ParIS+/MESSI).
+//
+// The design keeps the single-index guarantees:
+//
+//   - One shared worker pool. Every shard attaches to the same
+//     internal/engine pool (messi.Options.Engine), so parallelism is
+//     governed globally: N shards of one query, or tasks of many queries,
+//     never oversubscribe the machine, and admission control spans the
+//     whole sharded index.
+//   - One shared best-so-far. A query scatters to all shards through the
+//     messi Shared search variants with a single xsync.Best (or KBest)
+//     threaded into every shard's traversal, so a tight bound found on
+//     shard 0 prunes shards 1..N-1 mid-flight — not merely at merge time.
+//     Each shard records answers under its local→global position map, so
+//     the shared accumulator always holds collection-level positions.
+//   - One consistent cut. Appends publish a copy-on-write per-shard count
+//     vector under the route lock; a query captures that vector once and
+//     caps every shard at its entry, so the answer covers exactly the
+//     global prefix [0, Observed) — the property the conformance and
+//     race-stress suites verify against serial scans.
+//
+// Routing is pluggable (Policy): round-robin by arrival order, or
+// content-hashing so identical series co-locate. Persistence wraps the
+// per-shard DSI1/DSL1 blobs in a DSS1 manifest (persist.go); plain
+// single-index files load as a 1-shard instance.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dsidx/internal/core"
+	"dsidx/internal/engine"
+	"dsidx/internal/messi"
+	"dsidx/internal/series"
+	"dsidx/internal/xsync"
+)
+
+// MaxShards bounds the shard count: shard ids persist as one byte per
+// appended series in the DSS1 route log.
+const MaxShards = 256
+
+// Options configures a sharded index: the per-shard MESSI options (Workers
+// and MaxInFlight size the one pool every shard shares) plus the partition
+// shape.
+type Options struct {
+	messi.Options
+	// Shards is the number of partitions (0 means 1).
+	Shards int
+	// Policy routes series to shards (nil means RoundRobin).
+	Policy Policy
+}
+
+func (o Options) normalize() (Options, error) {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Shards > MaxShards {
+		return o, fmt.Errorf("shard: %d shards exceeds the maximum %d", o.Shards, MaxShards)
+	}
+	if o.Policy == nil {
+		o.Policy = RoundRobin{}
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o, nil
+}
+
+// Sharded is a partitioned index over N messi shards, answering the full
+// MESSI surface — exact 1-NN/k-NN/DTW, approximate search, batches, live
+// appends, Flush, persistence — with every answer position in the global
+// (collection-order) position space.
+type Sharded struct {
+	opt       Options
+	n         int
+	policy    Policy
+	seriesLen int
+	base      *series.Collection
+	baseLen   int
+	eng       *engine.Engine
+	shards    []*messi.Index
+
+	// baseMap[si][localPos] is the global position of shard si's build-time
+	// series; mappers[si] extends it over appends. Both immutable after
+	// construction (append rows are published before they become readable).
+	baseMap [][]int32
+	mappers []func(int32) int32
+
+	// Live-append routing state. appendMap[si] maps a shard's append-local
+	// index to its global position; routeLog row g is {shard, shard-local
+	// pos} of global append g — the landed order. cuts is the published
+	// copy-on-write per-shard append-count vector: one atomic load yields a
+	// consistent global prefix for a whole scatter-gather query.
+	mu        sync.Mutex
+	appendMap []*series.ChunkedRows[int32]
+	routeLog  *series.ChunkedRows[int32]
+	cuts      atomic.Pointer[[]int32]
+	appended  atomic.Int64
+}
+
+// splitBase partitions the base collection by policy, returning per-shard
+// collections and each shard's local→global base position map. The split
+// is a pure function of (collection, policy, n): Decode replays it to
+// rebuild the maps without persisting them.
+//
+// The split COPIES each series into its shard's collection (messi indexes
+// a contiguous flat collection), so a sharded index holds the base raw
+// data twice: once in the caller's collection (served by At), once across
+// the shard parts — the same raw-memory doubling the leaf-materialization
+// layout accepts, and the known cost of reusing the messi build unchanged.
+// Lifting it means teaching messi to index through a position-remapping
+// view instead of flat storage (the shards already own the local→global
+// maps); recorded as a ROADMAP item.
+func splitBase(coll *series.Collection, policy Policy, n int) (parts []*series.Collection, baseMap [][]int32) {
+	parts = make([]*series.Collection, n)
+	baseMap = make([][]int32, n)
+	for si := range parts {
+		parts[si] = series.NewCollection(0, coll.SeriesLen())
+	}
+	for i := 0; i < coll.Len(); i++ {
+		s := coll.At(i)
+		si := policy.Route(i, s, n)
+		parts[si].Append(s)
+		baseMap[si] = append(baseMap[si], int32(i))
+	}
+	return parts, baseMap
+}
+
+// newShell assembles the Sharded state common to Build and Decode: the
+// base split, the shared engine, and empty append-routing structures. The
+// caller fills s.shards (one per part) and then calls finish.
+func newShell(coll *series.Collection, opt Options) (*Sharded, []*series.Collection) {
+	parts, baseMap := splitBase(coll, opt.Policy, opt.Shards)
+	s := &Sharded{
+		opt:       opt,
+		n:         opt.Shards,
+		policy:    opt.Policy,
+		seriesLen: coll.SeriesLen(),
+		base:      coll,
+		baseLen:   coll.Len(),
+		eng:       engine.New(engine.Options{Workers: opt.Workers, MaxInFlight: opt.MaxInFlight}),
+		shards:    make([]*messi.Index, opt.Shards),
+		baseMap:   baseMap,
+		appendMap: make([]*series.ChunkedRows[int32], opt.Shards),
+		routeLog:  series.NewChunkedRows[int32](2, 0),
+	}
+	for si := range s.appendMap {
+		s.appendMap[si] = series.NewChunkedRows[int32](1, 0)
+	}
+	cuts := make([]int32, opt.Shards)
+	s.cuts.Store(&cuts)
+	return s, parts
+}
+
+// shardOptions is the per-shard messi configuration: identical tuning, one
+// shared pool.
+func (s *Sharded) shardOptions() messi.Options {
+	mo := s.opt.Options
+	mo.Engine = s.eng
+	return mo
+}
+
+// finish is called once every shard exists: it builds the per-shard
+// position mappers and releases the constructor's engine reference (each
+// shard retained its own, so the pool now lives exactly as long as the
+// shards do).
+func (s *Sharded) finish() {
+	s.mappers = make([]func(int32) int32, s.n)
+	for si := range s.mappers {
+		bm := s.baseMap[si]
+		am := s.appendMap[si]
+		s.mappers[si] = func(p int32) int32 {
+			if int(p) < len(bm) {
+				return bm[p]
+			}
+			return am.At(int(p) - len(bm))[0]
+		}
+	}
+	s.eng.Close()
+}
+
+// abort releases everything a failed construction acquired: the shards
+// decoded so far and the constructor's engine reference.
+func (s *Sharded) abort() {
+	for _, sh := range s.shards {
+		if sh != nil {
+			sh.Close()
+		}
+	}
+	s.eng.Close()
+}
+
+// Build partitions coll by the configured policy and builds one MESSI
+// index per shard, all attached to a single shared worker pool.
+func Build(coll *series.Collection, cfg core.Config, opt Options) (*Sharded, error) {
+	opt, err := opt.normalize()
+	if err != nil {
+		return nil, err
+	}
+	s, parts := newShell(coll, opt)
+	for si := range s.shards {
+		s.shards[si], err = messi.Build(parts[si], cfg, s.shardOptions())
+		if err != nil {
+			s.abort()
+			return nil, err
+		}
+	}
+	s.finish()
+	return s, nil
+}
+
+// Close releases every shard's reference to the shared worker pool; the
+// pool stops after the last one (waiting for in-flight background merges).
+// It is idempotent and safe to call concurrently with appends and queries.
+func (s *Sharded) Close() {
+	for _, sh := range s.shards {
+		sh.Close()
+	}
+}
+
+// Shards returns the number of partitions.
+func (s *Sharded) Shards() int { return s.n }
+
+// Shard exposes partition si for diagnostics and tests.
+func (s *Sharded) Shard(si int) *messi.Index { return s.shards[si] }
+
+// PolicyName reports the routing policy.
+func (s *Sharded) PolicyName() string { return s.policy.Name() }
+
+// Count returns the number of series the index answers over: the base
+// collection plus every published append, across all shards.
+func (s *Sharded) Count() int { return s.baseLen + int(s.appended.Load()) }
+
+// At returns the series at a global position — base collection order
+// first, then appends in arrival order. Every position a query result
+// reports resolves through here.
+func (s *Sharded) At(pos int) series.Series {
+	if pos < s.baseLen {
+		return s.base.At(pos)
+	}
+	r := s.routeLog.At(pos - s.baseLen)
+	return s.shards[r[0]].At(int(r[1]))
+}
+
+// EngineStats snapshots the shared pool's counters — one pool serves every
+// shard, so this is already the aggregate view.
+func (s *Sharded) EngineStats() engine.Stats { return s.eng.Stats() }
+
+// Admit blocks until the shared pool's admission control grants a query
+// slot; one slot covers a whole scatter-gather query across all shards.
+func (s *Sharded) Admit() (release func()) { return s.eng.Admit() }
+
+// AdmitContext is Admit with cancellation.
+func (s *Sharded) AdmitContext(ctx context.Context) (release func(), err error) {
+	return s.eng.AdmitContext(ctx)
+}
+
+// MaxInFlight returns the admission bound on concurrently admitted
+// scatter-gather queries.
+func (s *Sharded) MaxInFlight() int { return s.eng.MaxInFlight() }
+
+// view captures one consistent cross-shard cut: the per-shard append
+// counts published by the most recent append, plus the global series count
+// they imply. Every shard of one query is capped at its entry, so the
+// query answers over exactly the global prefix [0, observed).
+func (s *Sharded) view() (cuts []int32, observed int) {
+	c := *s.cuts.Load()
+	total := 0
+	for _, v := range c {
+		total += int(v)
+	}
+	return c, s.baseLen + total
+}
+
+// scatter runs fn for every shard concurrently (each call coordinates its
+// shard's search, whose tasks run on the shared pool) and merges the
+// per-shard work stats into stats. The logical query is counted once here;
+// the per-shard sub-searches register only as active executors, so the
+// engine's Queries counter reads in logical QPS at any shard count.
+func (s *Sharded) scatter(stats *messi.QueryStats, fn func(si int) (*messi.QueryStats, error)) error {
+	s.eng.CountQuery()
+	sts := make([]*messi.QueryStats, s.n)
+	errs := make([]error, s.n)
+	var wg sync.WaitGroup
+	for si := 0; si < s.n; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			sts[si], errs[si] = fn(si)
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, st := range sts {
+		if st == nil {
+			continue
+		}
+		stats.ProbeLeaves += st.ProbeLeaves
+		stats.LeavesInserted += st.LeavesInserted
+		stats.LeavesPopped += st.LeavesPopped
+		stats.EntriesChecked += st.EntriesChecked
+		stats.RawDistances += st.RawDistances
+	}
+	return nil
+}
+
+// Search answers an exact 1-NN query by scatter-gathering over every shard
+// with one shared best-so-far: the bound tightens globally as any shard
+// improves it, pruning the others mid-flight. The answer is bit-identical
+// to a serial scan of the observed global prefix.
+func (s *Sharded) Search(q series.Series, workers int) (core.Result, *messi.QueryStats, error) {
+	if len(q) != s.seriesLen {
+		return core.NoResult(), nil, fmt.Errorf("shard: query length %d != %d", len(q), s.seriesLen)
+	}
+	cuts, observed := s.view()
+	stats := &messi.QueryStats{Observed: observed}
+	if observed == 0 {
+		return core.NoResult(), stats, nil
+	}
+	best := xsync.NewBest()
+	if err := s.scatter(stats, func(si int) (*messi.QueryStats, error) {
+		return s.shards[si].SearchShared(q, workers, best, s.mappers[si], int(cuts[si]))
+	}); err != nil {
+		return core.NoResult(), nil, err
+	}
+	d, p := best.Load()
+	return core.Result{Pos: int32(p), Dist: d}, stats, nil
+}
+
+// SearchKNN answers an exact k-NN query with one shared k-best set across
+// all shards; its k-th-best threshold plays the global BSF role.
+func (s *Sharded) SearchKNN(q series.Series, k, workers int) ([]core.Result, *messi.QueryStats, error) {
+	if len(q) != s.seriesLen {
+		return nil, nil, fmt.Errorf("shard: query length %d != %d", len(q), s.seriesLen)
+	}
+	if k <= 0 {
+		return nil, &messi.QueryStats{}, nil
+	}
+	cuts, observed := s.view()
+	stats := &messi.QueryStats{Observed: observed}
+	if observed == 0 {
+		return nil, stats, nil
+	}
+	kb := xsync.NewKBest(k)
+	if err := s.scatter(stats, func(si int) (*messi.QueryStats, error) {
+		return s.shards[si].SearchKNNShared(q, k, workers, kb, s.mappers[si], int(cuts[si]))
+	}); err != nil {
+		return nil, nil, err
+	}
+	out := make([]core.Result, 0, k)
+	for _, e := range kb.Sorted() {
+		out = append(out, core.Result{Pos: e.Pos, Dist: e.Dist})
+	}
+	return out, stats, nil
+}
+
+// SearchDTW answers an exact 1-NN DTW query (Sakoe-Chiba half-width
+// window) with the shared best-so-far threaded through every shard's
+// LB_Keogh cascade.
+func (s *Sharded) SearchDTW(q series.Series, window, workers int) (core.Result, *messi.QueryStats, error) {
+	if len(q) != s.seriesLen {
+		return core.NoResult(), nil, fmt.Errorf("shard: query length %d != %d", len(q), s.seriesLen)
+	}
+	cuts, observed := s.view()
+	stats := &messi.QueryStats{Observed: observed}
+	if observed == 0 {
+		return core.NoResult(), stats, nil
+	}
+	best := xsync.NewBest()
+	if err := s.scatter(stats, func(si int) (*messi.QueryStats, error) {
+		return s.shards[si].SearchDTWShared(q, window, workers, best, s.mappers[si], int(cuts[si]))
+	}); err != nil {
+		return core.NoResult(), nil, err
+	}
+	d, p := best.Load()
+	return core.Result{Pos: int32(p), Dist: d}, stats, nil
+}
+
+// SearchApproximate returns the best answer among every shard's
+// approximate probe — still microseconds (the probes are sequential leaf
+// reads), still an upper bound on the exact answer. Shards are probed
+// under one consistent cut, so the reported global position always lies
+// inside the prefix this call observed, even mid-append.
+func (s *Sharded) SearchApproximate(q series.Series) (core.Result, error) {
+	if len(q) != s.seriesLen {
+		return core.NoResult(), fmt.Errorf("shard: query length %d != %d", len(q), s.seriesLen)
+	}
+	cuts, observed := s.view()
+	if observed == 0 {
+		return core.NoResult(), nil
+	}
+	s.eng.CountQuery()
+	best := core.NoResult()
+	for si, sh := range s.shards {
+		r, err := sh.SearchApproximateShared(q, s.mappers[si], int(cuts[si]))
+		if err != nil {
+			return core.NoResult(), err
+		}
+		if r.Pos >= 0 && r.Dist < best.Dist {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// BatchSearchStats answers many exact 1-NN queries concurrently under the
+// shared pool's admission control; one admission slot covers one query's
+// whole cross-shard scatter.
+func (s *Sharded) BatchSearchStats(qs []series.Series) ([]core.Result, []messi.QueryStats, error) {
+	return messi.RunBatch(s.eng, qs, func(q series.Series) (core.Result, *messi.QueryStats, error) {
+		return s.Search(q, 0)
+	})
+}
+
+// BatchSearch is BatchSearchStats without the per-query stats.
+func (s *Sharded) BatchSearch(qs []series.Series) ([]core.Result, error) {
+	results, _, err := s.BatchSearchStats(qs)
+	return results, err
+}
+
+// Append routes one series to its shard and returns its global position.
+// The series is visible to queries before Append returns; merges into the
+// shard's tree happen in the background exactly as for a plain index.
+func (s *Sharded) Append(ser series.Series) (int, error) {
+	if len(ser) != s.seriesLen {
+		return 0, fmt.Errorf("shard: append length %d != %d", len(ser), s.seriesLen)
+	}
+	s.mu.Lock()
+	g := s.appendLocked(ser)
+	s.publishLocked(1)
+	s.mu.Unlock()
+	return g, nil
+}
+
+// AppendBatch routes a batch of series, returning the global position of
+// the first; the batch occupies consecutive global positions and becomes
+// visible atomically (the cut vector publishes once, after the last
+// series lands).
+func (s *Sharded) AppendBatch(ss []series.Series) (int, error) {
+	for i, ser := range ss {
+		if len(ser) != s.seriesLen {
+			return 0, fmt.Errorf("shard: append batch series %d length %d != %d",
+				i, len(ser), s.seriesLen)
+		}
+	}
+	s.mu.Lock()
+	start := s.Count()
+	for _, ser := range ss {
+		s.appendLocked(ser)
+	}
+	s.publishLocked(len(ss))
+	s.mu.Unlock()
+	return start, nil
+}
+
+// appendLocked lands one pre-validated series: route, record the mapping
+// BEFORE the shard publishes (readers acquire the shard's append counter,
+// so a position a query can see always has a visible mapping row), then
+// append to the shard. Returns the global position. Caller holds s.mu and
+// publishes the cut afterwards.
+func (s *Sharded) appendLocked(ser series.Series) int {
+	g := s.baseLen + s.routeLog.Len()
+	si := s.policy.Route(g, ser, s.n)
+	local := len(s.baseMap[si]) + s.appendMap[si].Len()
+	s.appendMap[si].Append([]int32{int32(g)})
+	s.routeLog.Append([]int32{int32(si), int32(local)})
+	if _, err := s.shards[si].Append(ser); err != nil {
+		// Lengths are validated before routing; a shard of the same config
+		// cannot reject the append.
+		panic(fmt.Sprintf("shard: shard %d rejected a validated append: %v", si, err))
+	}
+	return g
+}
+
+// publishLocked publishes n freshly landed appends as one atomic cut: a
+// copy-on-write bump of the per-shard count vector (derived from the route
+// log, whose suffix the caller just wrote), then the global counter.
+func (s *Sharded) publishLocked(n int) {
+	old := *s.cuts.Load()
+	next := make([]int32, len(old))
+	copy(next, old)
+	lo := s.routeLog.Len() - n
+	for g := lo; g < s.routeLog.Len(); g++ {
+		next[s.routeLog.At(g)[0]]++
+	}
+	s.cuts.Store(&next)
+	s.appended.Add(int64(n))
+}
+
+// Pending sums the shards' unmerged delta sizes.
+func (s *Sharded) Pending() int {
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.Pending()
+	}
+	return total
+}
+
+// Flush synchronously merges every shard's delta into its tree.
+func (s *Sharded) Flush() {
+	for _, sh := range s.shards {
+		sh.Flush()
+	}
+}
+
+// IngestStats merges the shards' write-path counters. MergeThreshold is
+// the per-shard threshold (each shard schedules its own merges).
+func (s *Sharded) IngestStats() messi.IngestStats {
+	var out messi.IngestStats
+	for _, sh := range s.shards {
+		st := sh.IngestStats()
+		out.Appended += st.Appended
+		out.Pending += st.Pending
+		out.Merged += st.Merged
+		out.Merges += st.Merges
+		out.MergeThreshold = st.MergeThreshold
+	}
+	return out
+}

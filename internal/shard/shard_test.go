@@ -1,0 +1,448 @@
+package shard
+
+import (
+	"math"
+	"testing"
+
+	"dsidx/internal/core"
+	"dsidx/internal/gen"
+	"dsidx/internal/messi"
+	"dsidx/internal/series"
+	"dsidx/internal/ucr"
+	"dsidx/internal/vector"
+)
+
+const testLen = 64
+
+func testConfig() core.Config { return core.Config{LeafCapacity: 32} }
+
+func buildSharded(t *testing.T, coll *series.Collection, shards int, policy Policy) *Sharded {
+	t.Helper()
+	s, err := Build(coll, testConfig(), Options{Shards: shards, Policy: policy,
+		Options: messi.Options{MergeThreshold: 1 << 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// landedCollection copies everything the sharded index serves, in global
+// position order, for ground-truth scans.
+func landedCollection(s *Sharded) *series.Collection {
+	out := series.NewCollection(s.Count(), s.seriesLen)
+	for i := 0; i < s.Count(); i++ {
+		out.Set(i, s.At(i))
+	}
+	return out
+}
+
+func TestShardedMatchesSerialAcrossShardCountsAndPolicies(t *testing.T) {
+	g := gen.Generator{Kind: gen.Synthetic, Length: testLen, Seed: 7}
+	coll := g.Collection(1500)
+	queries := g.PerturbedQueries(coll, 12, 0.05)
+	for _, policy := range []Policy{RoundRobin{}, HashSeries{}} {
+		for _, n := range []int{1, 2, 4, 7} {
+			s := buildSharded(t, coll, n, policy)
+			if s.Shards() != n {
+				t.Fatalf("%s/%d: Shards() = %d", policy.Name(), n, s.Shards())
+			}
+			for i := 0; i < queries.Len(); i++ {
+				q := queries.At(i)
+				got, st, err := s.Search(q, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st.Observed != coll.Len() {
+					t.Fatalf("%s/%d: observed %d, want %d", policy.Name(), n, st.Observed, coll.Len())
+				}
+				want := ucr.Scan(coll, q)
+				if got.Pos != want.Pos || got.Dist != want.Dist {
+					t.Fatalf("%s/%d query %d: (#%d, %v) != serial (#%d, %v)",
+						policy.Name(), n, i, got.Pos, got.Dist, want.Pos, want.Dist)
+				}
+				gotK, _, err := s.SearchKNN(q, 5, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantK := ucr.ScanKNN(coll, q, 5)
+				if len(gotK) != len(wantK) {
+					t.Fatalf("%s/%d query %d: %d k-NN results, want %d",
+						policy.Name(), n, i, len(gotK), len(wantK))
+				}
+				for r := range wantK {
+					if gotK[r].Pos != wantK[r].Pos || gotK[r].Dist != wantK[r].Dist {
+						t.Fatalf("%s/%d query %d rank %d: (#%d, %v) != serial (#%d, %v)",
+							policy.Name(), n, i, r, gotK[r].Pos, gotK[r].Dist, wantK[r].Pos, wantK[r].Dist)
+					}
+				}
+				gotD, _, err := s.SearchDTW(q, 4, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantD := ucr.ScanDTW(coll, q, 4)
+				if gotD.Pos != wantD.Pos || gotD.Dist != wantD.Dist {
+					t.Fatalf("%s/%d DTW query %d: (#%d, %v) != serial (#%d, %v)",
+						policy.Name(), n, i, gotD.Pos, gotD.Dist, wantD.Pos, wantD.Dist)
+				}
+			}
+		}
+	}
+}
+
+func TestShardedSharedPoolServesAllShards(t *testing.T) {
+	g := gen.Generator{Kind: gen.Synthetic, Length: testLen, Seed: 11}
+	coll := g.Collection(2000)
+	queries := g.PerturbedQueries(coll, 8, 0.05)
+	s := buildSharded(t, coll, 4, RoundRobin{})
+
+	qs := make([]series.Series, queries.Len())
+	for i := range qs {
+		qs[i] = queries.At(i)
+	}
+	results, stats, err := s.BatchSearchStats(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.EngineStats()
+	if st.Tasks == 0 {
+		t.Error("no tasks executed on the shared pool — shard queries did not use it")
+	}
+	if st.PeakInFlight > s.MaxInFlight() {
+		t.Errorf("peak in-flight %d exceeds admission bound %d", st.PeakInFlight, s.MaxInFlight())
+	}
+	// The pool counts LOGICAL queries: one per scatter-gather, not one per
+	// shard, so sampling Queries yields true QPS at any shard count.
+	if st.Queries != uint64(len(qs)) {
+		t.Errorf("engine counted %d queries for %d scatter-gather searches", st.Queries, len(qs))
+	}
+	for i := range qs {
+		want := ucr.Scan(coll, qs[i])
+		if results[i].Pos != want.Pos || results[i].Dist != want.Dist {
+			t.Fatalf("batch query %d: (#%d, %v) != serial (#%d, %v)",
+				i, results[i].Pos, results[i].Dist, want.Pos, want.Dist)
+		}
+		if stats[i].Observed != coll.Len() {
+			t.Fatalf("batch query %d observed %d", i, stats[i].Observed)
+		}
+	}
+	// Every shard should have answered (round-robin split leaves no shard
+	// empty at this size).
+	for si := 0; si < s.Shards(); si++ {
+		if s.Shard(si).Count() == 0 {
+			t.Fatalf("shard %d is empty", si)
+		}
+	}
+}
+
+func TestShardedAppendVisibleAndGloballyPositioned(t *testing.T) {
+	g := gen.Generator{Kind: gen.Synthetic, Length: testLen, Seed: 21}
+	coll := g.Collection(600)
+	s := buildSharded(t, coll, 3, RoundRobin{})
+	extra := gen.Generator{Kind: gen.Synthetic, Length: testLen, Seed: 22}.Collection(200)
+
+	for i := 0; i < 100; i++ {
+		pos, err := s.Append(extra.At(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pos != 600+i {
+			t.Fatalf("append %d landed at global %d", i, pos)
+		}
+	}
+	batch := make([]series.Series, 100)
+	for i := range batch {
+		batch[i] = extra.At(100 + i)
+	}
+	start, err := s.AppendBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 700 {
+		t.Fatalf("batch landed at global %d", start)
+	}
+	if s.Count() != 800 {
+		t.Fatalf("count %d", s.Count())
+	}
+
+	// Every appended series is findable as its own nearest neighbor at its
+	// global position, and At resolves the same values.
+	for i := 0; i < 200; i += 17 {
+		got, st, err := s.Search(extra.At(i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Pos != int32(600+i) || got.Dist != 0 {
+			t.Fatalf("self-query of append %d: (#%d, %v)", i, got.Pos, got.Dist)
+		}
+		if st.Observed != 800 {
+			t.Fatalf("observed %d", st.Observed)
+		}
+	}
+	live := landedCollection(s)
+	queries := g.PerturbedQueries(coll, 6, 0.05)
+	for i := 0; i < queries.Len(); i++ {
+		q := queries.At(i)
+		got, _, err := s.Search(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ucr.Scan(live, q)
+		if got.Pos != want.Pos || got.Dist != want.Dist {
+			t.Fatalf("query %d: (#%d, %v) != serial (#%d, %v)", i, got.Pos, got.Dist, want.Pos, want.Dist)
+		}
+	}
+
+	// Flush folds every shard's delta; answers must not move.
+	s.Flush()
+	if p := s.Pending(); p != 0 {
+		t.Fatalf("pending %d after Flush", p)
+	}
+	ist := s.IngestStats()
+	if ist.Appended != 200 || ist.Merged != 200 {
+		t.Fatalf("ingest stats after flush: %+v", ist)
+	}
+	for i := 0; i < queries.Len(); i++ {
+		q := queries.At(i)
+		got, _, err := s.Search(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ucr.Scan(live, q)
+		if got.Pos != want.Pos || got.Dist != want.Dist {
+			t.Fatalf("post-flush query %d: (#%d, %v) != serial (#%d, %v)",
+				i, got.Pos, got.Dist, want.Pos, want.Dist)
+		}
+	}
+}
+
+func TestShardedPersistRoundTrip(t *testing.T) {
+	for _, policy := range []Policy{RoundRobin{}, HashSeries{}} {
+		g := gen.Generator{Kind: gen.Synthetic, Length: testLen, Seed: 31}
+		coll := g.Collection(500)
+		s := buildSharded(t, coll, 3, policy)
+		extra := gen.Generator{Kind: gen.Synthetic, Length: testLen, Seed: 32}.Collection(120)
+		for i := 0; i < 80; i++ {
+			if _, err := s.Append(extra.At(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Flush()
+		for i := 80; i < 120; i++ {
+			if _, err := s.Append(extra.At(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		enc := s.Encode()
+		if string(enc[:4]) != "DSS1" {
+			t.Fatalf("sharded encode magic %q", enc[:4])
+		}
+		s2, err := Decode(enc, coll, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s2.Close()
+		if s2.Count() != s.Count() || s2.Shards() != s.Shards() || s2.PolicyName() != policy.Name() {
+			t.Fatalf("%s: decoded count=%d shards=%d policy=%s", policy.Name(),
+				s2.Count(), s2.Shards(), s2.PolicyName())
+		}
+		if s2.Pending() != s.Pending() {
+			t.Fatalf("%s: decoded pending %d, want %d", policy.Name(), s2.Pending(), s.Pending())
+		}
+		if enc2 := s2.Encode(); string(enc2) != string(enc) {
+			t.Fatalf("%s: re-encode differs from original", policy.Name())
+		}
+		live := landedCollection(s)
+		queries := g.PerturbedQueries(coll, 6, 0.05)
+		for i := 0; i < queries.Len(); i++ {
+			q := queries.At(i)
+			a, _, err := s.Search(q, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _, err := s2.Search(q, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ucr.Scan(live, q)
+			if a != b || b.Pos != want.Pos || b.Dist != want.Dist {
+				t.Fatalf("%s round-trip query %d: %+v vs %+v vs serial %+v", policy.Name(), i, a, b, want)
+			}
+		}
+		// Appended series travel with the shards and keep their global
+		// positions across the round trip.
+		got, _, err := s2.Search(extra.At(100), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Pos != 600 || got.Dist != 0 {
+			t.Fatalf("%s: decoded self-query: (#%d, %v)", policy.Name(), got.Pos, got.Dist)
+		}
+	}
+}
+
+func TestLegacySingleIndexLoadsAsOneShard(t *testing.T) {
+	g := gen.Generator{Kind: gen.Synthetic, Length: testLen, Seed: 41}
+	coll := g.Collection(400)
+	ix, err := messi.Build(coll, testConfig(), messi.Options{MergeThreshold: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	extra := gen.Generator{Kind: gen.Synthetic, Length: testLen, Seed: 42}.Collection(50)
+	for i := 0; i < extra.Len(); i++ {
+		if _, err := ix.Append(extra.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Both the bare DSI1 form (no appends — encode before the appends
+	// happened is equivalent to a fresh build) and the DSL1 live form must
+	// load as a 1-shard instance with unchanged positions and answers.
+	enc := ix.Encode()
+	s, err := Decode(enc, coll, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Shards() != 1 || s.Count() != ix.Count() || s.Pending() != ix.Pending() {
+		t.Fatalf("legacy load: shards=%d count=%d pending=%d, want 1/%d/%d",
+			s.Shards(), s.Count(), s.Pending(), ix.Count(), ix.Pending())
+	}
+	queries := g.PerturbedQueries(coll, 8, 0.05)
+	for i := 0; i < queries.Len(); i++ {
+		q := queries.At(i)
+		a, _, err := ix.Search(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := s.Search(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("legacy query %d: plain %+v != 1-shard %+v", i, a, b)
+		}
+	}
+	// Appended positions are identity-mapped.
+	got, _, err := s.Search(extra.At(10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pos != 410 || got.Dist != 0 {
+		t.Fatalf("legacy append self-query: (#%d, %v)", got.Pos, got.Dist)
+	}
+
+	// Requesting a conflicting topology is an error, not a silent ignore —
+	// for the shard count and for the policy (a legacy file loads, and
+	// re-encodes, as round-robin).
+	if _, err := Decode(enc, coll, Options{Shards: 4}); err == nil {
+		t.Fatal("legacy file decoded under Shards=4")
+	}
+	if _, err := Decode(enc, coll, Options{Policy: HashSeries{}}); err == nil {
+		t.Fatal("legacy file decoded under an explicit hash policy")
+	}
+	if rr, err := Decode(enc, coll, Options{Policy: RoundRobin{}}); err != nil {
+		t.Fatalf("legacy file rejected under an explicit round-robin policy: %v", err)
+	} else {
+		rr.Close()
+	}
+}
+
+func TestShardedDecodeRejectsCorruptManifests(t *testing.T) {
+	g := gen.Generator{Kind: gen.Synthetic, Length: testLen, Seed: 51}
+	coll := g.Collection(200)
+	s := buildSharded(t, coll, 2, RoundRobin{})
+	enc := s.Encode()
+
+	cases := map[string][]byte{
+		"truncated header": enc[:10],
+		"bad version":      append([]byte("DSS1\xff\xff\xff\xff"), enc[8:]...),
+		"bad policy":       append([]byte("DSS1\x01\x00\x00\x00\x99\x00\x00\x00"), enc[12:]...),
+		"zero shards":      append(append([]byte{}, enc[:12]...), append([]byte{0, 0, 0, 0}, enc[16:]...)...),
+		"truncated blob":   enc[:len(enc)-8],
+		"trailing bytes":   append(append([]byte{}, enc...), 1, 2, 3),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data, coll, Options{}); err == nil {
+			t.Errorf("%s: corrupt manifest decoded without error", name)
+		}
+	}
+	// Wrong base collection shape.
+	if _, err := Decode(enc, g.Collection(100), Options{}); err == nil {
+		t.Error("manifest decoded over a wrong-size base collection")
+	}
+}
+
+func TestShardedEmptyAndErrorPaths(t *testing.T) {
+	coll := series.NewCollection(0, testLen)
+	s := buildSharded(t, coll, 2, RoundRobin{})
+	q := make(series.Series, testLen)
+	got, st, err := s.Search(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pos != -1 || st.Observed != 0 {
+		t.Fatalf("empty index answered (#%d, observed %d)", got.Pos, st.Observed)
+	}
+	if _, _, err := s.Search(make(series.Series, 3), 0); err == nil {
+		t.Fatal("wrong-length query accepted")
+	}
+	if _, err := s.Append(make(series.Series, 3)); err == nil {
+		t.Fatal("wrong-length append accepted")
+	}
+	if _, err := s.AppendBatch([]series.Series{q, make(series.Series, 1)}); err == nil {
+		t.Fatal("wrong-length batch accepted")
+	}
+	if k, _, err := s.SearchKNN(q, 0, 0); err != nil || k != nil {
+		t.Fatalf("k=0 returned (%v, %v)", k, err)
+	}
+
+	// Appends into an empty sharded index still work and are searchable.
+	g := gen.Generator{Kind: gen.Synthetic, Length: testLen, Seed: 61}
+	extra := g.Collection(40)
+	for i := 0; i < extra.Len(); i++ {
+		if _, err := s.Append(extra.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, st2, err := s.Search(extra.At(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pos != 5 || r.Dist != 0 || st2.Observed != 40 {
+		t.Fatalf("append-only self-query: (#%d, %v) observed %d", r.Pos, r.Dist, st2.Observed)
+	}
+
+	// Too many shards is a construction error.
+	if _, err := Build(extra, testConfig(), Options{Shards: MaxShards + 1}); err == nil {
+		t.Fatal("Build accepted more than MaxShards shards")
+	}
+}
+
+func TestShardedApproximateUpperBounds(t *testing.T) {
+	g := gen.Generator{Kind: gen.Synthetic, Length: testLen, Seed: 71}
+	coll := g.Collection(1200)
+	queries := g.PerturbedQueries(coll, 10, 0.05)
+	s := buildSharded(t, coll, 4, HashSeries{})
+	for i := 0; i < queries.Len(); i++ {
+		q := queries.At(i)
+		approx, err := s.SearchApproximate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := ucr.Scan(coll, q)
+		if approx.Pos < 0 || approx.Pos >= int32(coll.Len()) {
+			t.Fatalf("approx position %d out of range", approx.Pos)
+		}
+		if approx.Dist < exact.Dist {
+			t.Fatalf("approximate distance %v below exact %v", approx.Dist, exact.Dist)
+		}
+		// The reported position's true distance must equal the reported one
+		// (same vector kernel the index computes with).
+		if d := vector.SquaredEDEarlyAbandon(q, coll.At(int(approx.Pos)), math.Inf(1)); d != approx.Dist {
+			t.Fatalf("approx reports %v for #%d, true distance %v", approx.Dist, approx.Pos, d)
+		}
+	}
+}

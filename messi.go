@@ -2,8 +2,6 @@ package dsidx
 
 import (
 	"context"
-	"fmt"
-	"sync"
 
 	"dsidx/internal/messi"
 )
@@ -226,46 +224,6 @@ func (ix *MESSI) EngineStats() EngineStats {
 	}
 }
 
-// QueryKind selects the search flavor of a QueryRequest.
-type QueryKind int
-
-const (
-	// QueryNN is an exact 1-NN Euclidean search (the Search method).
-	QueryNN QueryKind = iota
-	// QueryKNN is an exact k-NN Euclidean search; set QueryRequest.K.
-	QueryKNN
-	// QueryDTW is an exact 1-NN DTW search; set QueryRequest.Window.
-	QueryDTW
-	// QueryApprox is the microsecond approximate search.
-	QueryApprox
-)
-
-// QueryRequest is one query submitted to Serve.
-type QueryRequest struct {
-	// ID is echoed in the response, matching answers to requests (responses
-	// arrive in completion order, not submission order).
-	ID int64
-	// Query is the query series; its length must match the index.
-	Query Series
-	// Kind selects the search flavor (default QueryNN).
-	Kind QueryKind
-	// K is the neighbor count for QueryKNN (ignored otherwise).
-	K int
-	// Window is the Sakoe-Chiba half-width for QueryDTW (ignored otherwise).
-	Window int
-}
-
-// QueryResponse answers one QueryRequest.
-type QueryResponse struct {
-	// ID echoes the request's ID.
-	ID int64
-	// Matches holds the answer: one match for QueryNN/QueryDTW/QueryApprox,
-	// up to K for QueryKNN.
-	Matches []Match
-	// Err reports a per-query failure (e.g. wrong query length).
-	Err error
-}
-
 // Serve turns the index into a long-running query server: it answers
 // requests from in until in closes or ctx is canceled, then closes the
 // returned channel. Up to MaxInFlight requests are answered concurrently on
@@ -273,81 +231,9 @@ type QueryResponse struct {
 // them to requests by ID. Serve may be called multiple times; all serving
 // loops share the same pool and admission budget.
 func (ix *MESSI) Serve(ctx context.Context, in <-chan QueryRequest) <-chan QueryResponse {
-	out := make(chan QueryResponse)
-	consumers := ix.inner.MaxInFlight()
-	go func() {
-		defer close(out)
-		var wg sync.WaitGroup
-		for c := 0; c < consumers; c++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					select {
-					case <-ctx.Done():
-						return
-					case req, ok := <-in:
-						if !ok {
-							return
-						}
-						// Cancellation-aware admission: a canceled server must
-						// not wait behind other traffic for a slot. A query
-						// already executing still runs to completion.
-						release, err := ix.inner.AdmitContext(ctx)
-						if err != nil {
-							return
-						}
-						resp := ix.answer(req)
-						release()
-						select {
-						case out <- resp:
-						case <-ctx.Done():
-							return
-						}
-					}
-				}
-			}()
-		}
-		wg.Wait()
-	}()
-	return out
+	return serve(ctx, in, ix)
 }
 
-// singleMatch fills a one-match response, leaving Matches empty on error so
-// failed responses never carry a plausible-looking sentinel answer.
-func (r *QueryResponse) singleMatch(m Match, err error) {
-	if err != nil {
-		r.Err = err
-		return
-	}
-	r.Matches = []Match{m}
-}
-
-// answer dispatches one request to the matching search method.
-func (ix *MESSI) answer(req QueryRequest) QueryResponse {
-	resp := QueryResponse{ID: req.ID}
-	switch req.Kind {
-	case QueryKNN:
-		if req.K <= 0 {
-			// Surface the malformed request instead of a silent empty
-			// answer (SearchKNN treats k<=0 as a no-op by contract).
-			resp.Err = fmt.Errorf("dsidx: QueryKNN request %d needs K > 0, got %d", req.ID, req.K)
-			return resp
-		}
-		ms, err := ix.SearchKNN(req.Query, req.K)
-		resp.Matches, resp.Err = ms, err
-	case QueryDTW:
-		m, err := ix.SearchDTW(req.Query, req.Window)
-		resp.singleMatch(m, err)
-	case QueryApprox:
-		m, err := ix.SearchApproximate(req.Query)
-		resp.singleMatch(m, err)
-	case QueryNN:
-		m, err := ix.Search(req.Query)
-		resp.singleMatch(m, err)
-	default:
-		// An unrecognized kind must not silently run some other search.
-		resp.Err = fmt.Errorf("dsidx: request %d has unknown QueryKind %d", req.ID, req.Kind)
-	}
-	return resp
-}
+// admitContext and maxInFlight adapt the index to the shared serving loop.
+func (ix *MESSI) admitContext(ctx context.Context) (func(), error) { return ix.inner.AdmitContext(ctx) }
+func (ix *MESSI) maxInFlight() int                                 { return ix.inner.MaxInFlight() }

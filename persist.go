@@ -17,6 +17,8 @@ import (
 // nowhere but in the index, so Save includes them — raw values, on-arrival
 // summaries, and the merged/pending split — and LoadMESSI restores the
 // delta buffer exactly as it was, no Flush required before saving.
+// Sharded indexes persist the same way through Sharded.Save/OpenSharded
+// (sharded.go): a DSS1 manifest wrapping each shard's file.
 
 // Save writes the MESSI index to path, including its live-append store
 // (both merged and still-pending series).

@@ -1,0 +1,266 @@
+package dsidx
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"dsidx/internal/messi"
+	"dsidx/internal/shard"
+)
+
+// ShardPolicy selects how a Sharded index routes series to shards.
+type ShardPolicy int
+
+const (
+	// ShardRoundRobin routes series by arrival order (series i to shard
+	// i mod N): near-equal shard sizes, content-independent — the default.
+	ShardRoundRobin ShardPolicy = iota
+	// ShardByHash routes each series by a hash of its values, so identical
+	// series always land on the same shard regardless of arrival order.
+	ShardByHash
+)
+
+func (p ShardPolicy) internal() (shard.Policy, error) {
+	switch p {
+	case ShardRoundRobin:
+		return shard.RoundRobin{}, nil
+	case ShardByHash:
+		return shard.HashSeries{}, nil
+	default:
+		return nil, fmt.Errorf("dsidx: unknown ShardPolicy %d", p)
+	}
+}
+
+// WithShards partitions a Sharded index into n shards (default 1; at most
+// 256). More shards parallelize builds and merges coarsely and cap each
+// tree's size; queries scatter-gather over all of them with one shared
+// best-so-far, so answers are unchanged.
+func WithShards(n int) Option { return func(o *options) { o.shards = n } }
+
+// WithShardPolicy selects the routing policy of a Sharded index (default
+// ShardRoundRobin). When opening a saved index, the file's recorded policy
+// wins; passing a different one explicitly is an error.
+func WithShardPolicy(p ShardPolicy) Option {
+	return func(o *options) { o.shardPolicy, o.shardPolicySet = p, true }
+}
+
+// Sharded is a partitioned MESSI index: the collection is split across N
+// independent shards — each a full MESSI index — that answer as one.
+// Search variants scatter to every shard with a single shared best-so-far
+// (a bound found on one shard prunes the others mid-flight) and gather
+// results in the collection's global position space, so every answer is
+// identical to the same query against an unsharded index. All shards share
+// one worker pool and one admission budget, so WithWorkers and
+// WithMaxInFlight govern the whole sharded index, not each shard.
+//
+// The full MESSI surface is available: exact 1-NN/k-NN/DTW and approximate
+// search, BatchSearch, live Append/AppendBatch with background merges,
+// Flush, Serve, persistence (Save/OpenSharded) and merged stats.
+type Sharded struct {
+	inner *shard.Sharded
+}
+
+// shardOptions converts public options to the internal shard form. The
+// policy stays nil when not explicitly chosen, so loading a saved index
+// adopts the file's recorded policy instead of conflicting with it.
+func (o options) shardOptions() (shard.Options, error) {
+	var policy shard.Policy
+	if o.shardPolicySet {
+		var err error
+		if policy, err = o.shardPolicy.internal(); err != nil {
+			return shard.Options{}, err
+		}
+	}
+	return shard.Options{
+		Shards: o.shards,
+		Policy: policy,
+		Options: messi.Options{
+			Workers:        o.workers,
+			QueueCount:     o.queueCount,
+			MaxInFlight:    o.maxInFlight,
+			MergeThreshold: o.mergeThreshold,
+			ProbeLeaves:    o.probeLeaves,
+			DisableLeafRaw: o.leafRawOff,
+		},
+	}, nil
+}
+
+// NewSharded builds a sharded MESSI index over an in-memory collection,
+// partitioned by WithShards and WithShardPolicy.
+func NewSharded(coll *Collection, opts ...Option) (*Sharded, error) {
+	o := buildOptions(opts)
+	so, err := o.shardOptions()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := shard.Build(coll, o.coreConfig(), so)
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{inner: inner}, nil
+}
+
+// Save writes the sharded index to path: a DSS1 manifest wrapping every
+// shard's own index encoding, live-append stores included.
+func (s *Sharded) Save(path string) error {
+	return writeFileAtomic(path, s.inner.Encode())
+}
+
+// OpenSharded reopens a saved sharded index over the collection it was
+// built from. The file defines the shard count and policy; WithShards and
+// WithShardPolicy, when given, must match it. A pre-sharding single-index
+// file (as written by MESSI.Save) opens as a 1-shard instance with
+// unchanged positions and answers.
+func OpenSharded(path string, coll *Collection, opts ...Option) (*Sharded, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dsidx: reading index: %w", err)
+	}
+	o := buildOptions(opts)
+	// shardOptions leaves Shards 0 and Policy nil when unset, which Decode
+	// reads as "whatever the file says".
+	so, err := o.shardOptions()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := shard.Decode(data, coll, so)
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{inner: inner}, nil
+}
+
+// Close releases every shard's reference to the shared worker pool; the
+// pool stops after the last one. Idempotent and safe with queries in
+// flight.
+func (s *Sharded) Close() { s.inner.Close() }
+
+// Shards returns the number of partitions.
+func (s *Sharded) Shards() int { return s.inner.Shards() }
+
+// Len returns the number of indexed series across all shards, live
+// appends included.
+func (s *Sharded) Len() int { return s.inner.Count() }
+
+// Stats merges the shards' tree shapes into one aggregate view.
+func (s *Sharded) Stats() IndexStats {
+	var out IndexStats
+	leaves := 0
+	for si := 0; si < s.inner.Shards(); si++ {
+		st := statsOf(s.inner.Shard(si).Tree())
+		out.Series += st.Series
+		out.RootNodes += st.RootNodes
+		out.InnerNodes += st.InnerNodes
+		out.Leaves += st.Leaves
+		out.MaxDepth = max(out.MaxDepth, st.MaxDepth)
+		out.LeafFillAvg += st.LeafFillAvg * float64(st.Leaves)
+		leaves += st.Leaves
+	}
+	if leaves > 0 {
+		out.LeafFillAvg /= float64(leaves)
+	}
+	return out
+}
+
+// Search returns the exact nearest neighbor of q under Euclidean distance,
+// scatter-gathered over every shard with one shared best-so-far.
+func (s *Sharded) Search(q Series) (Match, error) {
+	r, _, err := s.inner.Search(q, 0)
+	return matchOf(r), err
+}
+
+// SearchWithWorkers is Search with an explicit per-shard worker count (for
+// scaling studies).
+func (s *Sharded) SearchWithWorkers(q Series, workers int) (Match, error) {
+	r, _, err := s.inner.Search(q, workers)
+	return matchOf(r), err
+}
+
+// SearchKNN returns the exact k nearest neighbors of q in ascending
+// distance order; one k-best set is shared by every shard.
+func (s *Sharded) SearchKNN(q Series, k int) ([]Match, error) {
+	rs, _, err := s.inner.SearchKNN(q, k, 0)
+	return matchesOf(rs), err
+}
+
+// SearchDTW returns the exact nearest neighbor of q under dynamic time
+// warping with a Sakoe-Chiba band of half-width window.
+func (s *Sharded) SearchDTW(q Series, window int) (Match, error) {
+	r, _, err := s.inner.SearchDTW(q, window, 0)
+	return matchOf(r), err
+}
+
+// SearchApproximate returns the best answer among every shard's
+// approximate probe, still in microseconds; its distance upper-bounds the
+// exact answer's.
+func (s *Sharded) SearchApproximate(q Series) (Match, error) {
+	r, err := s.inner.SearchApproximate(q)
+	return matchOf(r), err
+}
+
+// BatchSearch answers one exact 1-NN query per element of qs concurrently
+// under the shared admission budget; results[i] answers qs[i].
+func (s *Sharded) BatchSearch(qs []Series) ([]Match, error) {
+	rs, err := s.inner.BatchSearch(qs)
+	return matchesOf(rs), err
+}
+
+// BatchSearchStats is BatchSearch additionally returning each query's
+// merged cross-shard work stats.
+func (s *Sharded) BatchSearchStats(qs []Series) ([]Match, []SearchStats, error) {
+	rs, sts, err := s.inner.BatchSearchStats(qs)
+	stats := make([]SearchStats, len(sts))
+	for i, st := range sts {
+		stats[i] = statsFromQuery(st)
+	}
+	return matchesOf(rs), stats, err
+}
+
+// Append routes one series to its shard and returns its global position
+// (positions continue past the build-time collection, in arrival order).
+// The series is visible to queries before Append returns.
+func (s *Sharded) Append(ser Series) (int, error) { return s.inner.Append(ser) }
+
+// AppendBatch adds a batch at consecutive global positions, returning the
+// first; the batch becomes visible atomically across all shards.
+func (s *Sharded) AppendBatch(ss []Series) (int, error) { return s.inner.AppendBatch(ss) }
+
+// Flush synchronously merges every shard's pending appends into its tree.
+func (s *Sharded) Flush() { s.inner.Flush() }
+
+// IngestStats merges the shards' write-path counters.
+func (s *Sharded) IngestStats() IngestStats {
+	st := s.inner.IngestStats()
+	return IngestStats{
+		Appended:       st.Appended,
+		Pending:        st.Pending,
+		Merged:         st.Merged,
+		Merges:         st.Merges,
+		MergeThreshold: st.MergeThreshold,
+	}
+}
+
+// EngineStats snapshots the one worker pool all shards share — already the
+// aggregate view of the sharded index's execution.
+func (s *Sharded) EngineStats() EngineStats {
+	st := s.inner.EngineStats()
+	return EngineStats{
+		Workers:      st.Workers,
+		PendingTasks: st.PendingTasks,
+		InFlight:     st.InFlight,
+		PeakInFlight: st.PeakInFlight,
+		Queries:      st.Queries,
+		Tasks:        st.Tasks,
+	}
+}
+
+// Serve turns the sharded index into a long-running query server over the
+// same request/response protocol as MESSI.Serve; one admission slot covers
+// one request's whole cross-shard scatter.
+func (s *Sharded) Serve(ctx context.Context, in <-chan QueryRequest) <-chan QueryResponse {
+	return serve(ctx, in, s)
+}
+
+func (s *Sharded) admitContext(ctx context.Context) (func(), error) { return s.inner.AdmitContext(ctx) }
+func (s *Sharded) maxInFlight() int                                 { return s.inner.MaxInFlight() }
