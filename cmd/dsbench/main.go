@@ -12,6 +12,7 @@
 //	dsbench -experiment sharded -shards 1,2,4
 //	dsbench -benchjson BENCH_query.json -series 50000 -queries 16
 //	dsbench -shardedjson BENCH_sharded.json -shards 1,2,4
+//	dsbench -memjson BENCH_mem.json -series 20000 -shards 4
 //
 // The concurrent experiment is the serving-engine workload: it measures
 // MESSI throughput (queries/s) with the given numbers of queries in flight
@@ -31,7 +32,11 @@
 // (ns/query, QPS across the in-flight sweep, raw distances per query) to
 // the given path instead of running experiments — the perf-trajectory
 // point tracked across PRs and by the CI bench-smoke step. -shardedjson
-// does the same for the shard-count sweep (BENCH_sharded.json).
+// does the same for the shard-count sweep (BENCH_sharded.json), -memjson
+// for the memory-residency comparison of flat vs sharded builds
+// (BENCH_mem.json) — the record behind the CI memory smoke step, which
+// asserts a sharded build keeps the base data resident once (bytes/series
+// within 1.1x of flat; see scripts/mem_smoke.sh).
 package main
 
 import (
@@ -58,6 +63,7 @@ func main() {
 		shards      = flag.String("shards", "", "comma-separated shard counts for the sharded experiment (default 1,2,4)")
 		benchjson   = flag.String("benchjson", "", "write the machine-readable query benchmark to this path and exit")
 		shardedjson = flag.String("shardedjson", "", "write the machine-readable sharded benchmark to this path and exit")
+		memjson     = flag.String("memjson", "", "write the machine-readable memory-residency benchmark to this path and exit")
 	)
 	flag.Parse()
 
@@ -126,6 +132,21 @@ func main() {
 			fmt.Printf("wrote %s: %d shards: %.0f ns/query, %.1f raw distances/query, build %.2fs\n",
 				*shardedjson, pt.Shards, pt.NsPerQuery, pt.RawDistancesPerQuery, pt.BuildSeconds)
 		}
+		return
+	}
+
+	if *memjson != "" {
+		res, err := experiments.RunMemBench(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsbench: memjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := res.WriteJSON(*memjson); err != nil {
+			fmt.Fprintf(os.Stderr, "dsbench: memjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: flat %.0f B/series, sharded@%d %.0f B/series, ratio %.3f\n",
+			*memjson, res.FlatBytesPerSeries, res.Shards, res.ShardedBytesPerSeries, res.ShardedOverFlat)
 		return
 	}
 

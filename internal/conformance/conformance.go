@@ -12,6 +12,11 @@
 // Equality is exact (not tolerance-based) because every system shares one
 // distance kernel — see ucr.Scan.
 //
+// Every (re)build of the sharded instance randomly chooses between the
+// zero-copy view-based base split and the legacy materialized copy
+// (shard.Options.CopyBase), so the op stream also differentially verifies
+// that indexing through a position-remapping view changes nothing.
+//
 // The harness is deterministic per seed: a failure reproduces from its
 // seed and op count alone. It runs as a normal test with fixed seeds
 // (conformance_test.go) and scales to long runs via -conformance.ops.
@@ -151,7 +156,13 @@ func (h *harness) build(base *series.Collection) {
 		h.t.Fatal(err)
 	}
 	shrd, err := shard.Build(base, cfg, shard.Options{
-		Shards: h.cfg.Shards, Policy: h.cfg.Policy, Options: opt})
+		Shards: h.cfg.Shards, Policy: h.cfg.Policy,
+		// Toggle the sharded base split between zero-copy views (the
+		// default) and materialized flat copies: answers must be
+		// bit-identical either way, so the whole op stream differentially
+		// verifies the view-based build path against the legacy one.
+		CopyBase: h.rng.Intn(2) == 0,
+		Options:  opt})
 	if err != nil {
 		h.t.Fatal(err)
 	}
@@ -246,7 +257,11 @@ func (h *harness) opSaveLoad() {
 		h.t.Fatalf("plain decode: %v", err)
 	}
 	senc := h.shrd.Encode()
-	shrd2, err := shard.Decode(senc, h.base, shard.Options{Options: opt})
+	// The loaded copy re-tosses the view-vs-copy coin independently of the
+	// saved instance's choice: persistence is backing-agnostic, so any
+	// combination must keep answering identically.
+	shrd2, err := shard.Decode(senc, h.base, shard.Options{
+		CopyBase: h.rng.Intn(2) == 0, Options: opt})
 	if err != nil {
 		plain2.Close()
 		h.t.Fatalf("sharded decode: %v", err)

@@ -247,10 +247,13 @@ func (t *Tree) BestLeavesApprox(querySAX []uint8, queryPAA []float64, p int) []*
 // MaterializeLeaves fills every leaf below n with its entries' raw values
 // in leaf order: fetch resolves a stored position to that series' values
 // (sl points each), and the leaf's Raw block is laid out entry-aligned
-// with SAX/Pos. Leaves already materialized are skipped, so the walk is
-// idempotent; flushed leaves have no in-memory entries and are skipped
-// too. Callers own the subtree (build and merge both materialize before
-// publishing a snapshot).
+// with SAX/Pos. fetch may read through any backing — a flat collection,
+// an append store, or a position-remapping series.View — because the
+// values are copied into the leaf-owned block here; the materialized tree
+// never aliases the storage fetch resolved through. Leaves already
+// materialized are skipped, so the walk is idempotent; flushed leaves
+// have no in-memory entries and are skipped too. Callers own the subtree
+// (build and merge both materialize before publishing a snapshot).
 func (n *Node) MaterializeLeaves(sl int, fetch func(pos int32) []float32) {
 	n.WalkLeaves(func(leaf *Node) {
 		if leaf.Raw != nil || leaf.Flushed || leaf.Count == 0 {

@@ -197,6 +197,7 @@ var All = []Experiment{
 	{"concurrent", "MESSI multi-query throughput vs in-flight queries (shared pool)", ConcurrentQPS},
 	{"ingest", "MESSI query throughput under live appends (delta buffer + background merge)", IngestThroughput},
 	{"sharded", "Sharded scatter-gather vs shard count (shared pool, shared BSF)", ShardedSweep},
+	{"mem", "Resident bytes per series: flat vs sharded build (zero-copy views)", MemResidency},
 }
 
 // ByID returns the experiment with the given ID.

@@ -218,3 +218,65 @@ func TestRunShardedBench(t *testing.T) {
 		}
 	}
 }
+
+// TestRunMemBench validates the memory-residency record behind dsbench
+// -memjson and the CI memory smoke step: plausible per-series figures, a
+// near-1x sharded/flat ratio (the zero-copy view guarantee, with slack for
+// CI heap jitter at the test's small collection size), and the shared flat
+// JSON envelope.
+func TestRunMemBench(t *testing.T) {
+	cfg := tiny()
+	cfg.SeriesCount = 8000
+	cfg.ShardAxis = []int{1, 4}
+	res, err := RunMemBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != "dsidx-bench-mem/v1" {
+		t.Errorf("schema %q", res.Schema)
+	}
+	if res.Shards != 4 {
+		t.Errorf("shards %d, want the axis maximum 4", res.Shards)
+	}
+	if res.RawBytesPerSeries != 4*res.SeriesLen {
+		t.Errorf("raw floor %d for series length %d", res.RawBytesPerSeries, res.SeriesLen)
+	}
+	// Both builds hold at least the raw payload (collection + leaf blocks
+	// both count), and the flat figure must exceed the floor.
+	if res.FlatBytesPerSeries < float64(res.RawBytesPerSeries) {
+		t.Errorf("flat %v B/series below the %d raw floor", res.FlatBytesPerSeries, res.RawBytesPerSeries)
+	}
+	if res.ShardedBytesPerSeries < float64(res.RawBytesPerSeries) {
+		t.Errorf("sharded %v B/series below the %d raw floor", res.ShardedBytesPerSeries, res.RawBytesPerSeries)
+	}
+	// The CI bound is 1.1 at 20000 series; leave jitter headroom at 8000.
+	if res.ShardedOverFlat > 1.25 {
+		t.Errorf("sharded/flat ratio %v: sharding is copying base data again", res.ShardedOverFlat)
+	}
+	path := t.TempDir() + "/BENCH_mem.json"
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back MemBenchResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.ShardedOverFlat != res.ShardedOverFlat || back.SeriesCount != res.SeriesCount {
+		t.Errorf("round-trip mismatch: %+v vs %+v", back, res)
+	}
+	var flat map[string]any
+	if err := json.Unmarshal(data, &flat); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "generated_at", "gomaxprocs", "workers",
+		"series_count", "series_len", "shards", "raw_bytes_per_series",
+		"flat_bytes_per_series", "sharded_bytes_per_series", "sharded_over_flat"} {
+		if _, ok := flat[key]; !ok {
+			t.Errorf("BENCH_mem.json missing flat key %q", key)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"slices"
 
 	"dsidx/internal/core"
 	"dsidx/internal/series"
@@ -231,6 +232,10 @@ func (ix *Index) mergeOnce() {
 	for key := range keySet {
 		keys = append(keys, key)
 	}
+	// Sorted claim order keeps serial merges deterministic (see the same
+	// step in Build): newly created subtrees land in the occupied list in
+	// key order, so equivalent indexes keep encoding identically.
+	slices.Sort(keys)
 
 	// Phase 2 — tree insert (ParIS+ stage 2): workers claim affected root
 	// keys with Fetch&Inc; each clones the old subtree aside, inserts the
@@ -341,9 +346,11 @@ func (ix *Index) Encode() []byte {
 }
 
 // Decode reconstructs an index from Encode output over the same base
-// collection it was built from, restoring the append store and the
-// merged/pending split exactly as saved.
-func Decode(data []byte, coll *series.Collection, opt Options) (*Index, error) {
+// collection it was built from — the same Reader shape too: an index built
+// through a position-remapping view decodes through the replayed view, so
+// loading is as zero-copy as building. The append store and the
+// merged/pending split are restored exactly as saved.
+func Decode(data []byte, coll series.Reader, opt Options) (*Index, error) {
 	opt = opt.normalize()
 	blob, tail, a, mergedA, err := splitLive(data)
 	if err != nil {

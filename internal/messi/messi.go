@@ -42,6 +42,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -155,7 +156,7 @@ type snapshot struct {
 type Index struct {
 	cfg     core.Config
 	opt     Options
-	raw     *series.Collection // immutable base collection
+	raw     series.Reader // immutable base collection (flat or a view)
 	baseLen int
 	build   BuildStats
 
@@ -251,8 +252,13 @@ func (ix *Index) MaxInFlight() int { return ix.eng.MaxInFlight() }
 // subtree holds fewer leaves).
 func (ix *Index) ProbeLeaves() int { return ix.opt.ProbeLeaves }
 
-// Build creates a MESSI index over coll.
-func Build(coll *series.Collection, cfg core.Config, opt Options) (*Index, error) {
+// Build creates a MESSI index over coll — any read-only collection: the
+// flat in-memory RawData array of the paper, or a position-remapping
+// series.View over someone else's collection (how a sharding layer builds
+// each shard over its slice of the base data without copying it). The
+// index retains coll and reads it on every unmaterialized refinement, so
+// it must stay immutable for the index's lifetime.
+func Build(coll series.Reader, cfg core.Config, opt Options) (*Index, error) {
 	opt = opt.normalize()
 	cfg.SeriesLen = coll.SeriesLen()
 	tree, err := core.NewTree(cfg)
@@ -332,6 +338,12 @@ func Build(coll *series.Collection, cfg core.Config, opt Options) (*Index, error
 			}
 		}
 	}
+	// Claim keys in sorted order, not map-iteration order: with one worker
+	// the whole build is then a pure function of the collection, so two
+	// builds over identical content (say, a position-remapping view vs a
+	// flat copy of the same series) encode byte-identically — the property
+	// the sharding layer's differential tests compare against.
+	slices.Sort(keys)
 	var keyCursor xsync.Counter
 	wg = sync.WaitGroup{}
 	for w := 0; w < opt.Workers; w++ {
@@ -391,9 +403,11 @@ func (ix *Index) Tree() *core.Tree { return ix.snap.Load().tree }
 // BuildStats returns the creation-phase breakdown of Figure 5.
 func (ix *Index) BuildStats() BuildStats { return ix.build }
 
-// Raw returns the immutable base collection the index was built over.
-// Appended series live in the index's own stable storage (see At).
-func (ix *Index) Raw() *series.Collection { return ix.raw }
+// Raw returns the immutable base collection the index was built over —
+// the caller's flat collection, or the view a sharding layer built this
+// shard through. Appended series live in the index's own stable storage
+// (see At).
+func (ix *Index) Raw() series.Reader { return ix.raw }
 
 // At returns the series at a global position: the base collection for
 // positions below its length, the append store above. Every position a

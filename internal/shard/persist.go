@@ -5,7 +5,11 @@ package shard
 // plus the routing metadata that cannot be re-derived — the shard each
 // append landed on, in global arrival order. The build-time split is NOT
 // persisted: it is a pure function of (collection, policy, shards), so
-// Decode replays the policy over the supplied base collection instead.
+// Decode replays the policy over the supplied base collection instead —
+// rebuilding the same zero-copy position-remapping views a fresh Build
+// would use, so a loaded sharded index holds the base values once, too.
+// The format carries no trace of the backing shape: files written by
+// copy-split builds and view-split builds are byte-identical.
 //
 //	magic "DSS1", u32 version=1
 //	u32 policy id, u32 shard count N (1 ≤ N ≤ MaxShards)

@@ -25,6 +25,12 @@
 //     caps every shard at its entry, so the answer covers exactly the
 //     global prefix [0, Observed) — the property the conformance and
 //     race-stress suites verify against serial scans.
+//   - One copy of the base data. Each shard is built over a zero-copy
+//     position-remapping view (series.View) of the caller's collection,
+//     not a materialized per-shard copy, so sharding never doubles
+//     base-value residency: N shards read the same flat array a 1-shard
+//     index would. Decode replays the same views, so loading is equally
+//     copy-free.
 //
 // Routing is pluggable (Policy): round-robin by arrival order, or
 // content-hashing so identical series co-locate. Persistence wraps the
@@ -59,6 +65,14 @@ type Options struct {
 	Shards int
 	// Policy routes series to shards (nil means RoundRobin).
 	Policy Policy
+	// CopyBase restores the legacy build: each shard indexes a
+	// materialized flat copy of its slice of the base collection instead
+	// of a zero-copy position-remapping view, doubling base-data
+	// residency. Answers, stats and encoded bytes are identical either
+	// way — the conformance harness toggles it randomly and a
+	// differential test pins the equivalence — so the knob exists only
+	// for that testing and as a measurement baseline, never for serving.
+	CopyBase bool
 }
 
 func (o Options) normalize() (Options, error) {
@@ -109,39 +123,46 @@ type Sharded struct {
 	appended  atomic.Int64
 }
 
-// splitBase partitions the base collection by policy, returning per-shard
-// collections and each shard's local→global base position map. The split
-// is a pure function of (collection, policy, n): Decode replays it to
-// rebuild the maps without persisting them.
+// splitBase partitions the base collection by policy, returning one
+// position-remapping view per shard and each shard's local→global base
+// position map (the same []int32 backs both — the view IS the map). The
+// split is a pure function of (collection, policy, n): Decode replays it
+// to rebuild views and maps without persisting them.
 //
-// The split COPIES each series into its shard's collection (messi indexes
-// a contiguous flat collection), so a sharded index holds the base raw
-// data twice: once in the caller's collection (served by At), once across
-// the shard parts — the same raw-memory doubling the leaf-materialization
-// layout accepts, and the known cost of reusing the messi build unchanged.
-// Lifting it means teaching messi to index through a position-remapping
-// view instead of flat storage (the shards already own the local→global
-// maps); recorded as a ROADMAP item.
-func splitBase(coll *series.Collection, policy Policy, n int) (parts []*series.Collection, baseMap [][]int32) {
-	parts = make([]*series.Collection, n)
+// Nothing is copied: each shard's messi index reads its series straight
+// out of the caller's collection through the view, so a sharded index
+// holds the base raw data exactly once — the same single-residency
+// guarantee an unsharded index gives, and the property the CI memory
+// smoke test pins (bytes/series within 1.1x of a flat build). The legacy
+// copying split survives behind Options.CopyBase for differential
+// testing.
+func splitBase(coll *series.Collection, policy Policy, n int) (views []*series.View, baseMap [][]int32) {
 	baseMap = make([][]int32, n)
-	for si := range parts {
-		parts[si] = series.NewCollection(0, coll.SeriesLen())
-	}
 	for i := 0; i < coll.Len(); i++ {
-		s := coll.At(i)
-		si := policy.Route(i, s, n)
-		parts[si].Append(s)
+		si := policy.Route(i, coll.At(i), n)
 		baseMap[si] = append(baseMap[si], int32(i))
 	}
-	return parts, baseMap
+	views = make([]*series.View, n)
+	for si := range views {
+		views[si] = series.NewView(coll, baseMap[si])
+	}
+	return views, baseMap
 }
 
 // newShell assembles the Sharded state common to Build and Decode: the
-// base split, the shared engine, and empty append-routing structures. The
-// caller fills s.shards (one per part) and then calls finish.
-func newShell(coll *series.Collection, opt Options) (*Sharded, []*series.Collection) {
-	parts, baseMap := splitBase(coll, opt.Policy, opt.Shards)
+// base split (views, or flat copies under Options.CopyBase), the shared
+// engine, and empty append-routing structures. The caller fills s.shards
+// (one per part) and then calls finish.
+func newShell(coll *series.Collection, opt Options) (*Sharded, []series.Reader) {
+	views, baseMap := splitBase(coll, opt.Policy, opt.Shards)
+	parts := make([]series.Reader, opt.Shards)
+	for si, v := range views {
+		if opt.CopyBase {
+			parts[si] = v.Materialize()
+		} else {
+			parts[si] = v
+		}
+	}
 	s := &Sharded{
 		opt:       opt,
 		n:         opt.Shards,

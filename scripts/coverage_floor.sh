@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# coverage_floor.sh — run the full test suite with coverage and fail if
+# total statement coverage drops below the floor.
+#
+# Usage: scripts/coverage_floor.sh [floor-percent] [coverprofile-path]
+#
+# The floor tracks the measured total minus a small jitter margin for the
+# timing-dependent concurrency tests (see .github/workflows/ci.yml, which
+# calls this script); raise it when a PR raises coverage, never lower it
+# to make a build pass. Used identically in CI and locally.
+set -euo pipefail
+
+FLOOR="${1:-81.4}"
+PROFILE="${2:-cover.out}"
+
+go test -coverprofile="$PROFILE" ./...
+total=$(go tool cover -func="$PROFILE" | tail -1 | awk '{print $3}' | tr -d '%')
+echo "total statement coverage: ${total}% (floor ${FLOOR}%)"
+awk -v t="$total" -v floor="$FLOOR" 'BEGIN {
+    if (t + 0 < floor + 0) {
+        printf "coverage %.1f%% fell below the %.1f%% floor\n", t, floor
+        exit 1
+    }
+}'

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# mem_smoke.sh — assert that a sharded build keeps the base data resident
+# once: resident bytes/series of a sharded build must stay within RATIO of
+# a flat build over the same collection. Before the zero-copy view-based
+# base split the sharded figure was ~1.5x total (base values held twice);
+# with views it is ~1.05x, and this check pins that win forever.
+#
+# Usage: scripts/mem_smoke.sh [max-ratio] [series] [shards]
+#
+# Used identically in CI (memory smoke step) and locally. Writes the full
+# machine-readable record next to the check so regressions are diagnosable
+# from the log.
+set -euo pipefail
+
+RATIO="${1:-1.1}"
+SERIES="${2:-20000}"
+SHARDS="${3:-4}"
+OUT="${BENCH_MEM_JSON:-/tmp/BENCH_mem.json}"
+
+go run ./cmd/dsbench -memjson "$OUT" -series "$SERIES" -shards "$SHARDS"
+cat "$OUT"
+ratio=$(awk -F': *' '/"sharded_over_flat"/ { gsub(/[,"]/, "", $2); print $2 }' "$OUT")
+if [ -z "$ratio" ]; then
+    echo "mem_smoke: no sharded_over_flat field in $OUT" >&2
+    exit 1
+fi
+awk -v r="$ratio" -v lim="$RATIO" 'BEGIN {
+    if (r + 0 > lim + 0) {
+        printf "memory smoke: sharded build uses %.3fx the resident bytes/series of a flat build (limit %.2fx) — the base split is copying again\n", r, lim
+        exit 1
+    }
+    printf "memory smoke: sharded/flat resident ratio %.3f within the %.2fx limit\n", r, lim
+}'
