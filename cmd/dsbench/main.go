@@ -13,6 +13,7 @@
 //	dsbench -benchjson BENCH_query.json -series 50000 -queries 16
 //	dsbench -shardedjson BENCH_sharded.json -shards 1,2,4
 //	dsbench -memjson BENCH_mem.json -series 20000 -shards 4
+//	dsbench -diskjson BENCH_disk.json -series 20000 -queries 8
 //
 // The concurrent experiment is the serving-engine workload: it measures
 // MESSI throughput (queries/s) with the given numbers of queries in flight
@@ -64,6 +65,7 @@ func main() {
 		benchjson   = flag.String("benchjson", "", "write the machine-readable query benchmark to this path and exit")
 		shardedjson = flag.String("shardedjson", "", "write the machine-readable sharded benchmark to this path and exit")
 		memjson     = flag.String("memjson", "", "write the machine-readable memory-residency benchmark to this path and exit")
+		diskjson    = flag.String("diskjson", "", "write the machine-readable out-of-core tiering benchmark to this path and exit")
 	)
 	flag.Parse()
 
@@ -147,6 +149,25 @@ func main() {
 		}
 		fmt.Printf("wrote %s: flat %.0f B/series, sharded@%d %.0f B/series, ratio %.3f\n",
 			*memjson, res.FlatBytesPerSeries, res.Shards, res.ShardedBytesPerSeries, res.ShardedOverFlat)
+		return
+	}
+
+	if *diskjson != "" {
+		res, err := experiments.RunDiskBench(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsbench: diskjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := res.WriteJSON(*diskjson); err != nil {
+			fmt.Fprintf(os.Stderr, "dsbench: diskjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: cold_matches_hot=%v, flat %.0f B/series vs cold %.0f B/series (%.2fx)\n",
+			*diskjson, res.ColdMatchesHot, res.FlatBytesPerSeries, res.ColdBytesPerSeries, res.ColdOverFlat)
+		for _, pt := range res.Points {
+			fmt.Printf("  cache %4.1f%%: %.1f ms/query, hit rate %.3f, %d device reads (%d seeks)\n",
+				100*pt.CacheOverData, pt.NsPerQuery/1e6, pt.HitRate, pt.DeviceReadOps, pt.DeviceSeeks)
+		}
 		return
 	}
 

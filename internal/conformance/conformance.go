@@ -12,10 +12,15 @@
 // Equality is exact (not tolerance-based) because every system shares one
 // distance kernel — see ucr.Scan.
 //
-// Every (re)build of the sharded instance randomly chooses between the
-// zero-copy view-based base split and the legacy materialized copy
-// (shard.Options.CopyBase), so the op stream also differentially verifies
-// that indexing through a position-remapping view changes nothing.
+// Every (re)build of the sharded instance randomly chooses among the
+// zero-copy view-based base split, the legacy materialized copy
+// (shard.Options.CopyBase) and the out-of-core cold tier
+// (shard.Options.ColdStorage, with a deliberately tiny block cache and a
+// random hot/cold shard placement so eviction, cache misses and the
+// mixed-tier path all run under the op stream). Answers must be
+// bit-identical however the base is placed, so the harness differentially
+// verifies view-based, copied and device-backed indexing against each
+// other and the oracle.
 //
 // The harness is deterministic per seed: a failure reproduces from its
 // seed and op count alone. It runs as a normal test with fixed seeds
@@ -155,18 +160,42 @@ func (h *harness) build(base *series.Collection) {
 	if err != nil {
 		h.t.Fatal(err)
 	}
-	shrd, err := shard.Build(base, cfg, shard.Options{
-		Shards: h.cfg.Shards, Policy: h.cfg.Policy,
-		// Toggle the sharded base split between zero-copy views (the
-		// default) and materialized flat copies: answers must be
-		// bit-identical either way, so the whole op stream differentially
-		// verifies the view-based build path against the legacy one.
-		CopyBase: h.rng.Intn(2) == 0,
-		Options:  opt})
+	sopt := shard.Options{Shards: h.cfg.Shards, Policy: h.cfg.Policy, Options: opt}
+	// Toss the base placement: zero-copy views (the default), materialized
+	// flat copies, or the out-of-core cold tier. Answers must be
+	// bit-identical whichever way the base is stored, so the whole op
+	// stream differentially verifies all three paths against each other.
+	h.tossPlacement(&sopt)
+	shrd, err := shard.Build(base, cfg, sopt)
 	if err != nil {
 		h.t.Fatal(err)
 	}
 	h.base, h.plain, h.shrd = base, plain, shrd
+}
+
+// tossPlacement randomly picks how the sharded instance stores its base
+// values: zero-copy views, materialized copies, or the device-backed cold
+// tier. The cold configuration uses a cache far smaller than the data
+// (16 KiB, 8-series blocks) so evictions and misses actually happen, and
+// half the time assigns tiers per shard at random (always at least one
+// cold) to exercise the mixed hot/cold path.
+func (h *harness) tossPlacement(opt *shard.Options) {
+	switch h.rng.Intn(3) {
+	case 0: // zero-copy views — the default
+	case 1:
+		opt.CopyBase = true
+	case 2:
+		cs := &shard.ColdStorage{CacheBytes: 16 << 10, BlockSeries: 8}
+		if h.rng.Intn(2) == 0 {
+			cold := make([]bool, h.cfg.Shards)
+			for i := range cold {
+				cold[i] = h.rng.Intn(2) == 0
+			}
+			cold[h.rng.Intn(len(cold))] = true
+			cs.Cold = func(si int) bool { return cold[si] }
+		}
+		opt.ColdStorage = cs
+	}
 }
 
 func (h *harness) close() {
@@ -257,11 +286,12 @@ func (h *harness) opSaveLoad() {
 		h.t.Fatalf("plain decode: %v", err)
 	}
 	senc := h.shrd.Encode()
-	// The loaded copy re-tosses the view-vs-copy coin independently of the
-	// saved instance's choice: persistence is backing-agnostic, so any
-	// combination must keep answering identically.
-	shrd2, err := shard.Decode(senc, h.base, shard.Options{
-		CopyBase: h.rng.Intn(2) == 0, Options: opt})
+	// The loaded copy re-tosses the base placement (views / copies / cold
+	// tier) independently of the saved instance's choice: persistence is
+	// backing-agnostic, so any combination must keep answering identically.
+	sopt := shard.Options{Options: opt}
+	h.tossPlacement(&sopt)
+	shrd2, err := shard.Decode(senc, h.base, sopt)
 	if err != nil {
 		plain2.Close()
 		h.t.Fatalf("sharded decode: %v", err)

@@ -234,6 +234,30 @@ func (e *Engine) submit(fn func()) {
 	e.mu.RUnlock()
 }
 
+// trySubmit is submit without the blocking send: it enqueues fn only if a
+// queue slot is immediately free, reporting whether it did. Tasks that are
+// an optimization rather than required work (prefetch hints) use it from
+// inside pool tasks, where a blocking send could deadlock a small pool —
+// the submitting worker may be the only goroutine that could drain the
+// queue it is waiting on. After the final Close it runs fn inline, exactly
+// as submit does.
+func (e *Engine) trySubmit(fn func()) bool {
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		fn()
+		return true
+	}
+	select {
+	case e.tasks <- fn:
+		e.mu.RUnlock()
+		return true
+	default:
+		e.mu.RUnlock()
+		return false
+	}
+}
+
 // Admit blocks until a query slot is free and returns its release function.
 // Admission bounds scratch-buffer pinning and run-queue growth; it is used
 // by the batch and serve layers, while direct Search calls manage their own
@@ -342,6 +366,21 @@ func (g *Group) Submit(fn func()) {
 		defer g.wg.Done()
 		fn()
 	})
+}
+
+// TrySubmit schedules fn only if the pool can take it without blocking,
+// reporting whether it did. Safe to call from inside a pool task — unlike
+// Submit, it cannot deadlock a worker against its own queue.
+func (g *Group) TrySubmit(fn func()) bool {
+	g.wg.Add(1)
+	ok := g.e.trySubmit(func() {
+		defer g.wg.Done()
+		fn()
+	})
+	if !ok {
+		g.wg.Done()
+	}
+	return ok
 }
 
 // Wait blocks until every task submitted to this group has finished.

@@ -330,3 +330,44 @@ func TestRetainKeepsSharedPoolAlive(t *testing.T) {
 		t.Fatalf("inline task did not run, n=%d", n.Load())
 	}
 }
+
+func TestTrySubmitRefusesWhenSaturated(t *testing.T) {
+	e := New(Options{Workers: 1, QueueDepth: 1})
+	defer e.Close()
+	g := e.NewGroup()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	g.Submit(func() { close(started); <-release })
+	<-started
+	// Worker blocked, queue empty: the non-blocking path must accept.
+	var queued atomic.Int64
+	if !g.TrySubmit(func() { queued.Add(1) }) {
+		t.Fatal("TrySubmit refused with a free queue slot")
+	}
+	// Queue now full: TrySubmit must refuse instead of blocking — the
+	// property the query pipeline's prefetch relies on to never deadlock a
+	// worker submitting from inside the pool.
+	for g.TrySubmit(func() { queued.Add(1) }) {
+		// A refusal must arrive before the buffer could plausibly drain
+		// (the only worker is parked on release).
+	}
+	close(release)
+	g.Wait()
+	if queued.Load() == 0 {
+		t.Fatal("accepted TrySubmit task never ran")
+	}
+}
+
+func TestTrySubmitAfterCloseRunsInline(t *testing.T) {
+	e := New(Options{Workers: 1})
+	g := e.NewGroup()
+	e.Close()
+	ran := false
+	if !g.TrySubmit(func() { ran = true }) {
+		t.Fatal("TrySubmit on a closed engine must report true")
+	}
+	if !ran {
+		t.Fatal("TrySubmit on a closed engine must run the task inline")
+	}
+	g.Wait()
+}

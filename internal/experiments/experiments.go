@@ -198,6 +198,7 @@ var All = []Experiment{
 	{"ingest", "MESSI query throughput under live appends (delta buffer + background merge)", IngestThroughput},
 	{"sharded", "Sharded scatter-gather vs shard count (shared pool, shared BSF)", ShardedSweep},
 	{"mem", "Resident bytes per series: flat vs sharded build (zero-copy views)", MemResidency},
+	{"outofcore", "Out-of-core tiered shards: cold-tier query latency, hit rate and residency vs cache budget", OutOfCore},
 }
 
 // ByID returns the experiment with the given ID.

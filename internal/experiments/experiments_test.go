@@ -280,3 +280,30 @@ func TestRunMemBench(t *testing.T) {
 		}
 	}
 }
+
+func TestDiskBenchWriteJSON(t *testing.T) {
+	res := &DiskBenchResult{
+		BenchHeader:    BenchHeader{Schema: "dsidx-bench-disk/v1"},
+		Shards:         4,
+		ColdMatchesHot: true,
+		ColdOverFlat:   0.2,
+		Points:         []diskPoint{{CacheBytes: 1 << 20, HitRate: 0.5}},
+	}
+	path := t.TempDir() + "/BENCH_disk.json"
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat map[string]any
+	if err := json.Unmarshal(data, &flat); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "shards", "cold_matches_hot", "cold_over_flat", "points"} {
+		if _, ok := flat[key]; !ok {
+			t.Errorf("BENCH_disk.json missing flat key %q", key)
+		}
+	}
+}

@@ -160,6 +160,12 @@ type Index struct {
 	baseLen int
 	build   BuildStats
 
+	// prefetch is non-nil when raw is device-backed (resolves a
+	// series.Prefetcher through any view chain): the refinement path then
+	// masks cold-leaf device reads behind distance computation (query.go).
+	// Nil for RAM-resident collections — the hot path is untouched.
+	prefetch func(pos []int32)
+
 	// snap is the current tree snapshot; swapped whole by merges.
 	snap atomic.Pointer[snapshot]
 
@@ -209,6 +215,23 @@ func (ix *Index) initLive(tree *core.Tree, baseSAX *core.SAXArray, mergedA int) 
 	}
 	ix.ingestSM = core.NewSummarizer(ix.cfg, tree.Quantizer())
 	ix.ingestBf = make([]uint8, ix.cfg.Segments)
+	if pf, ok := series.ResolvePrefetcher(ix.raw); ok {
+		// Leaf position lists mix base series with appended ones; only the
+		// base lives behind ix.raw (appends stay in the in-RAM delta store),
+		// so positions past baseLen are dropped before delegating.
+		base := int32(ix.baseLen)
+		ix.prefetch = func(pos []int32) {
+			inBase := make([]int32, 0, len(pos))
+			for _, p := range pos {
+				if p < base {
+					inBase = append(inBase, p)
+				}
+			}
+			if len(inBase) > 0 {
+				pf(inBase)
+			}
+		}
+	}
 	ix.snap.Store(&snapshot{tree: tree, mergedA: mergedA})
 	if ix.opt.Engine != nil {
 		ix.eng = ix.opt.Engine.Retain()

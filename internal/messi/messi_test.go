@@ -1,6 +1,7 @@
 package messi
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -236,4 +237,26 @@ func TestQueueCountVariants(t *testing.T) {
 			t.Fatalf("queues=%d: dist %v, want %v", qc, got.Dist, wantDist)
 		}
 	}
+}
+
+func TestIndexAdmissionProbeAndRaw(t *testing.T) {
+	coll, _ := dataset(t, gen.Synthetic, 400)
+	ix := build(t, coll, 2)
+	defer ix.Close()
+	if ix.Raw() != series.Reader(coll) {
+		t.Fatal("Raw() does not return the collection the index was built over")
+	}
+	if got := ix.ProbeLeaves(); got < 1 {
+		t.Fatalf("ProbeLeaves() = %d", got)
+	}
+	if ix.MaxInFlight() <= 0 {
+		t.Fatalf("MaxInFlight() = %d", ix.MaxInFlight())
+	}
+	release := ix.Admit()
+	release()
+	release, err := ix.AdmitContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
 }

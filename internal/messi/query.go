@@ -502,6 +502,26 @@ func (ix *Index) queuedSearch(
 						continue
 					}
 					q := queues.Queue(idx)
+					// ParIS+-style I/O masking, active only when the base
+					// data is device-backed (ix.prefetch non-nil): a popped
+					// leaf without a materialized raw block would pay cold
+					// device reads inside refine, so its positions are
+					// submitted as a prefetch task on the same pool — no
+					// extra goroutines — and its refinement is deferred by
+					// one pop. The batched read for leaf N+1 then overlaps
+					// the distance computations of leaf N; single-flight
+					// block loading makes the race between the prefetch task
+					// and a faster-arriving refine harmless. TrySubmit (not
+					// Submit) because this code runs on a pool worker: a
+					// blocking send to a full queue that only this worker
+					// could drain would deadlock a small pool, and a prefetch
+					// that cannot be scheduled is better skipped — refine
+					// pays the read itself. Deferring a refinement never
+					// changes the answer: every surviving entry is checked
+					// against the live threshold whenever it runs, and queue
+					// abandonment stays monotone (bounds only grow within a
+					// queue, the BSF only shrinks).
+					var held *core.Node
 					for {
 						it, abandon := q.PopIfUnder(bsf())
 						if abandon {
@@ -509,7 +529,21 @@ func (ix *Index) queuedSearch(
 							break
 						}
 						popped.Add(1)
-						refine(it.Value.leaf, it.Priority, &st, lb)
+						leaf := it.Value.leaf
+						if ix.prefetch != nil && leaf.Raw == nil {
+							pos := leaf.Pos
+							if g.TrySubmit(func() { ix.prefetch(pos) }) {
+								if held != nil {
+									refine(held, it.Priority, &st, lb)
+								}
+								held = leaf
+								continue
+							}
+						}
+						refine(leaf, it.Priority, &st, lb)
+					}
+					if held != nil {
+						refine(held, 0, &st, lb)
 					}
 				}
 				// Re-scan in case another worker inserted... no inserts can

@@ -1,0 +1,43 @@
+package series
+
+// Prefetcher is implemented by Readers whose At may pay device time (a
+// disk-backed base collection) and can make positions resident ahead of
+// use. Prefetch blocks until the series at pos are loaded and is safe
+// concurrently with At — the hook ParIS+-style I/O masking hangs off: a
+// query submits the next candidate leaf's positions as a worker-pool task
+// while computing real distances on the current leaf.
+//
+// In-memory Readers simply don't implement it; callers discover support
+// through ResolvePrefetcher, so hot paths over RAM-resident data pay
+// nothing.
+type Prefetcher interface {
+	Prefetch(pos []int32)
+}
+
+// ResolvePrefetcher returns a prefetch function operating in r's own
+// position space, unwrapping any chain of position-remapping Views down to
+// the base Reader; ok is false when the base is not device-backed (does
+// not implement Prefetcher). A view's function translates local positions
+// through its map before delegating, so callers always pass the positions
+// they would pass to r.At.
+func ResolvePrefetcher(r Reader) (prefetch func(pos []int32), ok bool) {
+	switch v := r.(type) {
+	case Prefetcher:
+		return v.Prefetch, true
+	case *View:
+		base, ok := ResolvePrefetcher(v.base)
+		if !ok {
+			return nil, false
+		}
+		pos := v.pos
+		return func(local []int32) {
+			global := make([]int32, len(local))
+			for i, p := range local {
+				global[i] = pos[p]
+			}
+			base(global)
+		}, true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,65 @@
+package series
+
+import (
+	"sync"
+	"testing"
+)
+
+// prefetchRecorder is a device-backed-Reader stand-in: a Collection that
+// records every Prefetch call.
+type prefetchRecorder struct {
+	*Collection
+	mu  sync.Mutex
+	got [][]int32
+}
+
+func (r *prefetchRecorder) Prefetch(pos []int32) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.got = append(r.got, append([]int32(nil), pos...))
+}
+
+func TestResolvePrefetcherDirect(t *testing.T) {
+	r := &prefetchRecorder{Collection: NewCollection(6, 4)}
+	pf, ok := ResolvePrefetcher(r)
+	if !ok {
+		t.Fatal("Prefetcher implementation not resolved")
+	}
+	pf([]int32{1, 3})
+	if len(r.got) != 1 || r.got[0][0] != 1 || r.got[0][1] != 3 {
+		t.Fatalf("direct prefetch recorded %v", r.got)
+	}
+}
+
+func TestResolvePrefetcherTranslatesViewChains(t *testing.T) {
+	r := &prefetchRecorder{Collection: NewCollection(8, 4)}
+	v1 := NewView(r, []int32{5, 2, 7, 0})
+	pf, ok := ResolvePrefetcher(v1)
+	if !ok {
+		t.Fatal("view over a Prefetcher not resolved")
+	}
+	pf([]int32{0, 2})
+	if len(r.got) != 1 || r.got[0][0] != 5 || r.got[0][1] != 7 {
+		t.Fatalf("view prefetch recorded %v, want base positions [5 7]", r.got)
+	}
+	// Nested views compose the translation: v2-local 1 → v1-local 1 → base 2.
+	v2 := NewView(v1, []int32{3, 1})
+	pf, ok = ResolvePrefetcher(v2)
+	if !ok {
+		t.Fatal("nested view over a Prefetcher not resolved")
+	}
+	pf([]int32{1})
+	if len(r.got) != 2 || len(r.got[1]) != 1 || r.got[1][0] != 2 {
+		t.Fatalf("nested view prefetch recorded %v, want base position [2]", r.got[1])
+	}
+}
+
+func TestResolvePrefetcherInMemoryReaders(t *testing.T) {
+	coll := NewCollection(4, 4)
+	if _, ok := ResolvePrefetcher(coll); ok {
+		t.Fatal("flat collection resolved as device-backed")
+	}
+	if _, ok := ResolvePrefetcher(NewView(coll, []int32{1, 0})); ok {
+		t.Fatal("view over a flat collection resolved as device-backed")
+	}
+}

@@ -15,6 +15,14 @@ import "fmt"
 // shrink. At returns a live view of the underlying storage; callers that
 // retain values across other operations must copy them (index builds do —
 // leaf materialization copies into leaf-owned blocks).
+//
+// At is not required to be RAM-resident or uniform-cost: a device-backed
+// Reader (storage.DiskReader) may pay a device read on a cache miss, and
+// may panic on a device I/O error — there is deliberately no error return,
+// so in-memory implementations stay allocation- and branch-free. Readers
+// whose At can be slow should implement Prefetcher (prefetch.go), which
+// latency-sensitive callers discover via ResolvePrefetcher to overlap
+// loads with computation; everyone else remains oblivious.
 type Reader interface {
 	// Len returns the number of series.
 	Len() int

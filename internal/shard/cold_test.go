@@ -1,0 +1,261 @@
+package shard
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dsidx/internal/gen"
+	"dsidx/internal/messi"
+	"dsidx/internal/storage"
+	"dsidx/internal/ucr"
+)
+
+// coldOptions returns a small-cache cold configuration so tests exercise
+// misses and evictions, not just the warm path.
+func coldOptions(cold func(int) bool) *ColdStorage {
+	return &ColdStorage{CacheBytes: 16 << 10, BlockSeries: 8, Cold: cold}
+}
+
+// TestColdStorageMatchesHot is the tiering acceptance test: the same
+// collection indexed hot, all-cold and mixed hot/cold must answer every
+// search flavor bit-identically, while the cold builds actually touch the
+// device cache.
+func TestColdStorageMatchesHot(t *testing.T) {
+	g := gen.Generator{Kind: gen.Synthetic, Length: testLen, Seed: 11}
+	coll := g.Collection(900)
+	queries := g.PerturbedQueries(coll, 10, 0.05)
+	hot := buildSharded(t, coll, 3, RoundRobin{})
+
+	placements := map[string]func(int) bool{
+		"all-cold": nil,
+		"mixed":    func(si int) bool { return si != 1 },
+	}
+	for name, placement := range placements {
+		t.Run(name, func(t *testing.T) {
+			s, err := Build(coll, testConfig(), Options{Shards: 3,
+				ColdStorage: coldOptions(placement),
+				Options:     messi.Options{MergeThreshold: 1 << 30}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(s.Close)
+			for i := 0; i < queries.Len(); i++ {
+				q := queries.At(i)
+				got, _, err := s.Search(q, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, _, err := hot.Search(q, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("query %d: cold (#%d, %v) != hot (#%d, %v)",
+						i, got.Pos, got.Dist, want.Pos, want.Dist)
+				}
+				gotK, _, err := s.SearchKNN(q, 5, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantK, _, err := hot.SearchKNN(q, 5, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for r := range wantK {
+					if gotK[r] != wantK[r] {
+						t.Fatalf("query %d rank %d: cold %+v != hot %+v", i, r, gotK[r], wantK[r])
+					}
+				}
+				gotD, _, err := s.SearchDTW(q, 4, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantD, _, err := hot.SearchDTW(q, 4, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotD != wantD {
+					t.Fatalf("DTW query %d: cold %+v != hot %+v", i, gotD, wantD)
+				}
+			}
+			st := s.ColdStats()
+			wantShards := 3
+			if name == "mixed" {
+				wantShards = 2
+			}
+			if st.ColdShards != wantShards {
+				t.Fatalf("ColdShards = %d, want %d", st.ColdShards, wantShards)
+			}
+			if st.Cache.Misses == 0 {
+				t.Error("cold queries never missed the 16 KiB cache")
+			}
+			if st.Device.ReadOps == 0 || st.Device.BytesRead == 0 {
+				t.Errorf("cold device untouched: %+v", st.Device)
+			}
+			if s.ColdDisk() == nil {
+				t.Error("ColdDisk() = nil with cold shards present")
+			}
+			if name == "all-cold" {
+				// All shards cold: the sharded index must serve global reads
+				// through the device cache, not keep the flat collection alive.
+				if _, ok := s.base.(*storage.DiskReader); !ok {
+					t.Errorf("all-cold base is %T, want *storage.DiskReader", s.base)
+				}
+			} else if s.base != coll {
+				t.Errorf("mixed-tier base replaced: %T", s.base)
+			}
+		})
+	}
+
+	// The hot index has no cold tier to report.
+	if st := hot.ColdStats(); st != (ColdStats{}) {
+		t.Errorf("hot ColdStats = %+v, want zero", st)
+	}
+	if hot.ColdDisk() != nil {
+		t.Error("hot ColdDisk() non-nil")
+	}
+}
+
+// TestColdStorageAppendsStayHot: appends land in the in-RAM delta stores
+// regardless of tier, and queries over the mixed base+append content still
+// match the serial oracle.
+func TestColdStorageAppendsStayHot(t *testing.T) {
+	g := gen.Generator{Kind: gen.Synthetic, Length: testLen, Seed: 13}
+	coll := g.Collection(300)
+	s, err := Build(coll, testConfig(), Options{Shards: 2,
+		ColdStorage: coldOptions(nil),
+		Options:     messi.Options{MergeThreshold: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	for i := 0; i < 150; i++ {
+		if _, err := s.Append(g.Series(int64(1000 + i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	mirror := landedCollection(s)
+	queries := g.PerturbedQueries(mirror, 8, 0.05)
+	for i := 0; i < queries.Len(); i++ {
+		q := queries.At(i)
+		got, st, err := s.Search(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Observed != mirror.Len() {
+			t.Fatalf("observed %d, want %d", st.Observed, mirror.Len())
+		}
+		want := ucr.Scan(mirror, q)
+		if got.Pos != want.Pos || got.Dist != want.Dist {
+			t.Fatalf("query %d: (#%d, %v) != serial (#%d, %v)", i, got.Pos, got.Dist, want.Pos, want.Dist)
+		}
+	}
+}
+
+// TestColdStorageDecode: a file saved from a hot instance loads with a cold
+// base placement and keeps answering identically — persistence is
+// backing-agnostic.
+func TestColdStorageDecode(t *testing.T) {
+	g := gen.Generator{Kind: gen.Synthetic, Length: testLen, Seed: 17}
+	coll := g.Collection(400)
+	hot := buildSharded(t, coll, 3, RoundRobin{})
+	enc := hot.Encode()
+
+	s, err := Decode(enc, coll, Options{
+		ColdStorage: coldOptions(nil),
+		Options:     messi.Options{MergeThreshold: 1 << 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	queries := g.PerturbedQueries(coll, 8, 0.05)
+	for i := 0; i < queries.Len(); i++ {
+		q := queries.At(i)
+		got, _, err := s.Search(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := hot.Search(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("query %d: decoded-cold %+v != hot %+v", i, got, want)
+		}
+	}
+	if st := s.ColdStats(); st.ColdShards != 3 || st.Cache.Hits+st.Cache.Misses == 0 {
+		t.Fatalf("decoded-cold stats %+v", st)
+	}
+}
+
+// TestColdStorageFileStore runs the cold tier over a real temp file — the
+// genuinely out-of-core configuration — and checks answers against the
+// oracle.
+func TestColdStorageFileStore(t *testing.T) {
+	g := gen.Generator{Kind: gen.Synthetic, Length: testLen, Seed: 19}
+	coll := g.Collection(500)
+	dir := t.TempDir()
+	var fs *storage.FileStore
+	cs := coldOptions(nil)
+	cs.NewStore = func() (storage.Store, error) {
+		var err error
+		fs, err = storage.OpenFileStore(filepath.Join(dir, "base.dsf"))
+		return fs, err
+	}
+	s, err := Build(coll, testConfig(), Options{Shards: 2, ColdStorage: cs,
+		Options: messi.Options{MergeThreshold: 1 << 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		s.Close()
+		fs.Close()
+	})
+	queries := g.PerturbedQueries(coll, 6, 0.05)
+	for i := 0; i < queries.Len(); i++ {
+		q := queries.At(i)
+		got, _, err := s.Search(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ucr.Scan(coll, q)
+		if got.Pos != want.Pos || got.Dist != want.Dist {
+			t.Fatalf("query %d: (#%d, %v) != serial (#%d, %v)", i, got.Pos, got.Dist, want.Pos, want.Dist)
+		}
+	}
+}
+
+func TestColdStorageRejectsCopyBase(t *testing.T) {
+	g := gen.Generator{Kind: gen.Synthetic, Length: testLen, Seed: 23}
+	coll := g.Collection(64)
+	_, err := Build(coll, testConfig(), Options{Shards: 2, CopyBase: true,
+		ColdStorage: coldOptions(nil)})
+	if err == nil {
+		t.Fatal("CopyBase together with ColdStorage accepted")
+	}
+}
+
+// TestColdStorageAllHotPlacement: a ColdStorage whose Cold func marks every
+// shard hot is a no-op — no tier is built, no device exists.
+func TestColdStorageAllHotPlacement(t *testing.T) {
+	g := gen.Generator{Kind: gen.Synthetic, Length: testLen, Seed: 29}
+	coll := g.Collection(100)
+	s, err := Build(coll, testConfig(), Options{Shards: 2,
+		ColdStorage: coldOptions(func(int) bool { return false })})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	if s.ColdDisk() != nil || s.ColdStats() != (ColdStats{}) {
+		t.Fatal("all-hot placement still built a cold tier")
+	}
+	q := coll.At(0)
+	got, _, err := s.Search(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ucr.Scan(coll, q); got.Pos != want.Pos {
+		t.Fatalf("got #%d, want #%d", got.Pos, want.Pos)
+	}
+}

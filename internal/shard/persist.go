@@ -122,7 +122,10 @@ func Decode(data []byte, coll *series.Collection, opt Options) (*Sharded, error)
 	}
 	opt.Shards, opt.Policy = n, policy
 
-	s, parts := newShell(coll, opt)
+	s, parts, err := newShell(coll, opt)
+	if err != nil {
+		return nil, err
+	}
 	routed := make([]int, n)
 	for _, r := range routes {
 		routed[r]++
@@ -140,7 +143,7 @@ func Decode(data []byte, coll *series.Collection, opt Options) (*Sharded, error)
 		}
 		blob := rest[:blobLen]
 		rest = rest[blobLen:]
-		sh, err := messi.Decode(blob, parts[si], s.shardOptions())
+		sh, err := messi.Decode(blob, parts[si], s.shardOptions(si))
 		if err != nil {
 			s.abort()
 			return nil, fmt.Errorf("shard: decoding shard %d: %w", si, err)
@@ -177,8 +180,11 @@ func decodeLegacy(data []byte, coll *series.Collection, opt Options, wantShards 
 			wantPolicy.Name())
 	}
 	opt.Shards, opt.Policy = 1, RoundRobin{}
-	s, parts := newShell(coll, opt)
-	sh, err := messi.Decode(data, parts[0], s.shardOptions())
+	s, parts, err := newShell(coll, opt)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := messi.Decode(data, parts[0], s.shardOptions(0))
 	if err != nil {
 		s.abort()
 		return nil, err

@@ -49,6 +49,7 @@ import (
 	"dsidx/internal/engine"
 	"dsidx/internal/messi"
 	"dsidx/internal/series"
+	"dsidx/internal/storage"
 	"dsidx/internal/xsync"
 )
 
@@ -72,7 +73,55 @@ type Options struct {
 	// way — the conformance harness toggles it randomly and a
 	// differential test pins the equivalence — so the knob exists only
 	// for that testing and as a measurement baseline, never for serving.
+	// Mutually exclusive with ColdStorage.
 	CopyBase bool
+	// ColdStorage, when set, places shards' base values on a device behind
+	// a block cache instead of RAM — the out-of-core tier. Answers stay
+	// bit-identical to a hot build (float32 values round-trip the device
+	// exactly); the conformance harness tosses placement randomly to pin
+	// that. Mutually exclusive with CopyBase.
+	ColdStorage *ColdStorage
+}
+
+// ColdStorage configures the out-of-core tier: which shards are cold, what
+// device backs them, and how much RAM the block cache may use. A cold
+// shard's base series live in one shared series file on the device and are
+// read through a storage.DiskReader (views over it replace the in-RAM
+// views), with leaf-ordered raw blocks disabled for that shard so
+// refinement actually reads the cold tier; its tree and SAX summaries stay
+// resident. Hot shards keep today's behavior exactly, so one Sharded index
+// mixes tiers per shard — the Milvus-style hot/cold placement pattern.
+//
+// When EVERY shard is cold, the index itself holds no reference to the
+// caller's flat collection (global reads resolve through the device cache
+// too), so the caller may drop it and the base tier's RAM ceiling becomes
+// the cache budget.
+//
+// Appended series always stay hot: the delta buffer and its merged
+// positions live in each shard's own chunked store, which is small by
+// construction (merges bound it).
+type ColdStorage struct {
+	// NewStore returns the byte store backing the tier's series file; nil
+	// means a fresh in-memory MemStore (hermetic, simulation-only). Real
+	// persistence supplies a FileStore. The caller owns the store's
+	// lifetime — close it after the index is closed, not before.
+	NewStore func() (storage.Store, error)
+	// Profile is the simulated device the store is wrapped in; the zero
+	// Profile means storage.Unthrottled. Construction (the staging write
+	// and the build's sequential scans) runs at latency scale 0 — a
+	// precondition, like the experiments' dataset staging — and the scale
+	// is restored to 1 when the index is ready, so query-time accesses pay
+	// full device time. Modeled busy-time metrics accumulate throughout.
+	Profile storage.Profile
+	// CacheBytes is the block-cache budget in bytes (0 means
+	// storage.DefaultCacheBytes).
+	CacheBytes int64
+	// BlockSeries is the cache granularity in consecutive series (0 means
+	// storage.DefaultBlockSeries).
+	BlockSeries int
+	// Cold reports whether shard si is placed cold; nil places every
+	// shard cold.
+	Cold func(si int) bool
 }
 
 func (o Options) normalize() (Options, error) {
@@ -88,6 +137,9 @@ func (o Options) normalize() (Options, error) {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.CopyBase && o.ColdStorage != nil {
+		return o, fmt.Errorf("shard: CopyBase and ColdStorage are mutually exclusive")
+	}
 	return o, nil
 }
 
@@ -100,10 +152,15 @@ type Sharded struct {
 	n         int
 	policy    Policy
 	seriesLen int
-	base      *series.Collection
+	base      series.Reader // the flat collection, or the cold tier's DiskReader when all shards are cold
 	baseLen   int
 	eng       *engine.Engine
 	shards    []*messi.Index
+
+	// cold is the shared out-of-core tier (nil when every shard is hot);
+	// coldShards[si] reports shard si's placement.
+	cold       *coldTier
+	coldShards []bool
 
 	// baseMap[si][localPos] is the global position of shard si's build-time
 	// series; mappers[si] extends it over appends. Both immutable after
@@ -150,10 +207,11 @@ func splitBase(coll *series.Collection, policy Policy, n int) (views []*series.V
 }
 
 // newShell assembles the Sharded state common to Build and Decode: the
-// base split (views, or flat copies under Options.CopyBase), the shared
+// base split (views, or flat copies under Options.CopyBase, or cold
+// view-over-DiskReader parts under Options.ColdStorage), the shared
 // engine, and empty append-routing structures. The caller fills s.shards
 // (one per part) and then calls finish.
-func newShell(coll *series.Collection, opt Options) (*Sharded, []series.Reader) {
+func newShell(coll *series.Collection, opt Options) (*Sharded, []series.Reader, error) {
 	views, baseMap := splitBase(coll, opt.Policy, opt.Shards)
 	parts := make([]series.Reader, opt.Shards)
 	for si, v := range views {
@@ -181,15 +239,131 @@ func newShell(coll *series.Collection, opt Options) (*Sharded, []series.Reader) 
 	}
 	cuts := make([]int32, opt.Shards)
 	s.cuts.Store(&cuts)
-	return s, parts
+	if opt.ColdStorage != nil {
+		if err := s.initCold(coll, opt.ColdStorage, parts); err != nil {
+			s.eng.Close()
+			return nil, nil, err
+		}
+	}
+	return s, parts, nil
 }
 
-// shardOptions is the per-shard messi configuration: identical tuning, one
-// shared pool.
-func (s *Sharded) shardOptions() messi.Options {
+// coldTier is the shared device state behind every cold shard: one disk,
+// one series file holding the whole base collection in global order, one
+// block-cached reader the cold views remap into.
+type coldTier struct {
+	disk   *storage.Disk
+	reader *storage.DiskReader
+}
+
+// initCold stages the base collection onto the cold device and swaps the
+// cold shards' parts from in-RAM views to views over the block-cached
+// reader. The staging write and the upcoming build-time reads run at
+// latency scale 0 (construction is a precondition, not a measured query);
+// finish restores scale 1.
+func (s *Sharded) initCold(coll *series.Collection, cs *ColdStorage, parts []series.Reader) error {
+	cold := make([]bool, s.n)
+	any, all := false, true
+	for si := range cold {
+		cold[si] = cs.Cold == nil || cs.Cold(si)
+		if cold[si] {
+			any = true
+		} else {
+			all = false
+		}
+	}
+	if !any {
+		return nil // every shard placed hot: no tier to set up
+	}
+	store := storage.Store(storage.NewMemStore())
+	if cs.NewStore != nil {
+		st, err := cs.NewStore()
+		if err != nil {
+			return fmt.Errorf("shard: cold store: %w", err)
+		}
+		store = st
+	}
+	profile := cs.Profile
+	if profile == (storage.Profile{}) {
+		profile = storage.Unthrottled
+	}
+	disk := storage.NewDisk(store, profile)
+	disk.SetScale(0)
+	f, err := storage.WriteCollection(disk, coll)
+	if err != nil {
+		return fmt.Errorf("shard: staging cold tier: %w", err)
+	}
+	dr, err := storage.NewDiskReader(f, storage.DiskReaderOptions{
+		CacheBytes:  cs.CacheBytes,
+		BlockSeries: cs.BlockSeries,
+	})
+	if err != nil {
+		return fmt.Errorf("shard: cold tier: %w", err)
+	}
+	for si := range parts {
+		if cold[si] {
+			parts[si] = series.NewView(dr, s.baseMap[si])
+		}
+	}
+	if all {
+		// Nothing references the caller's flat collection anymore — global
+		// position reads resolve through the cache too — so the caller may
+		// drop it, and base residency shrinks to the cache budget.
+		s.base = dr
+	}
+	s.cold = &coldTier{disk: disk, reader: dr}
+	s.coldShards = cold
+	return nil
+}
+
+// shardOptions is shard si's messi configuration: identical tuning, one
+// shared pool. Cold shards disable leaf-ordered raw blocks — a full hot
+// copy of the values would defeat the tier — so their refinement reads
+// resolve through the device cache (and get the prefetch-masked path).
+func (s *Sharded) shardOptions(si int) messi.Options {
 	mo := s.opt.Options
 	mo.Engine = s.eng
+	if s.isCold(si) {
+		mo.DisableLeafRaw = true
+	}
 	return mo
+}
+
+// isCold reports shard si's tier.
+func (s *Sharded) isCold(si int) bool { return s.cold != nil && s.coldShards[si] }
+
+// ColdStats reports the cold tier's cache and device counters; the zero
+// value when every shard is hot.
+type ColdStats struct {
+	// ColdShards is the number of cold-placed shards.
+	ColdShards int
+	// Cache snapshots the shared block cache.
+	Cache storage.CacheStats
+	// Device snapshots the cold device's I/O accounting.
+	Device storage.Metrics
+}
+
+// ColdStats snapshots the out-of-core tier's counters.
+func (s *Sharded) ColdStats() ColdStats {
+	if s.cold == nil {
+		return ColdStats{}
+	}
+	n := 0
+	for _, c := range s.coldShards {
+		if c {
+			n++
+		}
+	}
+	return ColdStats{ColdShards: n, Cache: s.cold.reader.Stats(), Device: s.cold.disk.Metrics()}
+}
+
+// ColdDisk exposes the cold tier's device for experiments (latency scaling,
+// metric resets between phases); nil when every shard is hot.
+func (s *Sharded) ColdDisk() *storage.Disk {
+	if s.cold == nil {
+		return nil
+	}
+	return s.cold.disk
 }
 
 // finish is called once every shard exists: it builds the per-shard
@@ -207,6 +381,9 @@ func (s *Sharded) finish() {
 			}
 			return am.At(int(p) - len(bm))[0]
 		}
+	}
+	if s.cold != nil {
+		s.cold.disk.SetScale(1) // construction staged at scale 0; queries pay modeled latency
 	}
 	s.eng.Close()
 }
@@ -229,9 +406,12 @@ func Build(coll *series.Collection, cfg core.Config, opt Options) (*Sharded, err
 	if err != nil {
 		return nil, err
 	}
-	s, parts := newShell(coll, opt)
+	s, parts, err := newShell(coll, opt)
+	if err != nil {
+		return nil, err
+	}
 	for si := range s.shards {
-		s.shards[si], err = messi.Build(parts[si], cfg, s.shardOptions())
+		s.shards[si], err = messi.Build(parts[si], cfg, s.shardOptions(si))
 		if err != nil {
 			s.abort()
 			return nil, err

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -443,6 +444,34 @@ func TestShardedApproximateUpperBounds(t *testing.T) {
 		// (same vector kernel the index computes with).
 		if d := vector.SquaredEDEarlyAbandon(q, coll.At(int(approx.Pos)), math.Inf(1)); d != approx.Dist {
 			t.Fatalf("approx reports %v for #%d, true distance %v", approx.Dist, approx.Pos, d)
+		}
+	}
+}
+
+func TestShardedAdmissionAndBatchSearch(t *testing.T) {
+	g := gen.Generator{Kind: gen.Synthetic, Length: testLen, Seed: 31}
+	coll := g.Collection(300)
+	s := buildSharded(t, coll, 3, RoundRobin{})
+	if s.MaxInFlight() <= 0 {
+		t.Fatalf("MaxInFlight() = %d", s.MaxInFlight())
+	}
+	release := s.Admit()
+	release()
+	release, err := s.AdmitContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	qs := []series.Series{coll.At(0), coll.At(7), coll.At(123)}
+	want := []int32{0, 7, 123}
+	rs, err := s.BatchSearch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r.Pos != want[i] || r.Dist != 0 {
+			t.Errorf("query %d: got pos %d dist %v, want exact self-match at %d",
+				i, r.Pos, r.Dist, want[i])
 		}
 	}
 }

@@ -1,0 +1,203 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// craftedHeader builds a DSF1 header with arbitrary length and count fields,
+// optionally followed by payload bytes — the raw material for exercising
+// OpenSeriesFile against hostile headers.
+func craftedHeader(t *testing.T, length uint32, count uint64, payload int) Store {
+	t.Helper()
+	buf := make([]byte, seriesFileHeaderSize+payload)
+	copy(buf[:4], seriesFileMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], length)
+	binary.LittleEndian.PutUint64(buf[8:16], count)
+	m := NewMemStore()
+	if _, err := m.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestOpenSeriesFileCorruptCount(t *testing.T) {
+	cases := []struct {
+		name    string
+		length  uint32
+		count   uint64
+		payload int
+	}{
+		// count ≥ 2^63: converting to int64 before validating wraps the
+		// required size negative, so the naive size check passes and Open
+		// returns a file whose offsets are garbage. The regression the
+		// overflow-safe bound pins.
+		{"count wraps int64", 8, 1 << 63, 64},
+		{"count max uint64", 8, math.MaxUint64, 64},
+		// count itself fits an int64 but count*length*4 overflows it.
+		{"product overflows", math.MaxUint32, math.MaxInt64 / 2, 64},
+		// Plausible count, file simply too small.
+		{"oversized count", 8, 1000, 10 * 8 * 4},
+		// Off-by-one: one byte short of the last series.
+		{"one byte short", 8, 2, 2*8*4 - 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			store := craftedHeader(t, tc.length, tc.count, tc.payload)
+			f, err := OpenSeriesFile(store)
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("OpenSeriesFile = (%v, %v), want ErrCorrupt", f, err)
+			}
+		})
+	}
+
+	// Sanity: a crafted header whose fields are consistent still opens.
+	store := craftedHeader(t, 8, 2, 2*8*4)
+	f, err := OpenSeriesFile(store)
+	if err != nil {
+		t.Fatalf("valid crafted header rejected: %v", err)
+	}
+	if f.Count() != 2 || f.Length() != 8 {
+		t.Fatalf("shape = (%d,%d), want (2,8)", f.Count(), f.Length())
+	}
+}
+
+func TestLeafStoreReadCorruptRefs(t *testing.T) {
+	ls := NewLeafStore(NewMemStore())
+	ref, err := ls.Append([]byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []LeafRef{
+		{Offset: 0, Len: -1},
+		{Offset: -1, Len: 4},
+		{Offset: math.MinInt64, Len: 4},
+		{Offset: 0, Len: math.MaxInt32},
+		// Offset near MaxInt64: offset+4+len wraps negative, so the
+		// addition-form bounds check would let it through to ReadAt.
+		{Offset: math.MaxInt64 - 2, Len: 16},
+		{Offset: ref.Offset + 1, Len: ref.Len},   // misaligned: prefix mismatch
+		{Offset: ref.Offset, Len: ref.Len + 100}, // runs past the store end
+	}
+	for _, r := range bad {
+		blob, err := ls.Read(r)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("Read(%+v) = (%q, %v), want ErrCorrupt", r, blob, err)
+		}
+	}
+	// The genuine ref still reads.
+	if blob, err := ls.Read(ref); err != nil || string(blob) != "payload" {
+		t.Fatalf("valid ref read = (%q, %v)", blob, err)
+	}
+}
+
+// TestDiskPerStreamSeekAccounting pins the per-channel sequential detection:
+// two goroutines each scanning their own region sequentially, interleaved by
+// the scheduler, must be charged roughly one seek per stream — not a seek on
+// nearly every op, which is what a single shared last-offset produced.
+func TestDiskPerStreamSeekAccounting(t *testing.T) {
+	const ops, chunk = 64, 128
+	profile := Profile{Name: "test", Seek: time.Nanosecond, Parallelism: 2}
+	d := NewDisk(NewMemStore(), profile)
+	d.SetScale(0)
+	if err := d.Truncate(4 * ops * chunk); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 2)
+	for s := 0; s < 2; s++ {
+		go func(s int) {
+			// Disjoint, non-adjacent regions away from offset 0: a stream
+			// starting at 0 (a fresh channel's last-read position) or exactly
+			// where the other region ends would be a free "continuation" and
+			// dodge its initial seek.
+			base := int64((2*s + 1) * ops * chunk)
+			buf := make([]byte, chunk)
+			for i := 0; i < ops; i++ {
+				if _, err := d.ReadAt(buf, base+int64(i*chunk)); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(s)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := d.Metrics()
+	if m.ReadOps != 2*ops {
+		t.Fatalf("ReadOps = %d, want %d", m.ReadOps, 2*ops)
+	}
+	// Each stream pays its initial seek; a rare unlucky interleaving can add
+	// a couple more (both streams racing onto one channel), but anything near
+	// the op count means sequential detection is broken.
+	if m.Seeks < 2 || m.Seeks > 8 {
+		t.Fatalf("Seeks = %d for 2 interleaved sequential streams, want ~2", m.Seeks)
+	}
+}
+
+// FuzzOpenSeriesFile pins the decode-never-panics invariant for the DSF1
+// header: arbitrary store contents either open (and then serve reads without
+// panicking) or fail with ErrCorrupt.
+func FuzzOpenSeriesFile(f *testing.F) {
+	valid := make([]byte, seriesFileHeaderSize+2*8*4)
+	copy(valid[:4], seriesFileMagic)
+	binary.LittleEndian.PutUint32(valid[4:8], 8)
+	binary.LittleEndian.PutUint64(valid[8:16], 2)
+	f.Add(valid)
+	wrapped := append([]byte{}, valid...)
+	binary.LittleEndian.PutUint64(wrapped[8:16], 1<<63)
+	f.Add(wrapped)
+	f.Add([]byte("DSF1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := NewMemStore()
+		if len(data) > 0 {
+			if _, err := m.WriteAt(data, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sf, err := OpenSeriesFile(m)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-ErrCorrupt failure: %v", err)
+			}
+			return
+		}
+		// An accepted header must be fully readable: the size check bounds
+		// count by the store size, so this cannot allocate beyond the input.
+		if sf.Count() > 0 {
+			if _, err := sf.ReadBatch(0, sf.Count()); err != nil {
+				t.Fatalf("accepted file failed to read: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzLeafStoreRead pins the same invariant for leaf references decoded from
+// persisted bytes: any (offset, len) pair returns data or ErrCorrupt.
+func FuzzLeafStoreRead(f *testing.F) {
+	f.Add([]byte{7, 0, 0, 0, 'p', 'a', 'y', 'l', 'o', 'a', 'd'}, int64(0), int32(7))
+	f.Add([]byte{}, int64(math.MaxInt64-2), int32(16))
+	f.Add([]byte{0, 0, 0, 0}, int64(0), int32(-1))
+	f.Add([]byte{255, 255, 255, 255}, int64(-1), int32(math.MaxInt32))
+
+	f.Fuzz(func(t *testing.T, data []byte, off int64, ln int32) {
+		m := NewMemStore()
+		if len(data) > 0 {
+			if _, err := m.WriteAt(data, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ls := NewLeafStore(m)
+		if _, err := ls.Read(LeafRef{Offset: off, Len: ln}); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("non-ErrCorrupt failure: %v", err)
+		}
+	})
+}

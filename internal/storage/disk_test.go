@@ -112,3 +112,16 @@ func TestDiskSequentialDetection(t *testing.T) {
 		t.Fatalf("sequential writes produced %d seeks, want 1 (initial)", seeks)
 	}
 }
+
+func TestDiskProfileAndSize(t *testing.T) {
+	d := NewDisk(NewMemStore(), Unthrottled)
+	if got := d.Profile(); got.Name != Unthrottled.Name {
+		t.Fatalf("Profile() = %q, want %q", got.Name, Unthrottled.Name)
+	}
+	if err := d.Truncate(4096); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Size(); got != 4096 {
+		t.Fatalf("Size() = %d after Truncate(4096)", got)
+	}
+}

@@ -1,0 +1,260 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"dsidx/internal/series"
+)
+
+// DiskReader serves a series collection straight off a device through a
+// fixed-budget block cache, implementing series.Reader so an index builds
+// over and refines against cold data with no index-side changes — the
+// out-of-core tier behind shard.Options.ColdStorage. The tree, SAX
+// summaries and any materialized hot leaf blocks stay resident in RAM;
+// only the base values live on the device.
+//
+// The cache holds aligned runs of BlockSeries consecutive series (LRU over
+// whole blocks, bounded by CacheBytes), so one device read amortizes over a
+// run and repeated refinement of hot leaves does not pay device time twice.
+// Loads are single-flight: concurrent At calls — and prefetch tasks racing
+// the refinement that wanted the data — for the same cold block share one
+// batched device read.
+//
+// At returns slices into cached blocks; eviction only drops the cache's
+// reference, so values a caller still holds stay valid (the Reader contract:
+// retainers must copy). A device I/O error in At panics: the Reader surface
+// has no error channel, the simulated stores cannot fail, and on a real
+// FileStore a read error under an index is not recoverable mid-query.
+type DiskReader struct {
+	file        *SeriesFile
+	count       int
+	length      int
+	blockSeries int
+	budget      int64
+
+	hits, misses, evictions atomic.Uint64
+
+	mu       sync.Mutex
+	blocks   map[int]*cacheBlock
+	lru      cacheBlock // sentinel: lru.next is most recent, lru.prev least
+	resident int64
+}
+
+// DefaultCacheBytes and DefaultBlockSeries are the DiskReaderOptions zero
+// defaults: a 4 MiB budget over 64-series blocks.
+const (
+	DefaultCacheBytes  = 4 << 20
+	DefaultBlockSeries = 64
+)
+
+// DiskReaderOptions sizes the block cache.
+type DiskReaderOptions struct {
+	// CacheBytes is the cache budget in bytes of decoded values (0 means
+	// DefaultCacheBytes). The budget is raised to at least one block.
+	CacheBytes int64
+	// BlockSeries is the number of consecutive series per cached block —
+	// the device-read batch size (0 means DefaultBlockSeries).
+	BlockSeries int
+}
+
+// CacheStats is a snapshot of the block cache's counters.
+type CacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	ResidentBytes int64
+	CacheBytes    int64
+	BlockSeries   int
+}
+
+// HitRate returns hits/(hits+misses), 0 before any access.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// cacheBlock is one aligned run of decoded series. vals and err are written
+// by the single loading goroutine before ready closes and only read after
+// it, so waiters need no lock.
+type cacheBlock struct {
+	idx        int
+	bytes      int64
+	vals       []float32
+	err        error
+	ready      chan struct{}
+	prev, next *cacheBlock
+}
+
+// NewDiskReader wraps an open series file in a block cache.
+func NewDiskReader(f *SeriesFile, opt DiskReaderOptions) (*DiskReader, error) {
+	if f.Count() > math.MaxInt32 {
+		return nil, fmt.Errorf("storage: %d series exceed int32 positions", f.Count())
+	}
+	if opt.BlockSeries <= 0 {
+		opt.BlockSeries = DefaultBlockSeries
+	}
+	if opt.CacheBytes <= 0 {
+		opt.CacheBytes = DefaultCacheBytes
+	}
+	r := &DiskReader{
+		file:        f,
+		count:       int(f.Count()),
+		length:      f.Length(),
+		blockSeries: opt.BlockSeries,
+		budget:      opt.CacheBytes,
+		blocks:      make(map[int]*cacheBlock),
+	}
+	// The block being returned must be cacheable, or every access at a
+	// sub-block budget would evict what it just loaded.
+	if minBudget := int64(opt.BlockSeries) * int64(f.Length()) * 4; r.budget < minBudget {
+		r.budget = minBudget
+	}
+	r.lru.prev, r.lru.next = &r.lru, &r.lru
+	return r, nil
+}
+
+var (
+	_ series.Reader     = (*DiskReader)(nil)
+	_ series.Prefetcher = (*DiskReader)(nil)
+)
+
+// Len returns the number of series.
+func (r *DiskReader) Len() int { return r.count }
+
+// SeriesLen returns the number of points per series.
+func (r *DiskReader) SeriesLen() int { return r.length }
+
+// At returns series i, reading its block off the device if cold. The
+// returned slice aliases the cached block; it stays valid after eviction
+// (the backing array lives while referenced) but callers that retain it
+// must copy, per the Reader contract.
+func (r *DiskReader) At(i int) series.Series {
+	b := r.block(i / r.blockSeries)
+	lo := (i % r.blockSeries) * r.length
+	return series.Series(b.vals[lo : lo+r.length : lo+r.length])
+}
+
+// Prefetch loads the blocks covering pos, blocking until they are resident
+// — the device side of ParIS+'s I/O masking: the refinement path submits
+// the NEXT candidate leaf's positions as a pool task while computing real
+// distances on the current one, and single-flight loading means whichever
+// side reaches a block first does the one read. Consecutive duplicate
+// blocks are skipped; already-cached blocks cost a map hit.
+func (r *DiskReader) Prefetch(pos []int32) {
+	last := -1
+	for _, p := range pos {
+		idx := int(p) / r.blockSeries
+		if idx == last {
+			continue
+		}
+		last = idx
+		r.block(idx)
+	}
+}
+
+// Stats snapshots the cache counters.
+func (r *DiskReader) Stats() CacheStats {
+	r.mu.Lock()
+	resident := r.resident
+	r.mu.Unlock()
+	return CacheStats{
+		Hits:          r.hits.Load(),
+		Misses:        r.misses.Load(),
+		Evictions:     r.evictions.Load(),
+		ResidentBytes: resident,
+		CacheBytes:    r.budget,
+		BlockSeries:   r.blockSeries,
+	}
+}
+
+// block returns block idx, loading it once no matter how many goroutines
+// ask: the miss path installs a not-yet-ready entry under the lock, loads
+// outside it, and closes ready; concurrent callers find the entry and wait.
+func (r *DiskReader) block(idx int) *cacheBlock {
+	r.mu.Lock()
+	if b, ok := r.blocks[idx]; ok {
+		r.moveToFront(b)
+		r.mu.Unlock()
+		r.hits.Add(1)
+		<-b.ready
+		if b.err != nil {
+			panic(fmt.Sprintf("storage: disk reader block %d: %v", idx, b.err))
+		}
+		return b
+	}
+	start := idx * r.blockSeries
+	n := min(r.blockSeries, r.count-start)
+	b := &cacheBlock{
+		idx:   idx,
+		bytes: int64(n) * int64(r.length) * 4,
+		ready: make(chan struct{}),
+	}
+	r.blocks[idx] = b
+	r.pushFront(b)
+	r.resident += b.bytes
+	r.evictLocked(b)
+	r.mu.Unlock()
+	r.misses.Add(1)
+
+	buf := make([]byte, n*r.length*4)
+	b.err = r.file.ReadBatchBytesInto(buf, int64(start))
+	if b.err == nil {
+		b.vals = make([]float32, n*r.length)
+		DecodeFloat32(b.vals, buf)
+	}
+	close(b.ready)
+	if b.err != nil {
+		// Drop the failed entry (unless eviction already did, or a later
+		// miss replaced it) so a retry re-reads the device.
+		r.mu.Lock()
+		if r.blocks[idx] == b {
+			delete(r.blocks, idx)
+			r.unlink(b)
+			r.resident -= b.bytes
+		}
+		r.mu.Unlock()
+		panic(fmt.Sprintf("storage: disk reader block %d: %v", idx, b.err))
+	}
+	return b
+}
+
+// evictLocked drops least-recently-used blocks until the budget holds,
+// never evicting keep (the block the caller is about to return). Evicting
+// a block that is still loading is safe: its loader and waiters hold their
+// own reference; only the cache forgets it.
+func (r *DiskReader) evictLocked(keep *cacheBlock) {
+	for r.resident > r.budget {
+		b := r.lru.prev
+		if b == &r.lru || b == keep {
+			return
+		}
+		delete(r.blocks, b.idx)
+		r.unlink(b)
+		r.resident -= b.bytes
+		r.evictions.Add(1)
+	}
+}
+
+func (r *DiskReader) pushFront(b *cacheBlock) {
+	b.prev, b.next = &r.lru, r.lru.next
+	b.prev.next, b.next.prev = b, b
+}
+
+func (r *DiskReader) unlink(b *cacheBlock) {
+	b.prev.next, b.next.prev = b.next, b.prev
+	b.prev, b.next = nil, nil
+}
+
+func (r *DiskReader) moveToFront(b *cacheBlock) {
+	if r.lru.next == b {
+		return
+	}
+	b.prev.next, b.next.prev = b.next, b.prev
+	r.pushFront(b)
+}

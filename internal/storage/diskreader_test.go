@@ -1,0 +1,175 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"dsidx/internal/series"
+)
+
+func newTestReader(t *testing.T, n, length int, opt DiskReaderOptions) (*DiskReader, *series.Collection) {
+	t.Helper()
+	coll := makeCollection(n, length)
+	f, err := WriteCollection(NewMemStore(), coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewDiskReader(f, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, coll
+}
+
+func TestDiskReaderMatchesCollection(t *testing.T) {
+	// A budget of 2 blocks over 100 series forces constant eviction; every
+	// series must still read back exactly, in any access order.
+	r, coll := newTestReader(t, 100, 16, DiskReaderOptions{BlockSeries: 8, CacheBytes: 2 * 8 * 16 * 4})
+	if r.Len() != coll.Len() || r.SeriesLen() != coll.SeriesLen() {
+		t.Fatalf("shape = (%d,%d), want (%d,%d)", r.Len(), r.SeriesLen(), coll.Len(), coll.SeriesLen())
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < coll.Len(); i++ {
+			// Alternate direction so the second pass runs anti-LRU.
+			j := i
+			if pass == 1 {
+				j = coll.Len() - 1 - i
+			}
+			got, want := r.At(j), coll.At(j)
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("pass %d series %d differs at %d: %v != %v", pass, j, k, got[k], want[k])
+				}
+			}
+		}
+	}
+	st := r.Stats()
+	if st.Evictions == 0 {
+		t.Error("2-block budget over 13 blocks evicted nothing")
+	}
+	if st.ResidentBytes > st.CacheBytes {
+		t.Errorf("resident %d exceeds budget %d", st.ResidentBytes, st.CacheBytes)
+	}
+}
+
+func TestDiskReaderCacheCounters(t *testing.T) {
+	r, _ := newTestReader(t, 64, 8, DiskReaderOptions{BlockSeries: 16})
+	// First touch of a block: miss. Same block again: hits.
+	r.At(0)
+	r.At(1)
+	r.At(15)
+	r.At(16) // second block
+	st := r.Stats()
+	if st.Misses != 2 || st.Hits != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 2/2", st.Hits, st.Misses)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Fatalf("HitRate = %v, want 0.5", got)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("evictions = %d with default budget", st.Evictions)
+	}
+}
+
+func TestDiskReaderBudgetClamp(t *testing.T) {
+	// A budget below one block is raised to one block, so a load can never
+	// evict the block it is returning.
+	r, coll := newTestReader(t, 32, 8, DiskReaderOptions{BlockSeries: 16, CacheBytes: 1})
+	if want := int64(16 * 8 * 4); r.Stats().CacheBytes != want {
+		t.Fatalf("CacheBytes = %d, want clamped %d", r.Stats().CacheBytes, want)
+	}
+	for i := 0; i < coll.Len(); i++ {
+		if got, want := r.At(i), coll.At(i); got[0] != want[0] {
+			t.Fatalf("series %d = %v, want %v", i, got[0], want[0])
+		}
+	}
+}
+
+func TestDiskReaderPrefetch(t *testing.T) {
+	r, _ := newTestReader(t, 64, 8, DiskReaderOptions{BlockSeries: 8})
+	r.Prefetch([]int32{0, 1, 2, 9, 10, 40})
+	st := r.Stats()
+	if st.Misses != 3 {
+		t.Fatalf("prefetch loaded %d blocks, want 3", st.Misses)
+	}
+	// The prefetched series are now hits.
+	r.At(0)
+	r.At(9)
+	r.At(40)
+	if st = r.Stats(); st.Misses != 3 || st.Hits < 3 {
+		t.Fatalf("post-prefetch reads: hits %d misses %d, want ≥3 hits and no new misses", st.Hits, st.Misses)
+	}
+}
+
+// TestDiskReaderSingleFlight hammers one cold region from many goroutines:
+// values must come back correct and each block must be read off the device
+// exactly once (misses == block count despite the concurrency).
+func TestDiskReaderSingleFlight(t *testing.T) {
+	const n, length, blockSeries = 256, 8, 16
+	coll := makeCollection(n, length)
+	disk := NewDisk(NewMemStore(), Unthrottled)
+	f, err := WriteCollection(disk, coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewDiskReader(f, DiskReaderOptions{BlockSeries: blockSeries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk.ResetMetrics() // drop the staging writes; count only cache loads
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if got, want := r.At(i), coll.At(i); got[3] != want[3] {
+					t.Errorf("series %d = %v, want %v", i, got[3], want[3])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := r.Stats()
+	if want := uint64(n / blockSeries); st.Misses != want {
+		t.Fatalf("misses = %d under 8 readers, want %d (single-flight)", st.Misses, want)
+	}
+	if ops := disk.Metrics().ReadOps; ops != int64(n/blockSeries) {
+		t.Fatalf("device read ops = %d, want %d", ops, n/blockSeries)
+	}
+}
+
+// TestDiskReaderDifferentialFileStore reads the same collection through a
+// DiskReader over a FileStore and over a MemStore: every series must be
+// bit-identical to the source — the float32 → LE bytes → float32 round trip
+// is exact on both backends.
+func TestDiskReaderDifferentialFileStore(t *testing.T) {
+	coll := makeCollection(50, 24)
+	fs, err := OpenFileStore(t.TempDir() + "/series.dsf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	readers := make([]*DiskReader, 2)
+	for i, store := range []Store{fs, Store(NewMemStore())} {
+		f, err := WriteCollection(store, coll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readers[i], err = NewDiskReader(f, DiskReaderOptions{BlockSeries: 7, CacheBytes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < coll.Len(); i++ {
+		want := coll.At(i)
+		a, b := readers[0].At(i), readers[1].At(i)
+		for k := range want {
+			if a[k] != want[k] || b[k] != want[k] {
+				t.Fatalf("series %d point %d: file %v, mem %v, want %v", i, k, a[k], b[k], want[k])
+			}
+		}
+	}
+}

@@ -55,6 +55,16 @@ func (l *LeafStore) Append(blob []byte) (LeafRef, error) {
 // Read loads a leaf blob back with a single device read, verifying the
 // length prefix against the reference.
 func (l *LeafStore) Read(ref LeafRef) ([]byte, error) {
+	// A LeafRef decoded from persisted bytes can be arbitrary garbage: a
+	// negative Len would panic in make below, a negative Offset in ReadAt,
+	// and a record past the store end cannot be valid. Decode paths must
+	// return ErrCorrupt, never panic — the invariant the format fuzzers pin.
+	// (Subtraction, not ref.Offset+4+Len > Size: a forged offset near
+	// MaxInt64 would wrap the addition negative and slip through.)
+	if ref.Len < 0 || ref.Offset < 0 || ref.Offset > l.store.Size()-4-int64(ref.Len) {
+		return nil, corruptf("leaf ref {offset %d, len %d} invalid for store of %d bytes",
+			ref.Offset, ref.Len, l.store.Size())
+	}
 	rec := make([]byte, 4+ref.Len)
 	if _, err := l.store.ReadAt(rec, ref.Offset); err != nil {
 		return nil, corruptf("leaf record at %d: %v", ref.Offset, err)

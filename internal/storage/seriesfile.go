@@ -58,15 +58,24 @@ func OpenSeriesFile(store Store) (*SeriesFile, error) {
 		return nil, corruptf("bad magic %q", hdr[:4])
 	}
 	length := int(binary.LittleEndian.Uint32(hdr[4:8]))
-	count := int64(binary.LittleEndian.Uint64(hdr[8:16]))
+	count := binary.LittleEndian.Uint64(hdr[8:16])
 	if length <= 0 {
 		return nil, corruptf("invalid series length %d", length)
 	}
-	need := seriesFileHeaderSize + count*int64(length)*4
+	// The count field is attacker-controlled bytes at this point. Converting
+	// it to int64 first would wrap values ≥ 2^63 negative — making `need`
+	// negative, passing the size check below, and returning a garbage file —
+	// and even positive counts can overflow count*length*4. Bound the count
+	// by what an int64 byte offset can address before any multiplication.
+	maxCount := uint64((math.MaxInt64 - seriesFileHeaderSize) / (int64(length) * 4))
+	if count > maxCount {
+		return nil, corruptf("series count %d overflows a %d-point file", count, length)
+	}
+	need := seriesFileHeaderSize + int64(count)*int64(length)*4
 	if store.Size() < need {
 		return nil, corruptf("file size %d below required %d", store.Size(), need)
 	}
-	return &SeriesFile{store: store, count: count, length: length}, nil
+	return &SeriesFile{store: store, count: int64(count), length: length}, nil
 }
 
 // Count returns the number of series in the file.
@@ -75,6 +84,9 @@ func (f *SeriesFile) Count() int64 { return f.count }
 // Length returns the number of points per series.
 func (f *SeriesFile) Length() int { return f.length }
 
+// offsetOf maps a series index to its byte offset. Safe from overflow for
+// any i ≤ f.count: OpenSeriesFile bounds the count so the last offset fits
+// an int64, and CreateSeriesFile/Append grow count only by real writes.
 func (f *SeriesFile) offsetOf(i int64) int64 {
 	return seriesFileHeaderSize + i*int64(f.length)*4
 }
@@ -129,7 +141,10 @@ func (f *SeriesFile) ReadBatchBytes(start, count int64) ([]byte, error) {
 // into a caller-provided buffer (enabling buffer pooling in hot pipelines).
 func (f *SeriesFile) ReadBatchBytesInto(buf []byte, start int64) error {
 	count := int64(len(buf)) / (int64(f.length) * 4)
-	if start < 0 || start+count > f.count || int64(len(buf))%(int64(f.length)*4) != 0 {
+	// start > f.count-count, not start+count > f.count: the subtraction form
+	// cannot overflow (count ≥ 0 and f.count is bounded by OpenSeriesFile's
+	// validation), while a huge start could wrap the addition negative.
+	if start < 0 || start > f.count-count || int64(len(buf))%(int64(f.length)*4) != 0 {
 		return fmt.Errorf("storage: batch [%d,%d) invalid for file of %d", start, start+count, f.count)
 	}
 	if _, err := f.store.ReadAt(buf, f.offsetOf(start)); err != nil {

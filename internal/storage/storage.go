@@ -164,10 +164,8 @@ type Disk struct {
 	profile Profile
 	scale   atomic.Uint64 // float64 bits; multiplier on injected latency
 
-	chans     []diskChannel
-	rr        atomic.Uint64 // round-robin channel picker
-	lastRead  atomic.Int64  // offset right after the previous read
-	lastWrite atomic.Int64
+	chans []diskChannel
+	rr    atomic.Uint64 // round-robin picker for non-sequential ops
 
 	bytesRead, bytesWritten atomic.Int64
 	readOps, writeOps       atomic.Int64
@@ -182,8 +180,10 @@ func NewDisk(store Store, profile Profile) *Disk {
 		par = 1
 	}
 	d := &Disk{store: store, profile: profile, chans: make([]diskChannel, par)}
-	d.lastRead.Store(-1)
-	d.lastWrite.Store(-1)
+	for i := range d.chans {
+		d.chans[i].lastRead.Store(-1)
+		d.chans[i].lastWrite.Store(-1)
+	}
 	d.scale.Store(math.Float64bits(1))
 	return d
 }
@@ -229,18 +229,55 @@ func (d *Disk) ResetMetrics() {
 // are accumulated as debt and paid in batches: operating-system timers
 // cannot sleep for tens of nanoseconds, and naively sleeping per tiny
 // sequential write would inflate modeled time by orders of magnitude.
+//
+// Each channel tracks the end offset of its previous read and write, so
+// sequential detection is per stream, not global: N concurrent sequential
+// scans each continue on their own channel and are charged seeks only when
+// they actually jump. (A single shared last-offset pair used to mark nearly
+// every op of parallel scans as a seek — wildly overstating HDD cost in
+// exactly the out-of-core experiments that run parallel streams.)
 type diskChannel struct {
-	mu   sync.Mutex
-	debt time.Duration
+	mu        sync.Mutex
+	debt      time.Duration
+	lastRead  atomic.Int64 // offset right after this channel's previous read
+	lastWrite atomic.Int64
 }
 
 // sleepGranularity is the smallest sleep worth issuing; debt below it
 // accumulates.
 const sleepGranularity = 200 * time.Microsecond
 
+// claim picks the channel an operation at [off, end) runs on and reports
+// whether it pays a seek: a channel whose previous access of the same kind
+// ended exactly at off is the continuation of that sequential stream (the
+// CompareAndSwap advances it to end atomically, so two racing continuations
+// cannot both claim it); with no match the op is a seek and lands on a
+// round-robin channel.
+func (d *Disk) claim(off, end int64, write bool) (ch *diskChannel, seek bool) {
+	for i := range d.chans {
+		c := &d.chans[i]
+		last := &c.lastRead
+		if write {
+			last = &c.lastWrite
+		}
+		if last.CompareAndSwap(off, end) {
+			return c, false
+		}
+	}
+	c := &d.chans[int(d.rr.Add(1)-1)%len(d.chans)]
+	if write {
+		c.lastWrite.Store(end)
+	} else {
+		c.lastRead.Store(end)
+	}
+	return c, true
+}
+
 // busy computes the modeled duration of a transfer of n bytes at bw with an
-// optional seek, then occupies one device channel for that long (scaled).
-func (d *Disk) busy(n int, bw float64, seek bool) time.Duration {
+// optional seek, then occupies the claimed device channel for that long
+// (scaled) — a sequential stream's ops serialize on their channel, while
+// independent streams overlap up to the profile's parallelism.
+func (d *Disk) busy(ch *diskChannel, n int, bw float64, seek bool) time.Duration {
 	var dur time.Duration
 	if seek {
 		dur += d.profile.Seek
@@ -252,7 +289,6 @@ func (d *Disk) busy(n int, bw float64, seek bool) time.Duration {
 		return 0
 	}
 	if scale := math.Float64frombits(d.scale.Load()); scale > 0 {
-		ch := &d.chans[int(d.rr.Add(1)-1)%len(d.chans)]
 		ch.mu.Lock()
 		ch.debt += time.Duration(float64(dur) * scale)
 		if ch.debt >= sleepGranularity {
@@ -270,9 +306,8 @@ func (d *Disk) busy(n int, bw float64, seek bool) time.Duration {
 
 // ReadAt reads from the store, charging device time.
 func (d *Disk) ReadAt(p []byte, off int64) (int, error) {
-	prevEnd := d.lastRead.Swap(off + int64(len(p)))
-	seek := off != prevEnd
-	dur := d.busy(len(p), d.profile.ReadBW, seek)
+	ch, seek := d.claim(off, off+int64(len(p)), false)
+	dur := d.busy(ch, len(p), d.profile.ReadBW, seek)
 	d.bytesRead.Add(int64(len(p)))
 	d.readOps.Add(1)
 	if seek {
@@ -284,9 +319,8 @@ func (d *Disk) ReadAt(p []byte, off int64) (int, error) {
 
 // WriteAt writes to the store, charging device time.
 func (d *Disk) WriteAt(p []byte, off int64) (int, error) {
-	prevEnd := d.lastWrite.Swap(off + int64(len(p)))
-	seek := off != prevEnd
-	dur := d.busy(len(p), d.profile.WriteBW, seek)
+	ch, seek := d.claim(off, off+int64(len(p)), true)
+	dur := d.busy(ch, len(p), d.profile.WriteBW, seek)
 	d.bytesWritten.Add(int64(len(p)))
 	d.writeOps.Add(1)
 	if seek {

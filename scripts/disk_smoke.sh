@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# disk_smoke.sh — assert the out-of-core tier is invisible to results and
+# actually caches: a tiny dsbench -diskjson run must report (a)
+# cold_matches_hot=true — every exact answer over the device-backed tier is
+# bit-identical to the hot build's — and (b) a best-budget cache hit rate
+# above zero, so refinement is actually being served from the block cache
+# rather than paying the device on every read.
+#
+# Usage: scripts/disk_smoke.sh [series] [queries]
+#
+# Used identically in CI (disk smoke step) and locally. Writes the full
+# machine-readable record next to the check so regressions are diagnosable
+# from the log.
+set -euo pipefail
+
+SERIES="${1:-6000}"
+QUERIES="${2:-4}"
+OUT="${BENCH_DISK_JSON:-/tmp/BENCH_disk.json}"
+
+go run ./cmd/dsbench -diskjson "$OUT" -series "$SERIES" -queries "$QUERIES"
+cat "$OUT"
+
+matches=$(awk -F': *' '/"cold_matches_hot"/ { gsub(/[,"]/, "", $2); print $2 }' "$OUT")
+if [ "$matches" != "true" ]; then
+    echo "disk smoke: cold_matches_hot=$matches — device-backed answers diverged from the hot build" >&2
+    exit 1
+fi
+
+best_hit=$(awk -F': *' '/"hit_rate"/ { gsub(/[,"]/, "", $2); if ($2 + 0 > best + 0) best = $2 } END { print best }' "$OUT")
+awk -v r="${best_hit:-0}" 'BEGIN {
+    if (r + 0 <= 0) {
+        print "disk smoke: best cache hit rate is zero — the block cache is not serving refinement reads"
+        exit 1
+    }
+    printf "disk smoke: cold answers match hot bit-for-bit; best cache hit rate %.3f\n", r
+}'
