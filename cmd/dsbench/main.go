@@ -14,6 +14,7 @@
 //	dsbench -shardedjson BENCH_sharded.json -shards 1,2,4
 //	dsbench -memjson BENCH_mem.json -series 20000 -shards 4
 //	dsbench -diskjson BENCH_disk.json -series 20000 -queries 8
+//	dsbench -metrics -series 4000
 //
 // The concurrent experiment is the serving-engine workload: it measures
 // MESSI throughput (queries/s) with the given numbers of queries in flight
@@ -38,17 +39,25 @@
 // (BENCH_mem.json) — the record behind the CI memory smoke step, which
 // asserts a sharded build keeps the base data resident once (bytes/series
 // within 1.1x of flat; see scripts/mem_smoke.sh).
+//
+// -metrics is the observability self-check behind scripts/metrics_smoke.sh:
+// it builds a small auto-tuned sharded index, drives appends and queries
+// through the public API, scrapes dsidx.MetricsHandler, validates the
+// exposition (format and required families) and prints it.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"dsidx"
 	"dsidx/internal/experiments"
+	"dsidx/internal/metrics"
 )
 
 func main() {
@@ -66,6 +75,7 @@ func main() {
 		shardedjson = flag.String("shardedjson", "", "write the machine-readable sharded benchmark to this path and exit")
 		memjson     = flag.String("memjson", "", "write the machine-readable memory-residency benchmark to this path and exit")
 		diskjson    = flag.String("diskjson", "", "write the machine-readable out-of-core tiering benchmark to this path and exit")
+		metricsDump = flag.Bool("metrics", false, "build a small index, scrape and validate its Prometheus metrics, print them, and exit")
 	)
 	flag.Parse()
 
@@ -103,6 +113,18 @@ func main() {
 		InFlightAxis: inflightAxis,
 		AppendRates:  appendRates,
 		ShardAxis:    shardAxis,
+	}
+
+	if *metricsDump {
+		n := *series
+		if n <= 0 {
+			n = 4000
+		}
+		if err := metricsSelfCheck(n); err != nil {
+			fmt.Fprintf(os.Stderr, "dsbench: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *benchjson != "" {
@@ -195,4 +217,63 @@ func main() {
 		}
 		fmt.Printf("  (experiment wall time: %v)\n\n", time.Since(t0).Round(time.Millisecond))
 	}
+}
+
+// metricsSelfCheck is the end-to-end observability check: public-API
+// index, real traffic, a scrape through dsidx.MetricsHandler, and format
+// plus required-family validation of what came back.
+func metricsSelfCheck(n int) error {
+	coll := dsidx.Generate(dsidx.Synthetic, n, 64, 2020)
+	idx, err := dsidx.NewSharded(coll,
+		dsidx.WithShards(2), dsidx.WithAutoTune(true), dsidx.WithMergeThreshold(256))
+	if err != nil {
+		return err
+	}
+	defer idx.Close()
+
+	extra := dsidx.Generate(dsidx.Synthetic, 64, 64, 2021)
+	for i := 0; i < extra.Len(); i++ {
+		if _, err := idx.Append(extra.At(i)); err != nil {
+			return err
+		}
+	}
+	qcoll := dsidx.GenerateQueries(dsidx.Synthetic, 4, 64, 2020)
+	qs := make([]dsidx.Series, qcoll.Len())
+	for i := range qs {
+		qs[i] = qcoll.At(i)
+	}
+	if _, err := idx.BatchSearch(qs); err != nil {
+		return err
+	}
+
+	rec := httptest.NewRecorder()
+	dsidx.MetricsHandler(idx).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		return fmt.Errorf("scrape status %d", rec.Code)
+	}
+	text := rec.Body.String()
+	fams, err := metrics.Parse(text)
+	if err != nil {
+		return fmt.Errorf("exposition failed validation: %w", err)
+	}
+	required := []string{
+		"dsidx_engine_workers", "dsidx_engine_queries_total", "dsidx_engine_tasks_total",
+		"dsidx_ingest_appended_total", "dsidx_ingest_pending", "dsidx_ingest_merges_total",
+		"dsidx_index_queries_total", "dsidx_index_query_seconds",
+		"dsidx_tuning_autotune", "dsidx_tuning_probe_leaves",
+		"dsidx_shards", "dsidx_shard_base_series", "dsidx_shard_appends_total",
+		"dsidx_cold_shards", "dsidx_cold_cache_hits_total", "dsidx_cold_device_reads_total",
+	}
+	var missing []string
+	for _, name := range required {
+		if _, ok := fams[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("exposition lacks required families: %s", strings.Join(missing, ", "))
+	}
+	fmt.Print(text)
+	fmt.Fprintf(os.Stderr, "dsbench: metrics OK: %d families, %d required present\n", len(fams), len(required))
+	return nil
 }

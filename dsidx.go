@@ -211,6 +211,7 @@ type options struct {
 	mergeThreshold int
 	probeLeaves    int
 	leafRawOff     bool
+	autoTune       bool
 	shards         int
 	shardPolicy    ShardPolicy
 	shardPolicySet bool
@@ -262,6 +263,16 @@ func WithMergeThreshold(n int) Option { return func(o *options) { o.mergeThresho
 // costs a few candidate distances up front and buys a tighter initial
 // bound, so more of the index is pruned without ever being touched.
 func WithProbeLeaves(p int) Option { return func(o *options) { o.probeLeaves = p } }
+
+// WithAutoTune enables the self-tuning feedback loop (default off): the
+// index watches its own query/append mix and adjusts the live probe-leaf
+// count and merge threshold around the configured values — more probes and
+// eager merges under query-heavy traffic, fewer probes and batched merges
+// under append-heavy traffic. Tuning never changes answers: ProbeLeaves
+// only seeds the best-so-far bound of an exact search, and MergeThreshold
+// only decides when pending appends (already searched exactly) move into
+// the tree. Inspect the live values with Metrics().Tuning.
+func WithAutoTune(enabled bool) Option { return func(o *options) { o.autoTune = enabled } }
 
 // WithLeafMaterialization toggles MESSI's leaf-ordered raw storage
 // (default enabled): every index leaf keeps a contiguous copy of its

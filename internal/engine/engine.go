@@ -38,6 +38,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Options configures an Engine.
@@ -66,14 +67,22 @@ func (o Options) normalize() Options {
 	return o
 }
 
-// Stats is a snapshot of the engine's throughput counters.
+// Stats is a snapshot of the engine's throughput counters. Snapshots
+// taken while writers run are internally consistent: every monotonic
+// counter is non-decreasing across successive snapshots, and
+// PeakInFlight >= InFlight always holds (Stats clamps the published
+// peak against the in-flight count it just read, closing the window
+// between a query bumping inFlight and raising the peak).
 type Stats struct {
-	Workers      int    // pool size
-	PendingTasks int    // tasks queued but not yet claimed by a worker
-	InFlight     int    // queries currently admitted via Admit
-	PeakInFlight int    // high-water mark of InFlight
-	Queries      uint64 // queries executed since creation, any entry path
-	Tasks        uint64 // tasks executed by pool workers since creation
+	Workers         int    // pool size
+	PendingTasks    int    // tasks queued but not yet claimed by a worker
+	InFlight        int    // queries currently admitted via Admit
+	PeakInFlight    int    // high-water mark of InFlight
+	Queries         uint64 // queries executed since creation, any entry path
+	Tasks           uint64 // tasks executed by pool workers since creation
+	AdmitWaits      uint64 // admissions that blocked on a full semaphore
+	AdmitWaitNanos  uint64 // total nanoseconds spent blocked in admission
+	SubmitFallbacks uint64 // trySubmit calls rejected by a full run queue
 }
 
 // Engine is a persistent worker pool shared by every query on one index.
@@ -104,6 +113,13 @@ type Engine struct {
 	queries   atomic.Uint64
 	tasksDone atomic.Uint64
 	active    atomic.Int64
+
+	// Saturation counters: how often admission had to block (and for how
+	// long), and how often an optional task was dropped because the run
+	// queue was full. Together they are the pool's overload signal.
+	admitWaits    atomic.Uint64
+	admitWaitNs   atomic.Uint64
+	submitDropped atomic.Uint64
 }
 
 // New starts an engine with opt.Workers pool goroutines. The pool is idle
@@ -254,6 +270,7 @@ func (e *Engine) trySubmit(fn func()) bool {
 		return true
 	default:
 		e.mu.RUnlock()
+		e.submitDropped.Add(1)
 		return false
 	}
 }
@@ -263,7 +280,14 @@ func (e *Engine) trySubmit(fn func()) bool {
 // by the batch and serve layers, while direct Search calls manage their own
 // concurrency.
 func (e *Engine) Admit() (release func()) {
-	e.sem <- struct{}{}
+	select {
+	case e.sem <- struct{}{}:
+	default:
+		t0 := time.Now()
+		e.sem <- struct{}{}
+		e.admitWaits.Add(1)
+		e.admitWaitNs.Add(uint64(time.Since(t0)))
+	}
 	return e.admitted()
 }
 
@@ -273,6 +297,14 @@ func (e *Engine) Admit() (release func()) {
 func (e *Engine) AdmitContext(ctx context.Context) (release func(), err error) {
 	select {
 	case e.sem <- struct{}{}:
+		return e.admitted(), nil
+	default:
+	}
+	t0 := time.Now()
+	select {
+	case e.sem <- struct{}{}:
+		e.admitWaits.Add(1)
+		e.admitWaitNs.Add(uint64(time.Since(t0)))
 		return e.admitted(), nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
@@ -339,13 +371,26 @@ func (e *Engine) FairShare() int {
 
 // Stats snapshots the throughput counters.
 func (e *Engine) Stats() Stats {
+	// Load inFlight before peak: admitted() bumps inFlight first and
+	// raises peak second, so a peak read after an inFlight read is >= any
+	// concurrent raiser's target — except the raiser that has bumped but
+	// not yet CASed, which the clamp below covers. The published snapshot
+	// therefore always satisfies PeakInFlight >= InFlight.
+	inFlight := int(e.inFlight.Load())
+	peak := int(e.peak.Load())
+	if inFlight > peak {
+		peak = inFlight
+	}
 	return Stats{
-		Workers:      e.opt.Workers,
-		PendingTasks: len(e.tasks),
-		InFlight:     int(e.inFlight.Load()),
-		PeakInFlight: int(e.peak.Load()),
-		Queries:      e.queries.Load(),
-		Tasks:        e.tasksDone.Load(),
+		Workers:         e.opt.Workers,
+		PendingTasks:    len(e.tasks),
+		InFlight:        inFlight,
+		PeakInFlight:    peak,
+		Queries:         e.queries.Load(),
+		Tasks:           e.tasksDone.Load(),
+		AdmitWaits:      e.admitWaits.Load(),
+		AdmitWaitNanos:  e.admitWaitNs.Load(),
+		SubmitFallbacks: e.submitDropped.Load(),
 	}
 }
 

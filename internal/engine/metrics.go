@@ -1,0 +1,50 @@
+package engine
+
+import "dsidx/internal/metrics"
+
+// RegisterMetrics wires the engine's stats into r as one metric family
+// set, sampled from Stats() at scrape time. Called once per registry —
+// a pool shared by N shards registers once, not per shard.
+func (e *Engine) RegisterMetrics(r *metrics.Registry) {
+	stat := func(f func(Stats) float64) func() float64 {
+		return func() float64 { return f(e.Stats()) }
+	}
+	r.MustRegister(
+		metrics.NewGaugeFunc(metrics.Opts{
+			Name: "dsidx_engine_workers",
+			Help: "Worker goroutines in the shared pool.",
+		}, stat(func(s Stats) float64 { return float64(s.Workers) })),
+		metrics.NewGaugeFunc(metrics.Opts{
+			Name: "dsidx_engine_tasks_pending",
+			Help: "Tasks queued but not yet claimed by a worker.",
+		}, stat(func(s Stats) float64 { return float64(s.PendingTasks) })),
+		metrics.NewGaugeFunc(metrics.Opts{
+			Name: "dsidx_engine_queries_inflight",
+			Help: "Queries currently admitted.",
+		}, stat(func(s Stats) float64 { return float64(s.InFlight) })),
+		metrics.NewGaugeFunc(metrics.Opts{
+			Name: "dsidx_engine_queries_inflight_peak",
+			Help: "High-water mark of admitted queries.",
+		}, stat(func(s Stats) float64 { return float64(s.PeakInFlight) })),
+		metrics.NewCounterFunc(metrics.Opts{
+			Name: "dsidx_engine_queries_total",
+			Help: "Logical queries executed since creation.",
+		}, stat(func(s Stats) float64 { return float64(s.Queries) })),
+		metrics.NewCounterFunc(metrics.Opts{
+			Name: "dsidx_engine_tasks_total",
+			Help: "Tasks executed by pool workers since creation.",
+		}, stat(func(s Stats) float64 { return float64(s.Tasks) })),
+		metrics.NewCounterFunc(metrics.Opts{
+			Name: "dsidx_engine_admit_waits_total",
+			Help: "Admissions that blocked on a full query-slot semaphore.",
+		}, stat(func(s Stats) float64 { return float64(s.AdmitWaits) })),
+		metrics.NewCounterFunc(metrics.Opts{
+			Name: "dsidx_engine_admit_wait_seconds_total",
+			Help: "Total seconds spent blocked in admission.",
+		}, stat(func(s Stats) float64 { return float64(s.AdmitWaitNanos) / 1e9 })),
+		metrics.NewCounterFunc(metrics.Opts{
+			Name: "dsidx_engine_submit_fallbacks_total",
+			Help: "Optional tasks (TrySubmit) rejected by a full run queue.",
+		}, stat(func(s Stats) float64 { return float64(s.SubmitFallbacks) })),
+	)
+}

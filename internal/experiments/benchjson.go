@@ -1,9 +1,7 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"time"
 
@@ -45,16 +43,6 @@ func header(schema string, cfg Config, w workload) BenchHeader {
 // machineBoundNote is the caveat stamped on every bench record.
 const machineBoundNote = "absolute numbers are machine-bound; compare points generated " +
 	"on the same hardware (see EXPERIMENTS.md)"
-
-// WriteBenchJSON writes any bench record, pretty-printed with a trailing
-// newline, to path — the one JSON writer every BENCH_*.json schema shares.
-func WriteBenchJSON(path string, record any) error {
-	data, err := json.MarshalIndent(record, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
-}
 
 // QueryBenchResult is the machine-readable query-performance record
 // dsbench -benchjson writes (BENCH_query.json): one trajectory point of

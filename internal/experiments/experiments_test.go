@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"encoding/json"
-	"os"
 	"strings"
 	"testing"
 )
@@ -109,6 +108,23 @@ func TestAllExperimentsSmoke(t *testing.T) {
 	}
 }
 
+// readOnlyRun loads path's trajectory envelope and returns its single
+// run's record, failing on any envelope malformation.
+func readOnlyRun(t *testing.T, path string) []byte {
+	t.Helper()
+	traj, err := loadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := traj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Runs) != 1 {
+		t.Fatalf("want a one-run trajectory, got %d runs", len(traj.Runs))
+	}
+	return traj.Runs[0].Record
+}
+
 // TestRunQueryBench validates the machine-readable trajectory record the
 // dsbench -benchjson flag and the CI bench-smoke step produce.
 func TestRunQueryBench(t *testing.T) {
@@ -140,10 +156,7 @@ func TestRunQueryBench(t *testing.T) {
 	if err := res.WriteJSON(path); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	data := readOnlyRun(t, path)
 	var back QueryBenchResult
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatalf("round-trip: %v", err)
@@ -151,8 +164,8 @@ func TestRunQueryBench(t *testing.T) {
 	if back.NsPerQuery != res.NsPerQuery || back.SeriesCount != res.SeriesCount {
 		t.Errorf("round-trip mismatch: %+v vs %+v", back, res)
 	}
-	// The shared envelope keys must stay flat (embedding, not nesting) so
-	// historical BENCH_query.json files remain comparable.
+	// The shared header keys must stay flat inside the record (embedding,
+	// not nesting) so historical trajectory points remain comparable.
 	var flat map[string]any
 	if err := json.Unmarshal(data, &flat); err != nil {
 		t.Fatal(err)
@@ -196,10 +209,7 @@ func TestRunShardedBench(t *testing.T) {
 	if err := res.WriteJSON(path); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	data := readOnlyRun(t, path)
 	var back ShardedBenchResult
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatalf("round-trip: %v", err)
@@ -257,10 +267,7 @@ func TestRunMemBench(t *testing.T) {
 	if err := res.WriteJSON(path); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	data := readOnlyRun(t, path)
 	var back MemBenchResult
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatalf("round-trip: %v", err)
@@ -283,8 +290,18 @@ func TestRunMemBench(t *testing.T) {
 
 func TestDiskBenchWriteJSON(t *testing.T) {
 	res := &DiskBenchResult{
-		BenchHeader:    BenchHeader{Schema: "dsidx-bench-disk/v1"},
+		BenchHeader: BenchHeader{
+			Schema:      "dsidx-bench-disk/v1",
+			GeneratedAt: "2026-01-01T00:00:00Z",
+			GOMAXPROCS:  1,
+			Workers:     1,
+			SeriesCount: 100,
+			SeriesLen:   16,
+			QueryCount:  2,
+		},
 		Shards:         4,
+		BlockSeries:    64,
+		Device:         "test",
 		ColdMatchesHot: true,
 		ColdOverFlat:   0.2,
 		Points:         []diskPoint{{CacheBytes: 1 << 20, HitRate: 0.5}},
@@ -293,10 +310,7 @@ func TestDiskBenchWriteJSON(t *testing.T) {
 	if err := res.WriteJSON(path); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatal(err)
-	}
+	data := readOnlyRun(t, path)
 	var flat map[string]any
 	if err := json.Unmarshal(data, &flat); err != nil {
 		t.Fatal(err)

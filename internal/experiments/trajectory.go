@@ -1,0 +1,185 @@
+package experiments
+
+// BENCH_*.json files are trajectories, not snapshots: each dsbench run
+// upserts one point keyed by its experiment configuration, so re-running
+// the same configuration replaces its point instead of silently
+// duplicating it, while new configurations accumulate side by side. The
+// writer validates both the record and the assembled envelope before
+// touching the file, so a committed trajectory can never go malformed
+// through the normal path. Pre-trajectory files (a bare record at top
+// level) migrate in place: the old record becomes one run keyed
+// "legacy:<schema>".
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// TrajectorySchema tags the envelope every BENCH_*.json file now carries.
+const TrajectorySchema = "dsidx-bench-trajectory/v1"
+
+// BenchRecord is one benchmark result the shared writer can persist:
+// anything with the shared header (validation) and a stable configuration
+// key (dedupe).
+type BenchRecord interface {
+	// ConfigKey identifies the experiment configuration that produced the
+	// record — the workload shape, not the measured numbers — so repeat
+	// runs of one configuration replace each other in a trajectory.
+	ConfigKey() string
+	// Validate rejects a malformed record before it reaches disk.
+	Validate() error
+}
+
+// Validate checks the shared envelope fields every record embeds; the
+// four result types inherit it, so implementing BenchRecord only requires
+// a ConfigKey.
+func (h BenchHeader) Validate() error {
+	if !strings.HasPrefix(h.Schema, "dsidx-bench-") || !strings.Contains(h.Schema, "/v") {
+		return fmt.Errorf("schema %q is not a versioned dsidx-bench schema", h.Schema)
+	}
+	if _, err := time.Parse(time.RFC3339, h.GeneratedAt); err != nil {
+		return fmt.Errorf("generated_at %q is not RFC 3339: %w", h.GeneratedAt, err)
+	}
+	if h.GOMAXPROCS <= 0 || h.Workers <= 0 {
+		return fmt.Errorf("implausible machine shape: gomaxprocs %d, workers %d", h.GOMAXPROCS, h.Workers)
+	}
+	if h.SeriesCount <= 0 || h.SeriesLen <= 0 || h.QueryCount < 0 {
+		return fmt.Errorf("implausible workload shape: %d series of length %d, %d queries",
+			h.SeriesCount, h.SeriesLen, h.QueryCount)
+	}
+	return nil
+}
+
+// ConfigKey identifies a query-benchmark configuration.
+func (r *QueryBenchResult) ConfigKey() string {
+	return fmt.Sprintf("query:series=%d,len=%d,queries=%d,workers=%d",
+		r.SeriesCount, r.SeriesLen, r.QueryCount, r.Workers)
+}
+
+// ConfigKey identifies a sharded-sweep configuration.
+func (r *ShardedBenchResult) ConfigKey() string {
+	return fmt.Sprintf("sharded:series=%d,len=%d,queries=%d,workers=%d,policy=%s",
+		r.SeriesCount, r.SeriesLen, r.QueryCount, r.Workers, r.Policy)
+}
+
+// ConfigKey identifies a memory-residency configuration.
+func (r *MemBenchResult) ConfigKey() string {
+	return fmt.Sprintf("mem:series=%d,len=%d,shards=%d", r.SeriesCount, r.SeriesLen, r.Shards)
+}
+
+// ConfigKey identifies an out-of-core configuration.
+func (r *DiskBenchResult) ConfigKey() string {
+	return fmt.Sprintf("disk:series=%d,len=%d,queries=%d,shards=%d,block=%d,device=%s",
+		r.SeriesCount, r.SeriesLen, r.QueryCount, r.Shards, r.BlockSeries, r.Device)
+}
+
+// BenchTrajectory is the on-disk envelope of a BENCH_*.json file.
+type BenchTrajectory struct {
+	Schema string     `json:"schema"`
+	Runs   []BenchRun `json:"runs"`
+}
+
+// BenchRun is one trajectory point: a configuration key and the record it
+// produced, kept raw so every schema shares the envelope.
+type BenchRun struct {
+	ConfigKey string          `json:"config_key"`
+	Record    json.RawMessage `json:"record"`
+}
+
+// Validate checks the envelope invariants the writer maintains: the
+// trajectory schema tag, non-empty unique configuration keys, and a
+// schema-tagged JSON object behind every run.
+func (t *BenchTrajectory) Validate() error {
+	if t.Schema != TrajectorySchema {
+		return fmt.Errorf("envelope schema %q, want %q", t.Schema, TrajectorySchema)
+	}
+	seen := make(map[string]bool, len(t.Runs))
+	for i, run := range t.Runs {
+		if run.ConfigKey == "" {
+			return fmt.Errorf("run %d has an empty config_key", i)
+		}
+		if seen[run.ConfigKey] {
+			return fmt.Errorf("duplicate config_key %q", run.ConfigKey)
+		}
+		seen[run.ConfigKey] = true
+		var obj map[string]any
+		if err := json.Unmarshal(run.Record, &obj); err != nil {
+			return fmt.Errorf("run %q: record is not a JSON object: %w", run.ConfigKey, err)
+		}
+		if s, _ := obj["schema"].(string); !strings.HasPrefix(s, "dsidx-bench-") {
+			return fmt.Errorf("run %q: record schema %v is not a dsidx-bench schema", run.ConfigKey, obj["schema"])
+		}
+	}
+	return nil
+}
+
+// upsert replaces the run with key's record, or appends a new run.
+func (t *BenchTrajectory) upsert(key string, rec json.RawMessage) {
+	for i := range t.Runs {
+		if t.Runs[i].ConfigKey == key {
+			t.Runs[i].Record = rec
+			return
+		}
+	}
+	t.Runs = append(t.Runs, BenchRun{ConfigKey: key, Record: rec})
+}
+
+// loadTrajectory reads path's existing trajectory: an empty one when the
+// file does not exist, the parsed envelope when it is already a
+// trajectory, and a one-run migration when it is a pre-trajectory bare
+// record. Anything else is an error — the writer refuses to clobber a
+// file it cannot interpret.
+func loadTrajectory(path string) (*BenchTrajectory, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &BenchTrajectory{Schema: TrajectorySchema}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var traj BenchTrajectory
+	if err := json.Unmarshal(data, &traj); err == nil && traj.Schema == TrajectorySchema {
+		return &traj, nil
+	}
+	var legacy struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &legacy); err != nil || !strings.HasPrefix(legacy.Schema, "dsidx-bench-") {
+		return nil, fmt.Errorf("experiments: %s is neither a bench trajectory nor a bench record", path)
+	}
+	return &BenchTrajectory{
+		Schema: TrajectorySchema,
+		Runs:   []BenchRun{{ConfigKey: "legacy:" + legacy.Schema, Record: json.RawMessage(data)}},
+	}, nil
+}
+
+// WriteBenchJSON upserts record into the trajectory at path — the one
+// writer every BENCH_*.json schema funnels through. The record is
+// validated before the file is read, and the assembled envelope before it
+// is written; a failed write leaves the existing file untouched.
+func WriteBenchJSON(path string, record BenchRecord) error {
+	if err := record.Validate(); err != nil {
+		return fmt.Errorf("experiments: invalid bench record for %s: %w", path, err)
+	}
+	data, err := json.Marshal(record)
+	if err != nil {
+		return err
+	}
+	traj, err := loadTrajectory(path)
+	if err != nil {
+		return err
+	}
+	traj.upsert(record.ConfigKey(), data)
+	if err := traj.Validate(); err != nil {
+		return fmt.Errorf("experiments: refusing to write malformed trajectory to %s: %w", path, err)
+	}
+	out, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

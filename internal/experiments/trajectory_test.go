@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// memRecord builds a valid MemBenchResult for trajectory tests; the
+// shape fields feed ConfigKey, ratio distinguishes repeat runs.
+func memRecord(seriesCount, shards int, ratio float64) *MemBenchResult {
+	return &MemBenchResult{
+		BenchHeader: BenchHeader{
+			Schema:      "dsidx-bench-mem/v1",
+			GeneratedAt: "2026-01-02T03:04:05Z",
+			GOMAXPROCS:  1,
+			Workers:     2,
+			SeriesCount: seriesCount,
+			SeriesLen:   64,
+		},
+		Shards:          shards,
+		ShardedOverFlat: ratio,
+	}
+}
+
+func TestTrajectoryUpsertDedupesByConfigKey(t *testing.T) {
+	path := t.TempDir() + "/BENCH_mem.json"
+
+	// Same configuration twice: the second run replaces the first.
+	if err := WriteBenchJSON(path, memRecord(1000, 4, 1.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBenchJSON(path, memRecord(1000, 4, 1.05)); err != nil {
+		t.Fatal(err)
+	}
+	traj, err := loadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Runs) != 1 {
+		t.Fatalf("repeat run duplicated: %d runs", len(traj.Runs))
+	}
+	var back MemBenchResult
+	if err := json.Unmarshal(traj.Runs[0].Record, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ShardedOverFlat != 1.05 {
+		t.Fatalf("upsert kept the stale record: ratio %v", back.ShardedOverFlat)
+	}
+
+	// A different configuration accumulates alongside.
+	if err := WriteBenchJSON(path, memRecord(2000, 4, 1.04)); err != nil {
+		t.Fatal(err)
+	}
+	traj, err = loadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Runs) != 2 {
+		t.Fatalf("new configuration did not accumulate: %d runs", len(traj.Runs))
+	}
+	if err := traj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{traj.Runs[0].ConfigKey, traj.Runs[1].ConfigKey}
+	if keys[0] == keys[1] || keys[0] == "" {
+		t.Fatalf("config keys %q", keys)
+	}
+}
+
+func TestTrajectoryMigratesLegacyFile(t *testing.T) {
+	path := t.TempDir() + "/BENCH_mem.json"
+	// A pre-trajectory file: the bare record at top level.
+	legacy, err := json.MarshalIndent(memRecord(500, 2, 1.2), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := WriteBenchJSON(path, memRecord(1000, 4, 1.05)); err != nil {
+		t.Fatal(err)
+	}
+	traj, err := loadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Runs) != 2 {
+		t.Fatalf("migration produced %d runs, want legacy + new", len(traj.Runs))
+	}
+	if got := traj.Runs[0].ConfigKey; got != "legacy:dsidx-bench-mem/v1" {
+		t.Fatalf("legacy run keyed %q", got)
+	}
+	var back MemBenchResult
+	if err := json.Unmarshal(traj.Runs[0].Record, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SeriesCount != 500 || back.ShardedOverFlat != 1.2 {
+		t.Fatalf("legacy record mangled: %+v", back)
+	}
+}
+
+func TestWriteBenchJSONRejectsInvalidRecord(t *testing.T) {
+	path := t.TempDir() + "/BENCH_mem.json"
+	bad := memRecord(1000, 4, 1.0)
+	bad.GeneratedAt = "yesterday-ish"
+	if err := WriteBenchJSON(path, bad); err == nil {
+		t.Fatal("malformed generated_at accepted")
+	}
+	bad = memRecord(1000, 4, 1.0)
+	bad.Schema = "something-else/v1"
+	if err := WriteBenchJSON(path, bad); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+	bad = memRecord(0, 4, 1.0)
+	if err := WriteBenchJSON(path, bad); err == nil {
+		t.Fatal("zero series count accepted")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("a rejected record still touched the file")
+	}
+}
+
+func TestWriteBenchJSONRefusesUnrecognizedFile(t *testing.T) {
+	path := t.TempDir() + "/BENCH_mem.json"
+	if err := os.WriteFile(path, []byte(`{"hello":"world"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteBenchJSON(path, memRecord(1000, 4, 1.0))
+	if err == nil || !strings.Contains(err.Error(), "neither") {
+		t.Fatalf("unrecognized file clobbered (err %v)", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != `{"hello":"world"}` {
+		t.Fatalf("refused write still modified the file: %q, %v", data, err)
+	}
+}

@@ -61,7 +61,7 @@ func (ix *Index) Append(s series.Series) (int, error) {
 	ix.saxLog.Append(ix.ingestBf)
 	ix.appended.Add(1) // publish: values and summary precede the count
 	ix.ingestMu.Unlock()
-	ix.appends.Add(1)
+	ix.maybeTune()
 	ix.maybeScheduleMerge()
 	return pos, nil
 }
@@ -85,7 +85,7 @@ func (ix *Index) AppendBatch(ss []series.Series) (int, error) {
 	}
 	ix.appended.Add(int64(len(ss)))
 	ix.ingestMu.Unlock()
-	ix.appends.Add(uint64(len(ss)))
+	ix.maybeTune()
 	ix.maybeScheduleMerge()
 	return start, nil
 }
@@ -99,7 +99,12 @@ func (ix *Index) Pending() int {
 	return int(ix.appended.Load()) - mergedA
 }
 
-// IngestStats is a snapshot of the write path's counters.
+// IngestStats is a snapshot of the write path's counters. Snapshots are
+// internally consistent even while appenders and merges run: on a
+// freshly created index Appended == Merged + Pending holds exactly, on a
+// loaded one Appended counts only post-load appends (so Merged + Pending
+// - Appended is the restored count, a constant). The race-stress test in
+// ingest_stats_test.go pins these invariants.
 type IngestStats struct {
 	// Appended counts series accepted by Append/AppendBatch since the index
 	// was created (or loaded).
@@ -111,19 +116,33 @@ type IngestStats struct {
 	Merged int
 	// Merges counts completed merge cycles.
 	Merges uint64
-	// MergeThreshold is the delta size that triggers a background merge.
+	// SnapshotSwaps counts atomically installed tree snapshots — merge
+	// cycles that published a new tree.
+	SnapshotSwaps uint64
+	// MergeThreshold is the delta size that triggers a background merge —
+	// the live value, which AutoTune may have moved off the configured one.
 	MergeThreshold int
 }
 
 // IngestStats snapshots the write path's counters.
+//
+// Every field is derived from two loads — the snapshot pointer, then the
+// published append count — in that order, so the arithmetic relations
+// between Appended, Pending and Merged hold in every snapshot. (The
+// previous implementation read an independent lifetime-appends counter
+// first, which could run behind the published count it was compared
+// against and make Appended < Merged + Pending under concurrent
+// appends.)
 func (ix *Index) IngestStats() IngestStats {
 	snap := ix.snap.Load()
+	a := ix.appended.Load() // after snap: a >= snap.mergedA
 	return IngestStats{
-		Appended:       ix.appends.Load(),
-		Pending:        int(ix.appended.Load()) - snap.mergedA,
+		Appended:       uint64(a - ix.restored),
+		Pending:        int(a) - snap.mergedA,
 		Merged:         snap.mergedA,
 		Merges:         ix.merges.Load(),
-		MergeThreshold: ix.opt.MergeThreshold,
+		SnapshotSwaps:  ix.snapSwaps.Load(),
+		MergeThreshold: ix.mergeThresholdNow(),
 	}
 }
 
@@ -132,7 +151,7 @@ func (ix *Index) IngestStats() IngestStats {
 // scheduled (the engine refuses background work during shutdown); the delta
 // keeps absorbing appends and Flush remains available.
 func (ix *Index) maybeScheduleMerge() {
-	if ix.Pending() < ix.opt.MergeThreshold {
+	if ix.Pending() < ix.mergeThresholdNow() {
 		return
 	}
 	if !ix.merging.CompareAndSwap(false, true) {
@@ -153,11 +172,11 @@ func (ix *Index) maybeScheduleMerge() {
 // searchable and mergeable via Flush.
 func (ix *Index) backgroundMerge() {
 	for {
-		for ix.Pending() >= ix.opt.MergeThreshold && !ix.eng.Closing() {
+		for ix.Pending() >= ix.mergeThresholdNow() && !ix.eng.Closing() {
 			ix.mergeOnce()
 		}
 		ix.merging.Store(false)
-		if ix.eng.Closing() || ix.Pending() < ix.opt.MergeThreshold ||
+		if ix.eng.Closing() || ix.Pending() < ix.mergeThresholdNow() ||
 			!ix.merging.CompareAndSwap(false, true) {
 			return
 		}
@@ -276,6 +295,7 @@ func (ix *Index) mergeOnce() {
 	// baseSAX and the saxLog, both immutable below the published counts;
 	// Encode materializes a flat array from them on demand.
 	ix.snap.Store(&snapshot{tree: next, mergedA: total})
+	ix.snapSwaps.Add(1)
 	ix.merges.Add(1)
 }
 
@@ -397,6 +417,7 @@ func Decode(data []byte, coll series.Reader, opt Options) (*Index, error) {
 		ix.saxLog.Append(sums[i*cfg.Segments : (i+1)*cfg.Segments])
 	}
 	ix.appended.Store(int64(a))
+	ix.restored = int64(a) // IngestStats.Appended counts post-load appends only
 	// The serialized form carries no leaf raw blocks (values exist in the
 	// collection and append store already, and the format predates the
 	// layout) — rebuild leaf-ordered storage from them, resolving merged

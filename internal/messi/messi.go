@@ -49,6 +49,7 @@ import (
 
 	"dsidx/internal/core"
 	"dsidx/internal/engine"
+	"dsidx/internal/metrics"
 	"dsidx/internal/series"
 	"dsidx/internal/xsync"
 )
@@ -88,6 +89,14 @@ type Options struct {
 	// more of the index — the net raw-distance count must not grow, which
 	// the pruning regression test enforces for the default.
 	ProbeLeaves int
+	// AutoTune lets the index adjust the live ProbeLeaves and
+	// MergeThreshold values from the observed query/append mix (tune.go).
+	// Tuning never changes answers: ProbeLeaves only affects how the
+	// best-so-far is seeded before the exact phase, and MergeThreshold
+	// only decides when the delta folds into the tree — both paths are
+	// answer-invariant by construction, and the conformance harness
+	// randomly enables tuning to enforce it.
+	AutoTune bool
 	// DisableLeafRaw turns off leaf-ordered raw storage. By default every
 	// leaf keeps a contiguous copy of its series' values (filled at build,
 	// carried through splits and live merges), so leaf refinement streams
@@ -184,12 +193,38 @@ type Index struct {
 	mergeMu  sync.Mutex // serializes merges (background and Flush)
 	merging  atomic.Bool
 	merges   atomic.Uint64
-	appends  atomic.Uint64
+	// restored is the appended count carried in from Decode, so
+	// IngestStats.Appended counts only series accepted since this Index
+	// was created or loaded. Written once before the index is shared.
+	restored int64
+	// snapSwaps counts snapshot installs (merge cycles that actually
+	// published a new tree).
+	snapSwaps atomic.Uint64
+
+	// searches counts Shared-entry searches served by this index (for a
+	// sharded index: this shard's sub-searches); queryDur is their
+	// latency histogram. Both feed the metrics registry and the tuner.
+	searches atomic.Uint64
+	queryDur *metrics.Histogram
+
+	// Live tuning state (tune.go): the knob values queries and merges
+	// actually read. They start at the configured options and move only
+	// when Options.AutoTune is set.
+	probeLive   atomic.Int32
+	mergeLive   atomic.Int32
+	tuneOps     atomic.Uint64 // queries+appends since creation, drives the retune cadence
+	tuneAdjusts atomic.Uint64
+	tuneMu      sync.Mutex // serializes retunes; guards lastQ/lastA
+	lastQ       uint64
+	lastA       uint64
 
 	eng     *engine.Engine
 	engRef  *engineRef
 	scratch sync.Pool // *searchScratch, sized for cfg/opt
 	lbPool  sync.Pool // *lbScratch, one per concurrently running task
+
+	regOnce sync.Once
+	reg     *metrics.Registry
 }
 
 // engineRef pairs the index's engine reference with a once, so Close and
@@ -233,6 +268,12 @@ func (ix *Index) initLive(tree *core.Tree, baseSAX *core.SAXArray, mergedA int) 
 		}
 	}
 	ix.snap.Store(&snapshot{tree: tree, mergedA: mergedA})
+	ix.probeLive.Store(int32(ix.opt.ProbeLeaves))
+	ix.mergeLive.Store(int32(ix.opt.MergeThreshold))
+	ix.queryDur = metrics.NewHistogram(metrics.Opts{
+		Name: "dsidx_index_query_seconds",
+		Help: "Search latency per index (sub-searches for a sharded index).",
+	}, metrics.LatencyBuckets)
 	if ix.opt.Engine != nil {
 		ix.eng = ix.opt.Engine.Retain()
 	} else {
@@ -270,10 +311,15 @@ func (ix *Index) AdmitContext(ctx context.Context) (release func(), err error) {
 // MaxInFlight returns the admission bound on concurrently admitted queries.
 func (ix *Index) MaxInFlight() int { return ix.eng.MaxInFlight() }
 
-// ProbeLeaves returns the configured approximate-phase probe count (the
-// per-query QueryStats.ProbeLeaves may be lower when a query's root
-// subtree holds fewer leaves).
-func (ix *Index) ProbeLeaves() int { return ix.opt.ProbeLeaves }
+// ProbeLeaves returns the live approximate-phase probe count — the
+// configured value unless AutoTune has moved it (the per-query
+// QueryStats.ProbeLeaves may be lower when a query's root subtree holds
+// fewer leaves).
+func (ix *Index) ProbeLeaves() int { return ix.probeLeavesNow() }
+
+// Searches returns the number of Shared-entry searches this index has
+// served — for a sharded index, this shard's sub-search count.
+func (ix *Index) Searches() uint64 { return ix.searches.Load() }
 
 // Build creates a MESSI index over coll — any read-only collection: the
 // flat in-memory RawData array of the paper, or a position-remapping

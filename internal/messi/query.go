@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dsidx/internal/core"
 	"dsidx/internal/engine"
@@ -175,7 +176,7 @@ func (ix *Index) forDeltaBounds(table *isax.QueryTable, lo, hi int, st *QuerySta
 func (ix *Index) probeLeaves(sc *searchScratch, t *core.Tree, stats *QueryStats,
 	refine func(leaf *core.Node, limit float64, st *QueryStats, lb *lbScratch)) {
 	lb := ix.getLB()
-	sc.probed = append(sc.probed[:0], t.BestLeavesApprox(sc.qsax, sc.qpaa, ix.opt.ProbeLeaves)...)
+	sc.probed = append(sc.probed[:0], t.BestLeavesApprox(sc.qsax, sc.qpaa, ix.probeLeavesNow())...)
 	for _, leaf := range sc.probed {
 		stats.ProbeLeaves++
 		refine(leaf, 0, stats, lb)
@@ -201,12 +202,23 @@ func identPos(p int32) int32 { return p }
 // one shard's branch of a scatter-gather query, recognizable by its
 // non-nil position map — contributes to pool scheduling (FairShare) but
 // not to the Queries throughput counter: the sharding layer counts the
-// logical query exactly once.
+// logical query exactly once. Every search flavor funnels through here,
+// so the returned end also feeds the index's own observability surface
+// (per-index search count and latency histogram) and gives the tuner
+// its per-query tick.
 func (ix *Index) beginQuery(sub bool) (end func()) {
-	if sub {
-		return ix.eng.BeginSubQuery()
+	t0 := time.Now()
+	endEng := ix.eng.BeginSubQuery
+	if !sub {
+		endEng = ix.eng.BeginQuery
 	}
-	return ix.eng.BeginQuery()
+	endE := endEng()
+	return func() {
+		endE()
+		ix.searches.Add(1)
+		ix.queryDur.Observe(time.Since(t0).Seconds())
+		ix.maybeTune()
+	}
 }
 
 // sharedCut prepares the cross-index search state: the view (its delta
@@ -603,7 +615,7 @@ func (ix *Index) SearchApproximateShared(q series.Series, mapPos func(int32) int
 	sc.summarizeQuery(q)
 
 	best := core.NoResult()
-	for _, leaf := range v.snap.tree.BestLeavesApprox(sc.qsax, sc.qpaa, ix.opt.ProbeLeaves) {
+	for _, leaf := range v.snap.tree.BestLeavesApprox(sc.qsax, sc.qpaa, ix.probeLeavesNow()) {
 		for i := range leaf.Pos {
 			if leaf.Pos[i] >= posLimit {
 				continue

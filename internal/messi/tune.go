@@ -1,0 +1,112 @@
+package messi
+
+// Self-tuning (Options.AutoTune): the first feedback loop closed over
+// the metrics layer. The index watches its own query/append mix and
+// moves the two workload-sensitive knobs — ProbeLeaves and
+// MergeThreshold — between bounds derived from their configured values.
+//
+// The safety argument is structural, not empirical: ProbeLeaves only
+// decides how many leaves seed the best-so-far before the exact phase
+// (any seed yields the same exact answer, just different pruning work),
+// and MergeThreshold only decides when the delta buffer folds into the
+// tree (queries exact-scan the delta either way). Neither knob can
+// change an answer, so tuning is invisible to correctness — the
+// conformance harness randomly enables AutoTune on every run and
+// compares bit-identically against the serial oracle to keep it that
+// way.
+
+const (
+	// tuneWindow is the retune cadence in operations (queries + appends).
+	// Power of two so the trigger is a mask, not a division.
+	tuneWindow = 256
+
+	// Knob bounds: live values stay within a 4x band of the configured
+	// ones (and inside the absolute limits), so a pathological window can
+	// never run the knobs to extremes.
+	maxProbeLeaves    = 8
+	minMergeThreshold = 64
+	maxMergeThreshold = 1 << 18
+)
+
+// probeLeavesNow is the live probe count queries read; mergeThresholdNow
+// is the live threshold the merge scheduler reads. Without AutoTune both
+// stay at the configured values for the index's lifetime.
+func (ix *Index) probeLeavesNow() int    { return int(ix.probeLive.Load()) }
+func (ix *Index) mergeThresholdNow() int { return int(ix.mergeLive.Load()) }
+
+// Tuning is a snapshot of the self-tuning state.
+type Tuning struct {
+	AutoTune       bool   // whether the feedback loop is active
+	ProbeLeaves    int    // live probe count (== configured when !AutoTune)
+	MergeThreshold int    // live merge threshold
+	Adjustments    uint64 // knob changes applied since creation
+}
+
+// Tuning snapshots the live knob values and the adjustment count.
+func (ix *Index) Tuning() Tuning {
+	return Tuning{
+		AutoTune:       ix.opt.AutoTune,
+		ProbeLeaves:    ix.probeLeavesNow(),
+		MergeThreshold: ix.mergeThresholdNow(),
+		Adjustments:    ix.tuneAdjusts.Load(),
+	}
+}
+
+// maybeTune is called once per query and once per append (batch); every
+// tuneWindow-th call runs a retune over the window's traffic. The fast
+// path is one atomic add and a mask test.
+func (ix *Index) maybeTune() {
+	if !ix.opt.AutoTune {
+		return
+	}
+	if ix.tuneOps.Add(1)%tuneWindow != 0 {
+		return
+	}
+	ix.retune()
+}
+
+// retune classifies the last window's query/append mix and moves the
+// live knobs toward the matching operating point:
+//
+//   - query-heavy (>=4 queries per append): probe more leaves — a
+//     tighter best-so-far seed prunes more of the tree, which pays off
+//     when queries dominate — and merge the delta sooner, since the
+//     per-query delta-scan tax is being paid often.
+//   - append-heavy (>=4 appends per query): probe the minimum and let
+//     the delta grow larger before merging, trading rare-query latency
+//     for fewer merge cycles in the write path.
+//   - mixed: return to the configured values.
+//
+// Adjustments move knobs directly to the target (the targets are already
+// bounded), so oscillation is bounded by the window cadence.
+func (ix *Index) retune() {
+	ix.tuneMu.Lock()
+	defer ix.tuneMu.Unlock()
+	q := ix.searches.Load()
+	a := uint64(ix.appended.Load())
+	dq, da := q-ix.lastQ, a-ix.lastA
+	ix.lastQ, ix.lastA = q, a
+
+	cfgProbe, cfgMerge := ix.opt.ProbeLeaves, ix.opt.MergeThreshold
+	probe, merge := cfgProbe, cfgMerge
+	switch {
+	case dq >= 4*da:
+		probe = min(cfgProbe+2, maxProbeLeaves)
+		merge = max(cfgMerge/4, minMergeThreshold)
+	case da >= 4*dq:
+		probe = max(cfgProbe-1, 1)
+		merge = min(cfgMerge*4, maxMergeThreshold)
+	}
+	if int32(probe) != ix.probeLive.Load() {
+		ix.probeLive.Store(int32(probe))
+		ix.tuneAdjusts.Add(1)
+	}
+	if int32(merge) != ix.mergeLive.Load() {
+		ix.mergeLive.Store(int32(merge))
+		ix.tuneAdjusts.Add(1)
+		// A lowered threshold may make the current delta instantly
+		// over-threshold; the scheduler only runs from the append path,
+		// so kick it here too.
+		ix.maybeScheduleMerge()
+	}
+}

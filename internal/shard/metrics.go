@@ -1,0 +1,112 @@
+package shard
+
+import (
+	"strconv"
+
+	"dsidx/internal/messi"
+	"dsidx/internal/metrics"
+)
+
+// ShardAppends returns the number of live appends routed to shard si so
+// far (the published cut), independent of merge progress.
+func (s *Sharded) ShardAppends(si int) int {
+	return int((*s.cuts.Load())[si])
+}
+
+// ShardBaseLen returns the number of build-time series placed in shard si.
+func (s *Sharded) ShardBaseLen(si int) int { return len(s.baseMap[si]) }
+
+// Registry returns the sharded index's metrics registry, built on first
+// call:
+//
+//   - the shared engine's families, registered once for the whole pool
+//   - every shard's ingest/query/tuning families under a shard="i" label
+//   - per-shard routing counters (series placed, appends routed)
+//   - the cold tier's cache and device families — always registered, so
+//     a scrape sees the full schema (zero-valued) even on an all-hot
+//     build
+func (s *Sharded) Registry() *metrics.Registry {
+	s.regOnce.Do(func() {
+		s.reg = metrics.NewRegistry()
+		s.eng.RegisterMetrics(s.reg)
+		s.reg.MustRegister(metrics.NewGaugeFunc(metrics.Opts{
+			Name: "dsidx_shards",
+			Help: "Number of shards.",
+		}, func() float64 { return float64(s.n) }))
+		for si := 0; si < s.n; si++ {
+			si := si
+			label := metrics.Label{Key: "shard", Value: strconv.Itoa(si)}
+			s.shards[si].RegisterMetrics(s.reg, label)
+			s.reg.MustRegister(
+				metrics.NewGaugeFunc(metrics.Opts{
+					Name:   "dsidx_shard_base_series",
+					Help:   "Build-time series placed in the shard.",
+					Labels: []metrics.Label{label},
+				}, func() float64 { return float64(s.ShardBaseLen(si)) }),
+				metrics.NewCounterFunc(metrics.Opts{
+					Name:   "dsidx_shard_appends_total",
+					Help:   "Live appends routed to the shard.",
+					Labels: []metrics.Label{label},
+				}, func() float64 { return float64(s.ShardAppends(si)) }),
+			)
+		}
+		cold := func(f func(ColdStats) float64) func() float64 {
+			return func() float64 { return f(s.ColdStats()) }
+		}
+		s.reg.MustRegister(
+			metrics.NewGaugeFunc(metrics.Opts{
+				Name: "dsidx_cold_shards",
+				Help: "Shards placed on the out-of-core tier.",
+			}, cold(func(c ColdStats) float64 { return float64(c.ColdShards) })),
+			metrics.NewCounterFunc(metrics.Opts{
+				Name: "dsidx_cold_cache_hits_total",
+				Help: "Block-cache hits in the cold tier.",
+			}, cold(func(c ColdStats) float64 { return float64(c.Cache.Hits) })),
+			metrics.NewCounterFunc(metrics.Opts{
+				Name: "dsidx_cold_cache_misses_total",
+				Help: "Block-cache misses (device reads triggered).",
+			}, cold(func(c ColdStats) float64 { return float64(c.Cache.Misses) })),
+			metrics.NewCounterFunc(metrics.Opts{
+				Name: "dsidx_cold_cache_evictions_total",
+				Help: "Blocks evicted from the cold tier's cache.",
+			}, cold(func(c ColdStats) float64 { return float64(c.Cache.Evictions) })),
+			metrics.NewGaugeFunc(metrics.Opts{
+				Name: "dsidx_cold_cache_resident_bytes",
+				Help: "Decoded bytes currently resident in the block cache.",
+			}, cold(func(c ColdStats) float64 { return float64(c.Cache.ResidentBytes) })),
+			metrics.NewGaugeFunc(metrics.Opts{
+				Name: "dsidx_cold_cache_budget_bytes",
+				Help: "Configured block-cache budget.",
+			}, cold(func(c ColdStats) float64 { return float64(c.Cache.CacheBytes) })),
+			metrics.NewCounterFunc(metrics.Opts{
+				Name: "dsidx_cold_device_reads_total",
+				Help: "Read operations issued to the cold device.",
+			}, cold(func(c ColdStats) float64 { return float64(c.Device.ReadOps) })),
+			metrics.NewCounterFunc(metrics.Opts{
+				Name: "dsidx_cold_device_read_bytes_total",
+				Help: "Bytes read from the cold device.",
+			}, cold(func(c ColdStats) float64 { return float64(c.Device.BytesRead) })),
+			metrics.NewCounterFunc(metrics.Opts{
+				Name: "dsidx_cold_device_seeks_total",
+				Help: "Non-sequential reads charged seek latency.",
+			}, cold(func(c ColdStats) float64 { return float64(c.Device.Seeks) })),
+			metrics.NewCounterFunc(metrics.Opts{
+				Name: "dsidx_cold_device_read_busy_seconds_total",
+				Help: "Modeled device time spent serving reads.",
+			}, cold(func(c ColdStats) float64 { return c.Device.ReadBusy.Seconds() })),
+		)
+	})
+	return s.reg
+}
+
+// Tuning reports the self-tuning state. The live knob values are shard
+// 0's (every shard starts from the same configuration and sees a similar
+// mix); Adjustments sums all shards' knob changes.
+func (s *Sharded) Tuning() messi.Tuning {
+	t := s.shards[0].Tuning()
+	t.Adjustments = 0
+	for _, sh := range s.shards {
+		t.Adjustments += sh.Tuning().Adjustments
+	}
+	return t
+}

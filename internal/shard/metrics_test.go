@@ -1,0 +1,53 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+
+	"dsidx/internal/gen"
+)
+
+func TestRegistryRendersPerShardAndColdFamilies(t *testing.T) {
+	g := gen.Generator{Kind: gen.Synthetic, Length: testLen, Seed: 51}
+	coll := g.Collection(400)
+	s := buildSharded(t, coll, 2, RoundRobin{})
+	extra := gen.Generator{Kind: gen.Synthetic, Length: testLen, Seed: 52}.Collection(10)
+	for i := 0; i < extra.Len(); i++ {
+		if _, err := s.Append(extra.At(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r := s.Registry()
+	if s.Registry() != r {
+		t.Fatal("Registry not memoized")
+	}
+	text := r.Text()
+	for _, want := range []string{
+		"dsidx_shards 2",
+		`dsidx_shard_base_series{shard="0"} 200`,
+		`dsidx_shard_base_series{shard="1"} 200`,
+		`dsidx_shard_appends_total{shard="0"} 5`,
+		`dsidx_shard_appends_total{shard="1"} 5`,
+		`dsidx_ingest_appended_total{shard="0"} 5`,
+		`dsidx_tuning_autotune{shard="1"} 0`,
+		"dsidx_cold_shards 0",
+		"dsidx_cold_cache_hits_total 0",
+		"dsidx_cold_device_reads_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+	if s.ShardBaseLen(0)+s.ShardBaseLen(1) != coll.Len() {
+		t.Fatalf("base split %d+%d != %d", s.ShardBaseLen(0), s.ShardBaseLen(1), coll.Len())
+	}
+	if s.ShardAppends(0)+s.ShardAppends(1) != extra.Len() {
+		t.Fatalf("append routing %d+%d != %d", s.ShardAppends(0), s.ShardAppends(1), extra.Len())
+	}
+
+	tu := s.Tuning()
+	if tu.AutoTune || tu.ProbeLeaves <= 0 || tu.MergeThreshold <= 0 || tu.Adjustments != 0 {
+		t.Fatalf("tuning snapshot: %+v", tu)
+	}
+}

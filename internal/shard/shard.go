@@ -48,6 +48,7 @@ import (
 	"dsidx/internal/core"
 	"dsidx/internal/engine"
 	"dsidx/internal/messi"
+	"dsidx/internal/metrics"
 	"dsidx/internal/series"
 	"dsidx/internal/storage"
 	"dsidx/internal/xsync"
@@ -178,6 +179,9 @@ type Sharded struct {
 	routeLog  *series.ChunkedRows[int32]
 	cuts      atomic.Pointer[[]int32]
 	appended  atomic.Int64
+
+	regOnce sync.Once
+	reg     *metrics.Registry
 }
 
 // splitBase partitions the base collection by policy, returning one
@@ -729,6 +733,7 @@ func (s *Sharded) IngestStats() messi.IngestStats {
 		out.Pending += st.Pending
 		out.Merged += st.Merged
 		out.Merges += st.Merges
+		out.SnapshotSwaps += st.SnapshotSwaps
 		out.MergeThreshold = st.MergeThreshold
 	}
 	return out

@@ -1,0 +1,80 @@
+package storage
+
+// CacheStats-snapshot consistency under concurrency (run with -race): the
+// pre-fix counters were independent atomics bumped at different points,
+// so a snapshot could observe Evictions > Misses or ResidentBytes out of
+// step with the counted blocks. Stats now cuts all fields under the cache
+// lock; this suite hammers that cut while readers thrash a tiny cache.
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCacheStatsConsistentUnderConcurrentReads(t *testing.T) {
+	const n, length = 256, 16
+	// Budget of 2 blocks over 16 forces constant misses and evictions.
+	r, _ := newTestReader(t, n, length, DiskReaderOptions{BlockSeries: 16, CacheBytes: 2 * 16 * length * 4})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Opposing strides so the two readers fight over the LRU.
+				pos := i % n
+				if w == 1 {
+					pos = n - 1 - pos
+				}
+				r.At(pos)
+			}
+		}()
+	}
+
+	dur := 1 * time.Second
+	if testing.Short() {
+		dur = 200 * time.Millisecond
+	}
+	deadline := time.Now().Add(dur)
+	var prev CacheStats
+	for k := 0; ; k++ {
+		if k%64 == 0 {
+			if time.Now().After(deadline) {
+				break
+			}
+			runtime.Gosched() // one CPU: let the readers interleave
+		}
+		st := r.Stats()
+		// Every eviction was once a miss; a torn snapshot can invert that.
+		if st.Evictions > st.Misses {
+			t.Fatalf("sample %d: Evictions %d > Misses %d", k, st.Evictions, st.Misses)
+		}
+		if st.ResidentBytes < 0 || st.ResidentBytes > st.CacheBytes {
+			t.Fatalf("sample %d: ResidentBytes %d outside [0,%d]", k, st.ResidentBytes, st.CacheBytes)
+		}
+		if st.Hits < prev.Hits || st.Misses < prev.Misses || st.Evictions < prev.Evictions {
+			t.Fatalf("sample %d: counter regressed: %+v after %+v", k, st, prev)
+		}
+		prev = st
+	}
+	close(stop)
+	wg.Wait()
+
+	st := r.Stats()
+	if st.Misses == 0 || st.Evictions == 0 {
+		t.Fatalf("thrashing run saw no misses/evictions: %+v", st)
+	}
+	if rate := st.HitRate(); rate < 0 || rate > 1 {
+		t.Fatalf("HitRate %v outside [0,1]", rate)
+	}
+}

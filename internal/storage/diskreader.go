@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"sync"
-	"sync/atomic"
 
 	"dsidx/internal/series"
 )
@@ -35,12 +34,16 @@ type DiskReader struct {
 	blockSeries int
 	budget      int64
 
-	hits, misses, evictions atomic.Uint64
-
-	mu       sync.Mutex
-	blocks   map[int]*cacheBlock
-	lru      cacheBlock // sentinel: lru.next is most recent, lru.prev least
-	resident int64
+	// The counters live under mu with the block map, so a Stats snapshot
+	// is one consistent cut of the cache: a resident block's miss is
+	// always counted in the same snapshot that sees it resident. (They
+	// were previously bumped outside the lock, which let a snapshot see
+	// the block before its miss.)
+	mu                      sync.Mutex
+	hits, misses, evictions uint64
+	blocks                  map[int]*cacheBlock
+	lru                     cacheBlock // sentinel: lru.next is most recent, lru.prev least
+	resident                int64
 }
 
 // DefaultCacheBytes and DefaultBlockSeries are the DiskReaderOptions zero
@@ -158,16 +161,18 @@ func (r *DiskReader) Prefetch(pos []int32) {
 	}
 }
 
-// Stats snapshots the cache counters.
+// Stats snapshots the cache counters — one consistent cut under the
+// cache lock, so Evictions never exceeds Misses, ResidentBytes matches
+// the counted blocks, and monotonic counters never regress between
+// snapshots.
 func (r *DiskReader) Stats() CacheStats {
 	r.mu.Lock()
-	resident := r.resident
-	r.mu.Unlock()
+	defer r.mu.Unlock()
 	return CacheStats{
-		Hits:          r.hits.Load(),
-		Misses:        r.misses.Load(),
-		Evictions:     r.evictions.Load(),
-		ResidentBytes: resident,
+		Hits:          r.hits,
+		Misses:        r.misses,
+		Evictions:     r.evictions,
+		ResidentBytes: r.resident,
 		CacheBytes:    r.budget,
 		BlockSeries:   r.blockSeries,
 	}
@@ -180,8 +185,8 @@ func (r *DiskReader) block(idx int) *cacheBlock {
 	r.mu.Lock()
 	if b, ok := r.blocks[idx]; ok {
 		r.moveToFront(b)
+		r.hits++
 		r.mu.Unlock()
-		r.hits.Add(1)
 		<-b.ready
 		if b.err != nil {
 			panic(fmt.Sprintf("storage: disk reader block %d: %v", idx, b.err))
@@ -198,9 +203,9 @@ func (r *DiskReader) block(idx int) *cacheBlock {
 	r.blocks[idx] = b
 	r.pushFront(b)
 	r.resident += b.bytes
+	r.misses++
 	r.evictLocked(b)
 	r.mu.Unlock()
-	r.misses.Add(1)
 
 	buf := make([]byte, n*r.length*4)
 	b.err = r.file.ReadBatchBytesInto(buf, int64(start))
@@ -237,7 +242,7 @@ func (r *DiskReader) evictLocked(keep *cacheBlock) {
 		delete(r.blocks, b.idx)
 		r.unlink(b)
 		r.resident -= b.bytes
-		r.evictions.Add(1)
+		r.evictions++
 	}
 }
 

@@ -3,6 +3,7 @@ package dsidx
 import (
 	"context"
 
+	"dsidx/internal/engine"
 	"dsidx/internal/messi"
 )
 
@@ -36,6 +37,7 @@ func NewMESSI(coll *Collection, opts ...Option) (*MESSI, error) {
 		MergeThreshold: o.mergeThreshold,
 		ProbeLeaves:    o.probeLeaves,
 		DisableLeafRaw: o.leafRawOff,
+		AutoTune:       o.autoTune,
 	})
 	if err != nil {
 		return nil, err
@@ -118,23 +120,32 @@ type IngestStats struct {
 	Pending int
 	// Merged is the number of appended series the tree covers.
 	Merged int
-	// Merges counts completed background/Flush merge cycles.
-	Merges uint64
-	// MergeThreshold is the delta size that triggers a background merge
-	// (the WithMergeThreshold option).
+	// Merges counts completed background/Flush merge cycles;
+	// SnapshotSwaps counts tree-snapshot publications (one per merge
+	// cycle that installed a new tree).
+	Merges        uint64
+	SnapshotSwaps uint64
+	// MergeThreshold is the live delta size that triggers a background
+	// merge (the WithMergeThreshold option, possibly moved by
+	// WithAutoTune).
 	MergeThreshold int
 }
 
-// IngestStats snapshots the write path's counters.
-func (ix *MESSI) IngestStats() IngestStats {
-	st := ix.inner.IngestStats()
+// ingestStatsOf mirrors the internal snapshot into the public type.
+func ingestStatsOf(st messi.IngestStats) IngestStats {
 	return IngestStats{
 		Appended:       st.Appended,
 		Pending:        st.Pending,
 		Merged:         st.Merged,
 		Merges:         st.Merges,
+		SnapshotSwaps:  st.SnapshotSwaps,
 		MergeThreshold: st.MergeThreshold,
 	}
+}
+
+// IngestStats snapshots the write path's counters.
+func (ix *MESSI) IngestStats() IngestStats {
+	return ingestStatsOf(ix.inner.IngestStats())
 }
 
 // BatchSearch answers one exact 1-NN query per element of qs, running them
@@ -208,20 +219,34 @@ type EngineStats struct {
 	// Sampling Queries across an interval yields throughput (QPS).
 	Queries uint64
 	Tasks   uint64
+	// Saturation counters: AdmitWaits counts admissions that blocked on a
+	// full in-flight budget, AdmitWaitNanos their total blocked time, and
+	// SubmitFallbacks optional pool tasks dropped because the run queue
+	// was full. Together they say whether the pool is the bottleneck.
+	AdmitWaits      uint64
+	AdmitWaitNanos  uint64
+	SubmitFallbacks uint64
+}
+
+// engineStatsOf mirrors the internal snapshot into the public type.
+func engineStatsOf(st engine.Stats) EngineStats {
+	return EngineStats{
+		Workers:         st.Workers,
+		PendingTasks:    st.PendingTasks,
+		InFlight:        st.InFlight,
+		PeakInFlight:    st.PeakInFlight,
+		Queries:         st.Queries,
+		Tasks:           st.Tasks,
+		AdmitWaits:      st.AdmitWaits,
+		AdmitWaitNanos:  st.AdmitWaitNanos,
+		SubmitFallbacks: st.SubmitFallbacks,
+	}
 }
 
 // EngineStats snapshots the worker pool's counters. Sample it periodically
 // to derive throughput.
 func (ix *MESSI) EngineStats() EngineStats {
-	st := ix.inner.EngineStats()
-	return EngineStats{
-		Workers:      st.Workers,
-		PendingTasks: st.PendingTasks,
-		InFlight:     st.InFlight,
-		PeakInFlight: st.PeakInFlight,
-		Queries:      st.Queries,
-		Tasks:        st.Tasks,
-	}
+	return engineStatsOf(ix.inner.EngineStats())
 }
 
 // Serve turns the index into a long-running query server: it answers
@@ -230,6 +255,10 @@ func (ix *MESSI) EngineStats() EngineStats {
 // the shared worker pool, so responses arrive in completion order — match
 // them to requests by ID. Serve may be called multiple times; all serving
 // loops share the same pool and admission budget.
+//
+// Every request Serve dequeues from in produces exactly one response, Err
+// set when cancellation preempted it; drain the returned channel until it
+// closes to balance submissions against answers after a shutdown.
 func (ix *MESSI) Serve(ctx context.Context, in <-chan QueryRequest) <-chan QueryResponse {
 	return serve(ctx, in, ix)
 }

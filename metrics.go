@@ -1,0 +1,149 @@
+package dsidx
+
+import (
+	"net/http"
+	"time"
+
+	"dsidx/internal/metrics"
+)
+
+// Observability: every index keeps its throughput, ingestion, cache and
+// tuning counters behind two complementary surfaces. Metrics() returns a
+// one-call structured snapshot for programmatic use; MetricsHandler
+// exposes the same counters in Prometheus text exposition format for
+// scraping. Both are pull-based reads of counters the hot paths already
+// maintain — neither adds per-query work.
+
+// MetricsSource is an index that can expose its metrics registry: MESSI
+// and Sharded implement it. The registry is built lazily on first use and
+// lives for the index's lifetime, so handler scrapes are cheap reads.
+type MetricsSource interface {
+	metricsRegistry() *metrics.Registry
+}
+
+func (ix *MESSI) metricsRegistry() *metrics.Registry  { return ix.inner.Registry() }
+func (s *Sharded) metricsRegistry() *metrics.Registry { return s.inner.Registry() }
+
+// MetricsHandler returns an http.Handler serving src's metrics in
+// Prometheus text exposition format (version 0.0.4). Mount it wherever
+// the scraper looks:
+//
+//	http.Handle("/metrics", dsidx.MetricsHandler(idx))
+//
+// The handler is safe for concurrent scrapes while the index serves
+// queries and ingests appends.
+func MetricsHandler(src MetricsSource) http.Handler {
+	return src.metricsRegistry().Handler()
+}
+
+// TuningStats reports the self-tuning state (the WithAutoTune option):
+// the live knob values and how often the feedback loop has moved them.
+type TuningStats struct {
+	// AutoTune reports whether the feedback loop is active.
+	AutoTune bool
+	// ProbeLeaves is the live probe count (== the configured value when
+	// AutoTune is off). For a sharded index this is shard 0's live value.
+	ProbeLeaves int
+	// MergeThreshold is the live merge threshold.
+	MergeThreshold int
+	// Adjustments counts knob changes applied since creation (summed
+	// over all shards for a sharded index).
+	Adjustments uint64
+}
+
+// ShardStats reports one shard's routing counters.
+type ShardStats struct {
+	// Shard is the shard number.
+	Shard int
+	// BaseSeries is the number of build-time series placed in the shard.
+	BaseSeries int
+	// Appends is the number of live appends routed to the shard.
+	Appends int
+}
+
+// ColdTierStats reports the out-of-core tier's cache and device counters;
+// the zero value when every shard is hot (or the index is not sharded).
+type ColdTierStats struct {
+	// ColdShards is the number of shards placed on the cold tier.
+	ColdShards int
+	// Block-cache counters: hits, misses (each a device read), blocks
+	// evicted, decoded bytes resident, and the configured budget.
+	CacheHits          uint64
+	CacheMisses        uint64
+	CacheEvictions     uint64
+	CacheResidentBytes int64
+	CacheBudgetBytes   int64
+	// Device counters: read operations, bytes read, non-sequential reads
+	// charged seek latency, and modeled device time serving reads.
+	DeviceReads     int64
+	DeviceBytesRead int64
+	DeviceSeeks     int64
+	DeviceReadBusy  time.Duration
+}
+
+// Metrics is a structured snapshot of every counter surface an index
+// maintains, taken in one call. Each section is individually consistent
+// (see its type's documentation); sections are sampled back to back, not
+// under one global lock.
+type Metrics struct {
+	Engine EngineStats
+	Ingest IngestStats
+	Tuning TuningStats
+	// Shards has one entry per shard for a sharded index, nil for MESSI.
+	Shards []ShardStats
+	// Cold is the out-of-core tier's counters; zero when all-hot.
+	Cold ColdTierStats
+}
+
+// Metrics snapshots all of the index's counter surfaces in one call.
+func (ix *MESSI) Metrics() Metrics {
+	tu := ix.inner.Tuning()
+	return Metrics{
+		Engine: ix.EngineStats(),
+		Ingest: ix.IngestStats(),
+		Tuning: TuningStats{
+			AutoTune:       tu.AutoTune,
+			ProbeLeaves:    tu.ProbeLeaves,
+			MergeThreshold: tu.MergeThreshold,
+			Adjustments:    tu.Adjustments,
+		},
+	}
+}
+
+// Metrics snapshots all of the sharded index's counter surfaces in one
+// call, per-shard routing counters and the cold tier included.
+func (s *Sharded) Metrics() Metrics {
+	tu := s.inner.Tuning()
+	cold := s.inner.ColdStats()
+	shards := make([]ShardStats, s.Shards())
+	for si := range shards {
+		shards[si] = ShardStats{
+			Shard:      si,
+			BaseSeries: s.inner.ShardBaseLen(si),
+			Appends:    s.inner.ShardAppends(si),
+		}
+	}
+	return Metrics{
+		Engine: s.EngineStats(),
+		Ingest: s.IngestStats(),
+		Tuning: TuningStats{
+			AutoTune:       tu.AutoTune,
+			ProbeLeaves:    tu.ProbeLeaves,
+			MergeThreshold: tu.MergeThreshold,
+			Adjustments:    tu.Adjustments,
+		},
+		Shards: shards,
+		Cold: ColdTierStats{
+			ColdShards:         cold.ColdShards,
+			CacheHits:          cold.Cache.Hits,
+			CacheMisses:        cold.Cache.Misses,
+			CacheEvictions:     cold.Cache.Evictions,
+			CacheResidentBytes: cold.Cache.ResidentBytes,
+			CacheBudgetBytes:   cold.Cache.CacheBytes,
+			DeviceReads:        cold.Device.ReadOps,
+			DeviceBytesRead:    cold.Device.BytesRead,
+			DeviceSeeks:        cold.Device.Seeks,
+			DeviceReadBusy:     cold.Device.ReadBusy,
+		},
+	}
+}

@@ -15,7 +15,11 @@ set -euo pipefail
 
 SERIES="${1:-6000}"
 QUERIES="${2:-4}"
-OUT="${BENCH_DISK_JSON:-/tmp/BENCH_disk.json}"
+# A fresh file per run: BENCH files are trajectories now, and the
+# line-based field extraction below must only see the run this smoke
+# just produced, not stale points from earlier invocations.
+OUT="${BENCH_DISK_JSON:-$(mktemp /tmp/BENCH_disk.XXXXXX.json)}"
+rm -f "$OUT"
 
 go run ./cmd/dsbench -diskjson "$OUT" -series "$SERIES" -queries "$QUERIES"
 cat "$OUT"

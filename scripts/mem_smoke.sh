@@ -15,7 +15,11 @@ set -euo pipefail
 RATIO="${1:-1.1}"
 SERIES="${2:-20000}"
 SHARDS="${3:-4}"
-OUT="${BENCH_MEM_JSON:-/tmp/BENCH_mem.json}"
+# A fresh file per run: BENCH files are trajectories now, and the
+# line-based field extraction below must only see the run this smoke
+# just produced, not stale points from earlier invocations.
+OUT="${BENCH_MEM_JSON:-$(mktemp /tmp/BENCH_mem.XXXXXX.json)}"
+rm -f "$OUT"
 
 go run ./cmd/dsbench -memjson "$OUT" -series "$SERIES" -shards "$SHARDS"
 cat "$OUT"

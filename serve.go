@@ -65,9 +65,19 @@ type queryBackend interface {
 // it answers requests from in until in closes or ctx is canceled, then
 // closes the returned channel, admitting at most maxInFlight requests at a
 // time onto the backend's worker pool.
+//
+// Every request dequeued from in produces exactly one QueryResponse —
+// answered, or carrying Err when cancellation preempted it — so a caller
+// that counts its accepted submissions can balance the books after a
+// shutdown. The caller must drain the returned channel until it closes;
+// its buffer only absorbs the responses in flight at cancellation, it is
+// not a substitute for reading.
 func serve(ctx context.Context, in <-chan QueryRequest, ix queryBackend) <-chan QueryResponse {
-	out := make(chan QueryResponse)
 	consumers := ix.maxInFlight()
+	// One buffer slot per consumer: a consumer holding a computed (or
+	// error) response at cancellation time can always deposit it and
+	// exit, even if the reader drains the channel only after the fact.
+	out := make(chan QueryResponse, consumers)
 	go func() {
 		defer close(out)
 		var wg sync.WaitGroup
@@ -83,20 +93,25 @@ func serve(ctx context.Context, in <-chan QueryRequest, ix queryBackend) <-chan 
 						if !ok {
 							return
 						}
-						// Cancellation-aware admission: a canceled server must
-						// not wait behind other traffic for a slot. A query
-						// already executing still runs to completion.
+						// The request is dequeued: from here on it must be
+						// answered unconditionally. Racing the sends below
+						// against ctx.Done() would silently discard a
+						// dequeued request about half the time when
+						// cancellation and a ready reader are both
+						// selectable.
+						//
+						// Cancellation-aware admission: a canceled server
+						// must not wait behind other traffic for a slot, but
+						// the preempted request still gets its response,
+						// with Err set.
 						release, err := ix.admitContext(ctx)
 						if err != nil {
+							out <- QueryResponse{ID: req.ID, Err: err}
 							return
 						}
 						resp := answer(ix, req)
 						release()
-						select {
-						case out <- resp:
-						case <-ctx.Done():
-							return
-						}
+						out <- resp
 					}
 				}
 			}()

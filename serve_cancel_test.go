@@ -1,0 +1,80 @@
+package dsidx_test
+
+// Regression test for the serve-loop cancellation contract: every request
+// dequeued from the input channel must produce exactly one QueryResponse,
+// even when the serving context is canceled mid-flight. The pre-fix loop
+// raced the response send against ctx.Done() (dropping a computed answer
+// about half the time a reader and cancellation were both ready) and
+// returned without any response when cancellation preempted admission.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"dsidx"
+)
+
+// TestServeCancellationLosesNoDequeuedRequests submits queries over an
+// unbuffered channel — so a successful send IS a dequeue by the serve
+// loop — cancels mid-stream, and balances the books: responses drained
+// until close must equal requests accepted before the producer stopped.
+func TestServeCancellationLosesNoDequeuedRequests(t *testing.T) {
+	coll := dsidx.Generate(dsidx.Synthetic, 500, 64, 17)
+	idx, err := dsidx.NewMESSI(coll, dsidx.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	queries := dsidx.GenerateQueries(dsidx.Synthetic, 4, 64, 17)
+
+	rounds := 25
+	if testing.Short() {
+		rounds = 6
+	}
+	for round := 0; round < rounds; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		in := make(chan dsidx.QueryRequest) // unbuffered: send == dequeue
+		out := idx.Serve(ctx, in)
+
+		var sent int64
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := int64(0); ; id++ {
+				req := dsidx.QueryRequest{ID: id, Query: queries.At(int(id) % queries.Len())}
+				if id%3 == 0 {
+					req.Kind = dsidx.QueryApprox
+				}
+				select {
+				case in <- req:
+					sent++
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+
+		// Drain until the serve loop shuts down, canceling mid-stream so
+		// some dequeued requests are still in flight at that moment.
+		var got, errored int64
+		for resp := range out {
+			got++
+			if got == 3 {
+				cancel()
+			}
+			if resp.Err != nil {
+				errored++
+			} else if len(resp.Matches) != 1 {
+				t.Fatalf("round %d: response %d has %d matches", round, resp.ID, len(resp.Matches))
+			}
+		}
+		wg.Wait() // out closed => ctx canceled => producer has exited
+		cancel()
+		if got != sent {
+			t.Fatalf("round %d: %d requests dequeued but only %d responses received (%d errored)",
+				round, sent, got, errored)
+		}
+	}
+}

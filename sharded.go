@@ -82,6 +82,7 @@ func (o options) shardOptions() (shard.Options, error) {
 			MergeThreshold: o.mergeThreshold,
 			ProbeLeaves:    o.probeLeaves,
 			DisableLeafRaw: o.leafRawOff,
+			AutoTune:       o.autoTune,
 		},
 	}, nil
 }
@@ -231,33 +232,19 @@ func (s *Sharded) Flush() { s.inner.Flush() }
 
 // IngestStats merges the shards' write-path counters.
 func (s *Sharded) IngestStats() IngestStats {
-	st := s.inner.IngestStats()
-	return IngestStats{
-		Appended:       st.Appended,
-		Pending:        st.Pending,
-		Merged:         st.Merged,
-		Merges:         st.Merges,
-		MergeThreshold: st.MergeThreshold,
-	}
+	return ingestStatsOf(s.inner.IngestStats())
 }
 
 // EngineStats snapshots the one worker pool all shards share — already the
 // aggregate view of the sharded index's execution.
 func (s *Sharded) EngineStats() EngineStats {
-	st := s.inner.EngineStats()
-	return EngineStats{
-		Workers:      st.Workers,
-		PendingTasks: st.PendingTasks,
-		InFlight:     st.InFlight,
-		PeakInFlight: st.PeakInFlight,
-		Queries:      st.Queries,
-		Tasks:        st.Tasks,
-	}
+	return engineStatsOf(s.inner.EngineStats())
 }
 
 // Serve turns the sharded index into a long-running query server over the
 // same request/response protocol as MESSI.Serve; one admission slot covers
-// one request's whole cross-shard scatter.
+// one request's whole cross-shard scatter. Every dequeued request produces
+// exactly one response — drain the returned channel until it closes.
 func (s *Sharded) Serve(ctx context.Context, in <-chan QueryRequest) <-chan QueryResponse {
 	return serve(ctx, in, s)
 }
