@@ -15,6 +15,7 @@
 //	dsbench -memjson BENCH_mem.json -series 20000 -shards 4
 //	dsbench -diskjson BENCH_disk.json -series 20000 -queries 8
 //	dsbench -metrics -series 4000
+//	dsbench -faults -series 3000
 //
 // The concurrent experiment is the serving-engine workload: it measures
 // MESSI throughput (queries/s) with the given numbers of queries in flight
@@ -44,6 +45,12 @@
 // it builds a small auto-tuned sharded index, drives appends and queries
 // through the public API, scrapes dsidx.MetricsHandler, validates the
 // exposition (format and required families) and prints it.
+//
+// -faults is the fault-tolerance self-check behind scripts/fault_smoke.sh:
+// it builds a mixed hot/cold sharded index on a fault-injected device,
+// walks the failure lifecycle (transient retries → dead device → typed
+// failures → quarantine → re-stage → bit-identical recovery) and prints
+// the resulting metrics exposition, fault families included.
 package main
 
 import (
@@ -76,6 +83,7 @@ func main() {
 		memjson     = flag.String("memjson", "", "write the machine-readable memory-residency benchmark to this path and exit")
 		diskjson    = flag.String("diskjson", "", "write the machine-readable out-of-core tiering benchmark to this path and exit")
 		metricsDump = flag.Bool("metrics", false, "build a small index, scrape and validate its Prometheus metrics, print them, and exit")
+		faultSmoke  = flag.Bool("faults", false, "walk the fault-tolerance lifecycle on a fault-injected cold tier, print its metrics, and exit")
 	)
 	flag.Parse()
 
@@ -124,6 +132,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dsbench: metrics: %v\n", err)
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *faultSmoke {
+		text, err := experiments.RunFaultSmoke(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsbench: faults: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(text)
+		fmt.Fprintln(os.Stderr, "dsbench: fault lifecycle OK: transient retried, dead device quarantined, re-stage recovered bit-identical answers")
 		return
 	}
 

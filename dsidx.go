@@ -215,6 +215,7 @@ type options struct {
 	shards         int
 	shardPolicy    ShardPolicy
 	shardPolicySet bool
+	allowPartial   bool
 }
 
 // Option customizes index construction.

@@ -28,15 +28,18 @@
 package conformance
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"dsidx/internal/core"
 	"dsidx/internal/gen"
 	"dsidx/internal/messi"
 	"dsidx/internal/series"
 	"dsidx/internal/shard"
+	"dsidx/internal/storage"
 	"dsidx/internal/ucr"
 	"dsidx/internal/vector"
 )
@@ -62,6 +65,15 @@ type Config struct {
 	// — tuning only moves performance knobs, so answers must stay
 	// bit-identical with it on, off, or mixed across instances.
 	ForceAutoTune bool
+	// Faults switches the harness into fault-injection mode: the sharded
+	// instance's cold tier sits on a storage.FaultStore, and a new op
+	// randomly installs transient/permanent fault plans, heals the device
+	// and re-stages quarantined shards. The contract under faults: every
+	// query that COMPLETES is still bit-identical to the serial oracle;
+	// every query that fails does so with the typed
+	// shard.ErrShardsUnavailable (never an untyped error, never a process
+	// panic); and after heal + re-stage, answers are bit-identical again.
+	Faults bool
 }
 
 func (c Config) normalize() Config {
@@ -93,6 +105,13 @@ type harness struct {
 	qpool  *series.Collection // far-from-everything query series
 	plain  *messi.Index
 	shrd   *shard.Sharded
+
+	// Fault-mode state: the injecting store under the sharded instance's
+	// cold tier (nil outside fault mode), and counters proving both sides
+	// of the contract were actually exercised.
+	fault       *storage.FaultStore
+	typedFails  int
+	faultChecks int
 }
 
 // Run executes cfg.Ops randomized operations, failing t on the first
@@ -119,6 +138,11 @@ func Run(t testing.TB, cfg Config) {
 
 	queries := 0
 	for op := 0; op < cfg.Ops; op++ {
+		// Fault mode folds device chaos into the stream: roughly every
+		// tenth op flips the fault plan or heals and re-stages.
+		if cfg.Faults && h.rng.Intn(10) == 0 {
+			h.opFault()
+		}
 		switch p := h.rng.Intn(100); {
 		case p < 40:
 			h.opAppend()
@@ -156,6 +180,18 @@ func Run(t testing.TB, cfg Config) {
 	if cfg.Ops >= 100 && queries == 0 {
 		h.t.Fatal("conformance: no query ops executed")
 	}
+	// A fault-mode run must have exercised both sides of the contract:
+	// queries completed under injection (checked bit-identical above) and
+	// queries failed with the typed error. The op mix makes both
+	// near-certain at any plausible op count.
+	if cfg.Faults && cfg.Ops >= 300 {
+		if h.faultChecks == 0 {
+			h.t.Fatal("conformance: fault mode never queried under an active plan")
+		}
+		if h.typedFails == 0 {
+			h.t.Fatal("conformance: fault mode produced no typed query failures")
+		}
+	}
 }
 
 func (h *harness) build(base *series.Collection) {
@@ -172,7 +208,7 @@ func (h *harness) build(base *series.Collection) {
 	// flat copies, or the out-of-core cold tier. Answers must be
 	// bit-identical whichever way the base is stored, so the whole op
 	// stream differentially verifies all three paths against each other.
-	h.tossPlacement(&sopt)
+	h.tossPlacement(&sopt, base)
 	shrd, err := shard.Build(base, cfg, sopt)
 	if err != nil {
 		h.t.Fatal(err)
@@ -196,22 +232,57 @@ func (h *harness) tossAutoTune(opt *messi.Options) {
 // (16 KiB, 8-series blocks) so evictions and misses actually happen, and
 // half the time assigns tiers per shard at random (always at least one
 // cold) to exercise the mixed hot/cold path.
-func (h *harness) tossPlacement(opt *shard.Options) {
+//
+// In fault mode the cold tier is mandatory and its store is a
+// storage.FaultStore (healed at build time — staging and construction run
+// on a healthy device, like the experiments' dataset staging), with base
+// the hot re-stage source so Restage can route around a dead device.
+func (h *harness) tossPlacement(opt *shard.Options, base *series.Collection) {
+	if h.cfg.Faults {
+		h.fault = storage.NewFaultStore(storage.NewMemStore(), storage.FaultPlan{})
+		first := true
+		cs := &shard.ColdStorage{
+			// The build's cold tier lands on the injecting store;
+			// re-stages get genuinely fresh stores.
+			NewStore: func() (storage.Store, error) {
+				if first {
+					first = false
+					return h.fault, nil
+				}
+				return storage.NewMemStore(), nil
+			},
+			CacheBytes:  16 << 10,
+			BlockSeries: 8,
+			Retry:       storage.RetryPolicy{Sleep: func(time.Duration) {}},
+			Source:      base,
+		}
+		h.tossColdPlacement(cs)
+		opt.ColdStorage = cs
+		opt.QuarantineAfter = 2
+		return
+	}
 	switch h.rng.Intn(3) {
 	case 0: // zero-copy views — the default
 	case 1:
 		opt.CopyBase = true
 	case 2:
 		cs := &shard.ColdStorage{CacheBytes: 16 << 10, BlockSeries: 8}
-		if h.rng.Intn(2) == 0 {
-			cold := make([]bool, h.cfg.Shards)
-			for i := range cold {
-				cold[i] = h.rng.Intn(2) == 0
-			}
-			cold[h.rng.Intn(len(cold))] = true
-			cs.Cold = func(si int) bool { return cold[si] }
-		}
+		h.tossColdPlacement(cs)
 		opt.ColdStorage = cs
+	}
+}
+
+// tossColdPlacement half the time assigns tiers per shard at random
+// (always at least one cold) to exercise the mixed hot/cold path; the
+// other half leaves Cold nil, placing every shard cold.
+func (h *harness) tossColdPlacement(cs *shard.ColdStorage) {
+	if h.rng.Intn(2) == 0 {
+		cold := make([]bool, h.cfg.Shards)
+		for i := range cold {
+			cold[i] = h.rng.Intn(2) == 0
+		}
+		cold[h.rng.Intn(len(cold))] = true
+		cs.Cold = func(si int) bool { return cold[si] }
 	}
 }
 
@@ -296,6 +367,9 @@ func (h *harness) opFlush() {
 // and continues the run on the decoded copies, so every later op also
 // verifies the loaded state.
 func (h *harness) opSaveLoad() {
+	// Maintenance runs on a healthy device: a re-encode with a dead store
+	// is out of scope (and a fresh decode re-stages the cold tier anyway).
+	h.opHeal()
 	opt := messi.Options{MergeThreshold: h.cfg.MergeThreshold}
 	h.tossAutoTune(&opt)
 	enc := h.plain.Encode()
@@ -309,7 +383,7 @@ func (h *harness) opSaveLoad() {
 	// backing-agnostic, so any combination must keep answering identically.
 	sopt := shard.Options{Options: opt}
 	h.tossAutoTune(&sopt.Options)
-	h.tossPlacement(&sopt)
+	h.tossPlacement(&sopt, h.base)
 	shrd2, err := shard.Decode(senc, h.base, sopt)
 	if err != nil {
 		plain2.Close()
@@ -330,6 +404,7 @@ func (h *harness) opSaveLoad() {
 // mirror — the landed content becomes the new base collection, exercising
 // the build-time split over previously appended series.
 func (h *harness) opRebuild() {
+	h.opHeal() // builds stage onto a healthy device
 	base := series.NewCollection(0, h.cfg.SeriesLen)
 	for i := 0; i < h.mirror.Len(); i++ {
 		base.Append(h.mirror.At(i))
@@ -345,16 +420,18 @@ func (h *harness) opSearch() {
 	if err != nil {
 		h.t.Fatal(err)
 	}
-	sgot, sst, err := h.shrd.Search(q, 0)
-	if err != nil {
-		h.t.Fatal(err)
-	}
-	if st.Observed != h.mirror.Len() || sst.Observed != h.mirror.Len() {
-		h.t.Fatalf("observed plain %d / sharded %d, mirror has %d",
-			st.Observed, sst.Observed, h.mirror.Len())
+	if st.Observed != h.mirror.Len() {
+		h.t.Fatalf("observed plain %d, mirror has %d", st.Observed, h.mirror.Len())
 	}
 	if got.Pos != want.Pos || got.Dist != want.Dist {
 		h.t.Errorf("1-NN: plain (#%d, %v) != serial (#%d, %v)", got.Pos, got.Dist, want.Pos, want.Dist)
+	}
+	sgot, sst, err := h.shrd.Search(q, 0)
+	if h.shardErr("1-NN", err) {
+		return
+	}
+	if sst.Observed != h.mirror.Len() {
+		h.t.Fatalf("observed sharded %d, mirror has %d", sst.Observed, h.mirror.Len())
 	}
 	if sgot.Pos != want.Pos || sgot.Dist != want.Dist {
 		h.t.Errorf("1-NN: sharded (#%d, %v) != serial (#%d, %v)", sgot.Pos, sgot.Dist, want.Pos, want.Dist)
@@ -369,18 +446,23 @@ func (h *harness) opKNN() {
 	if err != nil {
 		h.t.Fatal(err)
 	}
-	sgot, _, err := h.shrd.SearchKNN(q, k, 0)
-	if err != nil {
-		h.t.Fatal(err)
-	}
-	if len(got) != len(want) || len(sgot) != len(want) {
-		h.t.Fatalf("k-NN sizes: plain %d, sharded %d, serial %d", len(got), len(sgot), len(want))
+	if len(got) != len(want) {
+		h.t.Fatalf("k-NN sizes: plain %d, serial %d", len(got), len(want))
 	}
 	for r := range want {
 		if got[r].Pos != want[r].Pos || got[r].Dist != want[r].Dist {
 			h.t.Errorf("k-NN rank %d: plain (#%d, %v) != serial (#%d, %v)",
 				r, got[r].Pos, got[r].Dist, want[r].Pos, want[r].Dist)
 		}
+	}
+	sgot, _, err := h.shrd.SearchKNN(q, k, 0)
+	if h.shardErr("k-NN", err) {
+		return
+	}
+	if len(sgot) != len(want) {
+		h.t.Fatalf("k-NN sizes: sharded %d, serial %d", len(sgot), len(want))
+	}
+	for r := range want {
 		if sgot[r].Pos != want[r].Pos || sgot[r].Dist != want[r].Dist {
 			h.t.Errorf("k-NN rank %d: sharded (#%d, %v) != serial (#%d, %v)",
 				r, sgot[r].Pos, sgot[r].Dist, want[r].Pos, want[r].Dist)
@@ -396,12 +478,12 @@ func (h *harness) opDTW() {
 	if err != nil {
 		h.t.Fatal(err)
 	}
-	sgot, _, err := h.shrd.SearchDTW(q, w, 0)
-	if err != nil {
-		h.t.Fatal(err)
-	}
 	if got.Pos != want.Pos || got.Dist != want.Dist {
 		h.t.Errorf("DTW(w=%d): plain (#%d, %v) != serial (#%d, %v)", w, got.Pos, got.Dist, want.Pos, want.Dist)
+	}
+	sgot, _, err := h.shrd.SearchDTW(q, w, 0)
+	if h.shardErr("DTW", err) {
+		return
 	}
 	if sgot.Pos != want.Pos || sgot.Dist != want.Dist {
 		h.t.Errorf("DTW(w=%d): sharded (#%d, %v) != serial (#%d, %v)", w, sgot.Pos, sgot.Dist, want.Pos, want.Dist)
@@ -419,6 +501,9 @@ func (h *harness) opApproximate() {
 		"sharded": func() (core.Result, error) { return h.shrd.SearchApproximate(q) },
 	} {
 		r, err := search()
+		if name == "sharded" && h.shardErr("approx", err) {
+			continue
+		}
 		if err != nil {
 			h.t.Fatal(err)
 		}
@@ -432,5 +517,84 @@ func (h *harness) opApproximate() {
 		if d := vector.SquaredEDEarlyAbandon(q, h.mirror.At(int(r.Pos)), math.Inf(1)); d != r.Dist {
 			h.t.Errorf("%s approx reports %v for #%d, true distance %v", name, r.Dist, r.Pos, d)
 		}
+	}
+}
+
+// shardErr handles a sharded query's error under fault mode: a nil error
+// (query completed, caller compares it against the oracle) returns false;
+// the typed shards-unavailable failure is counted and tolerated; anything
+// else — or any error outside fault mode — is fatal. Every query issued
+// while a fault plan is active also counts toward faultChecks, so the run
+// can prove injection actually intersected the query stream.
+func (h *harness) shardErr(op string, err error) (failed bool) {
+	if h.fault != nil && h.fault.Plan().Active() {
+		h.faultChecks++
+	}
+	if err == nil {
+		return false
+	}
+	if h.fault == nil {
+		h.t.Fatalf("%s: sharded: %v", op, err)
+	}
+	var su *shard.ErrShardsUnavailable
+	if !errors.As(err, &su) {
+		h.t.Fatalf("%s: sharded failed with an untyped error under faults: %v", op, err)
+	}
+	if len(su.Shards) == 0 {
+		h.t.Fatalf("%s: ErrShardsUnavailable lists no shards: %v", op, err)
+	}
+	h.typedFails++
+	return true
+}
+
+// opFault mutates the injected fault plan: heal the device (and re-stage
+// any quarantined shards, after which answers must be bit-identical
+// again), install a transient plan (retries mask most of it; exhaustion
+// produces typed failures), or kill a byte range permanently (driving
+// quarantine).
+func (h *harness) opFault() {
+	if h.fault == nil {
+		return
+	}
+	switch h.rng.Intn(4) {
+	case 0:
+		h.opHeal()
+	case 1:
+		h.fault.SetPlan(storage.FaultPlan{
+			Seed:           h.rng.Int63(),
+			TransientProb:  0.1 + 0.4*h.rng.Float64(),
+			TransientBurst: h.rng.Intn(3),
+			LatencyProb:    0.05,
+			Latency:        50 * time.Microsecond,
+		})
+	default:
+		size := h.fault.Size()
+		if size == 0 {
+			return
+		}
+		start := h.rng.Int63n(size)
+		end := start + 1 + h.rng.Int63n(size-start)
+		h.fault.SetPlan(storage.FaultPlan{
+			Seed:            h.rng.Int63(),
+			PermanentRanges: []storage.Range{{Start: start, End: end}},
+		})
+	}
+}
+
+// opHeal clears the fault plan and re-stages every quarantined shard onto
+// a fresh store, restoring full service; subsequent query ops assert the
+// answers are bit-identical to the oracle again.
+func (h *harness) opHeal() {
+	if h.fault == nil {
+		return
+	}
+	h.fault.Heal()
+	for _, si := range h.shrd.Health().Quarantined {
+		if err := h.shrd.Restage(si); err != nil {
+			h.t.Fatalf("restage shard %d: %v", si, err)
+		}
+	}
+	if q := h.shrd.Health().Quarantined; len(q) != 0 {
+		h.t.Fatalf("shards %v still unavailable after heal + restage", q)
 	}
 }

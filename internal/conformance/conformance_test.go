@@ -59,3 +59,21 @@ func TestConformanceHashPolicy(t *testing.T) {
 	}
 	Run(t, Config{Seed: 77, Ops: ops, Shards: 3, Policy: shard.HashSeries{}})
 }
+
+// TestConformanceFaults runs the op stream with a fault-injecting cold
+// tier: random transient/permanent plans, heals and re-stages interleave
+// with every other op. Completed queries must stay bit-identical to the
+// serial oracle, failed queries must carry the typed shards-unavailable
+// error, and heal + re-stage must restore exact service — the
+// fault-tolerance acceptance gate.
+func TestConformanceFaults(t *testing.T) {
+	ops := opsDefault()
+	if !testing.Short() && *opsFlag == 0 {
+		ops = 4000
+	}
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			Run(t, Config{Seed: 911 + int64(shards), Ops: ops, Shards: shards, Faults: true})
+		})
+	}
+}

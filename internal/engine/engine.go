@@ -83,6 +83,8 @@ type Stats struct {
 	AdmitWaits      uint64 // admissions that blocked on a full semaphore
 	AdmitWaitNanos  uint64 // total nanoseconds spent blocked in admission
 	SubmitFallbacks uint64 // trySubmit calls rejected by a full run queue
+	TaskPanics      uint64 // pool tasks that panicked and were contained
+	BgPanics        uint64 // background jobs (Go) that panicked and were contained
 }
 
 // Engine is a persistent worker pool shared by every query on one index.
@@ -120,6 +122,11 @@ type Engine struct {
 	admitWaits    atomic.Uint64
 	admitWaitNs   atomic.Uint64
 	submitDropped atomic.Uint64
+
+	// Containment counters: panics recovered at the pool-task and
+	// background-job boundaries instead of crashing the process.
+	taskPanics atomic.Uint64
+	bgPanics   atomic.Uint64
 }
 
 // New starts an engine with opt.Workers pool goroutines. The pool is idle
@@ -145,7 +152,7 @@ func (e *Engine) worker() {
 	for {
 		select {
 		case fn := <-e.tasks:
-			fn()
+			e.runTask(fn)
 			e.tasksDone.Add(1)
 		case <-e.quit:
 			// Drain everything already enqueued so no Group waits forever,
@@ -153,7 +160,7 @@ func (e *Engine) worker() {
 			for {
 				select {
 				case fn := <-e.tasks:
-					fn()
+					e.runTask(fn)
 					e.tasksDone.Add(1)
 				default:
 					return
@@ -161,6 +168,21 @@ func (e *Engine) worker() {
 			}
 		}
 	}
+}
+
+// runTask executes one pool task with last-resort panic containment: a
+// worker goroutine has no caller to recover for it, so an escaped panic
+// here would kill the process and strand every Group waiting on the pool.
+// Group tasks contain their own panics (recording them for Group.Err)
+// before this fires; this boundary covers raw submissions and is counted
+// separately so an escape is visible in Stats.
+func (e *Engine) runTask(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.taskPanics.Add(1)
+		}
+	}()
+	fn()
 }
 
 // Workers returns the pool size.
@@ -220,6 +242,11 @@ func (e *Engine) Closing() bool {
 // tracked job before retiring the workers, so a job observes a live pool
 // for its whole run. Returns false, without running fn, once Close has
 // begun: shutdown must not race with new maintenance work.
+//
+// A panic in fn is contained — counted in Stats.BgPanics, never crashing
+// the process: a failed merge leaves the index serving its previous
+// snapshot, which is strictly better than taking down every in-flight
+// query with it.
 func (e *Engine) Go(fn func()) bool {
 	e.mu.RLock()
 	if e.closing {
@@ -230,6 +257,11 @@ func (e *Engine) Go(fn func()) bool {
 	e.mu.RUnlock()
 	go func() {
 		defer e.bg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				e.bgPanics.Add(1)
+			}
+		}()
 		fn()
 	}()
 	return true
@@ -391,25 +423,51 @@ func (e *Engine) Stats() Stats {
 		AdmitWaits:      e.admitWaits.Load(),
 		AdmitWaitNanos:  e.admitWaitNs.Load(),
 		SubmitFallbacks: e.submitDropped.Load(),
+		TaskPanics:      e.taskPanics.Load(),
+		BgPanics:        e.bgPanics.Load(),
 	}
 }
 
 // Group is one query phase's barrier over the shared pool: Submit hands
 // tasks to the pool, Wait blocks until exactly this group's tasks finish.
+//
+// A task that panics is contained at the group boundary: the barrier still
+// releases (the wrapped task always completes), and the first contained
+// panic is available from Err after Wait — the delivery path that turns a
+// cold-device fault inside one leaf-refinement task into a typed per-query
+// error instead of a process crash.
 type Group struct {
 	e  *Engine
 	wg sync.WaitGroup
+
+	errMu sync.Mutex
+	err   error
 }
 
 // NewGroup returns an empty group bound to the engine.
 func (e *Engine) NewGroup() *Group { return &Group{e: e} }
+
+// run executes fn with the group's containment: a panic is recorded as the
+// group's error (first one wins) and swallowed, so the barrier releases.
+func (g *Group) run(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			g.errMu.Lock()
+			if g.err == nil {
+				g.err = Contain(r)
+			}
+			g.errMu.Unlock()
+		}
+	}()
+	fn()
+}
 
 // Submit schedules fn on the pool (or inline after Close).
 func (g *Group) Submit(fn func()) {
 	g.wg.Add(1)
 	g.e.submit(func() {
 		defer g.wg.Done()
-		fn()
+		g.run(fn)
 	})
 }
 
@@ -420,7 +478,7 @@ func (g *Group) TrySubmit(fn func()) bool {
 	g.wg.Add(1)
 	ok := g.e.trySubmit(func() {
 		defer g.wg.Done()
-		fn()
+		g.run(fn)
 	})
 	if !ok {
 		g.wg.Done()
@@ -430,3 +488,12 @@ func (g *Group) TrySubmit(fn func()) bool {
 
 // Wait blocks until every task submitted to this group has finished.
 func (g *Group) Wait() { g.wg.Wait() }
+
+// Err returns the first contained panic of the group's tasks as a
+// *PanicError, or nil. Call it after Wait; a phase whose Err is non-nil
+// produced an incomplete result and must not be published.
+func (g *Group) Err() error {
+	g.errMu.Lock()
+	defer g.errMu.Unlock()
+	return g.err
+}

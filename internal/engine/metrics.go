@@ -46,5 +46,13 @@ func (e *Engine) RegisterMetrics(r *metrics.Registry) {
 			Name: "dsidx_engine_submit_fallbacks_total",
 			Help: "Optional tasks (TrySubmit) rejected by a full run queue.",
 		}, stat(func(s Stats) float64 { return float64(s.SubmitFallbacks) })),
+		metrics.NewCounterFunc(metrics.Opts{
+			Name: "dsidx_engine_task_panics_total",
+			Help: "Pool tasks whose panic was contained at the worker boundary.",
+		}, stat(func(s Stats) float64 { return float64(s.TaskPanics) })),
+		metrics.NewCounterFunc(metrics.Opts{
+			Name: "dsidx_engine_bg_panics_total",
+			Help: "Background jobs (merges) whose panic was contained.",
+		}, stat(func(s Stats) float64 { return float64(s.BgPanics) })),
 	)
 }

@@ -1,0 +1,43 @@
+package engine
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a panic converted into an error at an engine boundary: a
+// pool task (Group.Submit), a background job (Engine.Go), or a query
+// coordinator. Value is the original panic payload; when it is itself an
+// error — e.g. a *storage.BlockError from a cold-device read — Unwrap
+// exposes it, so errors.As classification reaches through containment to
+// the root cause. Stack is captured at recovery, for logs and tests.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: contained panic: %v", e.Value)
+}
+
+// Unwrap exposes the panic payload when it is an error, so errors.Is/As
+// chains see through the containment wrapper.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Contain converts a recovered panic value into a *PanicError. Callers use
+// it inside a deferred recover at any boundary where a panic must become a
+// per-query error instead of a process crash:
+//
+//	defer func() {
+//		if r := recover(); r != nil {
+//			err = engine.Contain(r)
+//		}
+//	}()
+func Contain(r any) error {
+	return &PanicError{Value: r, Stack: debug.Stack()}
+}

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGroupContainsTaskPanic(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	cause := fmt.Errorf("leaf refinement: %w", errors.New("device gone"))
+	g := e.NewGroup()
+	for i := 0; i < 4; i++ {
+		i := i
+		g.Submit(func() {
+			if i == 2 {
+				panic(cause)
+			}
+		})
+	}
+	g.Wait() // must release despite the panic — barrier integrity
+	err := g.Err()
+	if err == nil {
+		t.Fatal("Group.Err() = nil after a task panicked")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Group.Err() = %T, want *PanicError", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("contained panic does not unwrap to its error payload: %v", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError captured no stack")
+	}
+}
+
+func TestGroupErrFirstPanicWins(t *testing.T) {
+	e := New(Options{Workers: 4})
+	defer e.Close()
+	g := e.NewGroup()
+	for i := 0; i < 8; i++ {
+		g.Submit(func() { panic("boom") })
+	}
+	g.Wait()
+	var pe *PanicError
+	if err := g.Err(); !errors.As(err, &pe) || pe.Value != "boom" {
+		t.Fatalf("Group.Err() = %v, want contained \"boom\"", err)
+	}
+}
+
+func TestGroupContainsInlinePanicAfterClose(t *testing.T) {
+	// After Close, Submit degrades to inline execution on the caller's
+	// goroutine; containment must still hold there.
+	e := New(Options{Workers: 1})
+	e.Close()
+	g := e.NewGroup()
+	g.Submit(func() { panic("inline") })
+	g.Wait()
+	if g.Err() == nil {
+		t.Fatal("inline-executed panic escaped containment")
+	}
+}
+
+func TestGoContainsBackgroundPanic(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	done := make(chan struct{})
+	if !e.Go(func() {
+		defer close(done)
+		panic("merge exploded")
+	}) {
+		t.Fatal("Go refused before Close")
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("background job never finished")
+	}
+	// The counter may trail the job's defer by a hair; poll briefly.
+	deadline := time.Now().Add(time.Second)
+	for e.Stats().BgPanics == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("BgPanics = %d, want 1", e.Stats().BgPanics)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The pool is still alive and useful after the contained panic.
+	g := e.NewGroup()
+	ran := false
+	g.Submit(func() { ran = true })
+	g.Wait()
+	if !ran || g.Err() != nil {
+		t.Fatalf("pool unusable after contained background panic: ran=%v err=%v", ran, g.Err())
+	}
+}
+
+func TestWorkerContainsRawTaskPanic(t *testing.T) {
+	// A raw (non-Group) submission that panics must not kill the worker:
+	// the pool keeps executing later tasks and counts the escape.
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	e.submit(func() { panic("raw") })
+	g := e.NewGroup()
+	ran := false
+	g.Submit(func() { ran = true })
+	g.Wait()
+	if !ran {
+		t.Fatal("worker died after raw task panic")
+	}
+	if got := e.Stats().TaskPanics; got != 1 {
+		t.Fatalf("TaskPanics = %d, want 1", got)
+	}
+}
+
+// TestPanicErrorRendering pins the containment wrapper's message and
+// unwrap behavior for both error and non-error payloads.
+func TestPanicErrorRendering(t *testing.T) {
+	wrapped := errors.New("device gone")
+	pe := &PanicError{Value: wrapped}
+	if msg := pe.Error(); !strings.Contains(msg, "contained panic") || !strings.Contains(msg, "device gone") {
+		t.Fatalf("PanicError message %q", msg)
+	}
+	if !errors.Is(pe, wrapped) {
+		t.Fatal("error payload not exposed via Unwrap")
+	}
+	if (&PanicError{Value: "boom"}).Unwrap() != nil {
+		t.Fatal("non-error payload should unwrap to nil")
+	}
+}

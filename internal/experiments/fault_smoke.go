@@ -1,0 +1,145 @@
+package experiments
+
+// Fault smoke: a fixed-seed end-to-end walk of the fault-tolerance stack
+// driven by scripts/fault_smoke.sh and the CI fault smoke step. It builds
+// a mixed hot/cold sharded index whose cold device is a FaultStore, then
+// walks the failure lifecycle — transient faults retried invisibly, a dead
+// device failing queries with the typed error, quarantine, re-stage,
+// bit-identical recovery — and returns the index's Prometheus exposition
+// so the script can grep the fault metric families dashboards key on.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dsidx/internal/core"
+	"dsidx/internal/gen"
+	"dsidx/internal/series"
+	"dsidx/internal/shard"
+	"dsidx/internal/storage"
+	"dsidx/internal/ucr"
+)
+
+// RunFaultSmoke runs the lifecycle and returns the metrics exposition
+// text. Any contract violation — a query that should have failed
+// succeeding, an untyped error, a quarantine or re-stage that does not
+// happen — is an error.
+func RunFaultSmoke(cfg Config) (string, error) {
+	n := cfg.SeriesCount
+	if n <= 0 {
+		n = 3000
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 2020
+	}
+	const (
+		shards    = 3
+		coldShard = 1
+		seriesLen = 128
+	)
+
+	g := gen.Generator{Kind: gen.Synthetic, Length: seriesLen, Seed: seed}
+	coll := g.Collection(n)
+	fs := storage.NewFaultStore(storage.NewMemStore(), storage.FaultPlan{})
+	first := true
+	s, err := shard.Build(coll, core.Config{LeafCapacity: leafCapacity}, shard.Options{
+		Shards: shards,
+		ColdStorage: &shard.ColdStorage{
+			// The first store is the fault-injected device; re-stages get
+			// clean ones, so recovery works while it stays dead.
+			NewStore: func() (storage.Store, error) {
+				if first {
+					first = false
+					return fs, nil
+				}
+				return storage.NewMemStore(), nil
+			},
+			CacheBytes:  8 << 10,
+			BlockSeries: 8,
+			Cold:        func(si int) bool { return si == coldShard },
+			Retry:       storage.RetryPolicy{MaxRetries: 8, Sleep: func(time.Duration) {}},
+			Source:      coll,
+		},
+		QuarantineAfter: 2,
+	})
+	if err != nil {
+		return "", fmt.Errorf("faultsmoke: build: %w", err)
+	}
+	defer s.Close()
+
+	// Queries that are members of the cold shard: their nearest neighbor
+	// (distance zero) lives there, so every search must read its raw
+	// values off the device — summary pruning can't mask a dead store.
+	// Round-robin placement puts global position g on shard g mod shards.
+	coldQ := series.NewCollection(0, seriesLen)
+	for i := 0; i < 6; i++ {
+		coldQ.Append(coll.At(coldShard + shards*(1+i*n/(shards*8))))
+	}
+	// A separate member set for the dead-device phase: members the earlier
+	// phases never queried, so their blocks can't be sitting in the cache
+	// when the device dies.
+	deadQ := series.NewCollection(0, seriesLen)
+	for i := 0; i < 3; i++ {
+		deadQ.Append(coll.At(coldShard + shards*(2+i*n/(shards*8)+n/(shards*16))))
+	}
+	check := func(phase string) error {
+		for i := 0; i < coldQ.Len(); i++ {
+			q := coldQ.At(i)
+			want := ucr.Scan(coll, q)
+			got, _, err := s.Search(q, 0)
+			if err != nil {
+				return fmt.Errorf("faultsmoke: %s query %d: %w", phase, i, err)
+			}
+			if got.Pos != want.Pos || got.Dist != want.Dist {
+				return fmt.Errorf("faultsmoke: %s query %d: (#%d, %v) != serial (#%d, %v)",
+					phase, i, got.Pos, got.Dist, want.Pos, want.Dist)
+			}
+		}
+		return nil
+	}
+
+	// Phase 1 — healthy: bit-identical to the serial oracle.
+	if err := check("healthy"); err != nil {
+		return "", err
+	}
+
+	// Phase 2 — transient faults: retries absorb them, answers unchanged.
+	fs.SetPlan(storage.FaultPlan{Seed: seed, TransientProb: 0.25, TransientBurst: 2})
+	if err := check("transient"); err != nil {
+		return "", err
+	}
+	fs.Heal()
+
+	// Phase 3 — dead device: typed failures, then quarantine.
+	fs.SetPlan(storage.FaultPlan{PermanentRanges: []storage.Range{{Start: 0, End: fs.Size()}}})
+	var su *shard.ErrShardsUnavailable
+	for i := 0; i < 3; i++ {
+		_, _, err := s.Search(deadQ.At(i), 0)
+		if err == nil {
+			return "", fmt.Errorf("faultsmoke: query %d succeeded on a dead device", i)
+		}
+		if !errors.As(err, &su) {
+			return "", fmt.Errorf("faultsmoke: query %d failed untyped: %w", i, err)
+		}
+	}
+	if st := s.ShardState(coldShard); st != shard.Quarantined {
+		return "", fmt.Errorf("faultsmoke: cold shard state %v after permanent faults, want quarantined", st)
+	}
+
+	// Phase 4 — re-stage onto a fresh store and recover exactly.
+	if err := s.Restage(coldShard); err != nil {
+		return "", fmt.Errorf("faultsmoke: restage: %w", err)
+	}
+	if err := check("recovered"); err != nil {
+		return "", err
+	}
+	h := s.Health()
+	hs := h.Shards[coldShard]
+	if hs.Quarantines < 1 || hs.Restages < 1 {
+		return "", fmt.Errorf("faultsmoke: health %+v lacks the quarantine/re-stage record", hs)
+	}
+
+	return s.Registry().Text(), nil
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunFaultSmoke runs the CI fault-smoke lifecycle at a reduced size:
+// the walk itself errors on any contract violation, and the returned
+// exposition must carry every fault family scripts/fault_smoke.sh greps.
+func TestRunFaultSmoke(t *testing.T) {
+	text, err := RunFaultSmoke(Config{SeriesCount: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"dsidx_shard_state",
+		"dsidx_shard_failures_total",
+		"dsidx_shard_quarantines_total",
+		"dsidx_shard_restages_total",
+		"dsidx_cold_retries_total",
+		"dsidx_cold_faults_transient_total",
+		"dsidx_cold_faults_permanent_total",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("exposition lacks family %s", family)
+		}
+	}
+}

@@ -114,8 +114,12 @@ type IngestStats struct {
 	Pending int
 	// Merged is the number of appended series the tree covers.
 	Merged int
-	// Merges counts completed merge cycles.
-	Merges uint64
+	// Merges counts completed merge cycles; MergeAborts counts merge
+	// cycles abandoned because a merge task panicked (the panic is
+	// contained and the previous snapshot keeps serving — a half-built
+	// tree is never installed).
+	Merges      uint64
+	MergeAborts uint64
 	// SnapshotSwaps counts atomically installed tree snapshots — merge
 	// cycles that published a new tree.
 	SnapshotSwaps uint64
@@ -141,6 +145,7 @@ func (ix *Index) IngestStats() IngestStats {
 		Pending:        int(a) - snap.mergedA,
 		Merged:         snap.mergedA,
 		Merges:         ix.merges.Load(),
+		MergeAborts:    ix.mergeAborts.Load(),
 		SnapshotSwaps:  ix.snapSwaps.Load(),
 		MergeThreshold: ix.mergeThresholdNow(),
 	}
@@ -173,7 +178,14 @@ func (ix *Index) maybeScheduleMerge() {
 func (ix *Index) backgroundMerge() {
 	for {
 		for ix.Pending() >= ix.mergeThresholdNow() && !ix.eng.Closing() {
-			ix.mergeOnce()
+			if !ix.mergeOnce() {
+				// A merge task panicked; the cycle was aborted without
+				// installing anything. Give up this job instead of
+				// hot-looping on a persistent failure — the next append
+				// (or Flush) schedules a fresh attempt.
+				ix.merging.Store(false)
+				return
+			}
 		}
 		ix.merging.Store(false)
 		if ix.eng.Closing() || ix.Pending() < ix.mergeThresholdNow() ||
@@ -185,11 +197,16 @@ func (ix *Index) backgroundMerge() {
 
 // Flush merges every series appended before the call into the tree,
 // synchronously. Concurrent appends may leave new pending series behind;
-// concurrent background merges are coordinated with, not duplicated.
+// concurrent background merges are coordinated with, not duplicated. A
+// merge cycle aborted by a contained task panic stops the Flush early —
+// the pending delta stays exactly searchable, and IngestStats.MergeAborts
+// records the failure.
 func (ix *Index) Flush() {
 	target := int(ix.appended.Load())
 	for ix.snap.Load().mergedA < target {
-		ix.mergeOnce()
+		if !ix.mergeOnce() {
+			return
+		}
 	}
 }
 
@@ -201,14 +218,20 @@ const mergeBlock = 1024
 // subtrees aside, and the new snapshot is installed atomically. Merges are
 // serialized; queries are never blocked — they either hold the old
 // snapshot or pick up the new one on their next call.
-func (ix *Index) mergeOnce() {
+//
+// It reports whether the cycle completed. A panic in either phase's tasks
+// is contained at the Group boundary; the cycle is then aborted before the
+// snapshot install — the half-built tree is discarded, the previous
+// snapshot keeps serving, the delta stays exact-searchable — and
+// MergeAborts is bumped.
+func (ix *Index) mergeOnce() bool {
 	ix.mergeMu.Lock()
 	defer ix.mergeMu.Unlock()
 	old := ix.snap.Load()
 	total := int(ix.appended.Load())
 	lo := old.mergedA
 	if lo >= total {
-		return // a concurrent mergeOnce already covered this suffix
+		return true // a concurrent mergeOnce already covered this suffix
 	}
 	pending := total - lo
 	blocks := xsync.Blocks(pending, mergeBlock)
@@ -240,6 +263,10 @@ func (ix *Index) mergeOnce() {
 		})
 	}
 	g.Wait()
+	if g.Err() != nil {
+		ix.mergeAborts.Add(1)
+		return false
+	}
 
 	keySet := make(map[uint32]struct{}, 64)
 	for _, part := range parts {
@@ -290,6 +317,13 @@ func (ix *Index) mergeOnce() {
 		})
 	}
 	g.Wait()
+	if g.Err() != nil {
+		// A tree-insert task panicked: next may hold half-inserted
+		// subtrees. Installing it would serve silently wrong answers —
+		// dropping it serves the previous snapshot, still exact.
+		ix.mergeAborts.Add(1)
+		return false
+	}
 
 	// No summary copying: the flat SAX rows of the merged prefix stay in
 	// baseSAX and the saxLog, both immutable below the published counts;
@@ -297,6 +331,7 @@ func (ix *Index) mergeOnce() {
 	ix.snap.Store(&snapshot{tree: next, mergedA: total})
 	ix.snapSwaps.Add(1)
 	ix.merges.Add(1)
+	return true
 }
 
 // Index persistence ("DSL1" live format): the core DSI1 blob (tree + SAX

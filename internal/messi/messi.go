@@ -183,16 +183,17 @@ type Index struct {
 	// storage; appended is the published count gating reader visibility
 	// into both. baseSAX holds the build-time collection's summaries,
 	// immutable after construction.
-	baseSAX  *core.SAXArray
-	store    *series.Chunked
-	saxLog   *series.ChunkedRows[uint8]
-	appended atomic.Int64
-	ingestMu sync.Mutex // serializes appenders
-	ingestSM *core.Summarizer
-	ingestBf []uint8
-	mergeMu  sync.Mutex // serializes merges (background and Flush)
-	merging  atomic.Bool
-	merges   atomic.Uint64
+	baseSAX     *core.SAXArray
+	store       *series.Chunked
+	saxLog      *series.ChunkedRows[uint8]
+	appended    atomic.Int64
+	ingestMu    sync.Mutex // serializes appenders
+	ingestSM    *core.Summarizer
+	ingestBf    []uint8
+	mergeMu     sync.Mutex // serializes merges (background and Flush)
+	merging     atomic.Bool
+	merges      atomic.Uint64
+	mergeAborts atomic.Uint64 // merge cycles abandoned after a contained task panic
 	// restored is the appended count carried in from Decode, so
 	// IngestStats.Appended counts only series accepted since this Index
 	// was created or loaded. Written once before the index is shared.
@@ -204,8 +205,11 @@ type Index struct {
 	// searches counts Shared-entry searches served by this index (for a
 	// sharded index: this shard's sub-searches); queryDur is their
 	// latency histogram. Both feed the metrics registry and the tuner.
-	searches atomic.Uint64
-	queryDur *metrics.Histogram
+	// searchFails counts searches that returned a contained-fault error
+	// instead of an answer.
+	searches    atomic.Uint64
+	searchFails atomic.Uint64
+	queryDur    *metrics.Histogram
 
 	// Live tuning state (tune.go): the knob values queries and merges
 	// actually read. They start at the configured options and move only
@@ -320,6 +324,37 @@ func (ix *Index) ProbeLeaves() int { return ix.probeLeavesNow() }
 // Searches returns the number of Shared-entry searches this index has
 // served — for a sharded index, this shard's sub-search count.
 func (ix *Index) Searches() uint64 { return ix.searches.Load() }
+
+// Health is one index's fault-tolerance snapshot: how often queries and
+// merges hit contained faults, alongside the engine's panic-containment
+// counters. All zeros on a healthy index.
+type Health struct {
+	// Searches and FailedSearches count Shared-entry searches served and
+	// the subset that returned a contained-fault error instead of an
+	// answer.
+	Searches       uint64
+	FailedSearches uint64
+	// MergeAborts counts merge cycles abandoned after a contained task
+	// panic (the previous snapshot kept serving).
+	MergeAborts uint64
+	// TaskPanics and BgPanics mirror the engine's containment counters
+	// (pool-task and background-job boundaries). A shared pool reports
+	// the same values through every index attached to it.
+	TaskPanics uint64
+	BgPanics   uint64
+}
+
+// Health snapshots the index's fault counters.
+func (ix *Index) Health() Health {
+	es := ix.eng.Stats()
+	return Health{
+		Searches:       ix.searches.Load(),
+		FailedSearches: ix.searchFails.Load(),
+		MergeAborts:    ix.mergeAborts.Load(),
+		TaskPanics:     es.TaskPanics,
+		BgPanics:       es.BgPanics,
+	}
+}
 
 // Build creates a MESSI index over coll — any read-only collection: the
 // flat in-memory RawData array of the paper, or a position-remapping

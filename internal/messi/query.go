@@ -29,6 +29,11 @@ type QueryStats struct {
 	// query start. A serial scan over exactly that prefix returns the
 	// bit-identical answer.
 	Observed int
+	// UncoveredShards lists the shards a partial-results query (the shard
+	// layer's AllowPartial mode) could not cover — quarantined or failing
+	// at query time. Empty on a complete answer; never set by an unsharded
+	// index.
+	UncoveredShards []int
 }
 
 // view is the consistent cut one query observes: a tree snapshot plus the
@@ -198,6 +203,13 @@ func (sc *searchScratch) wasProbed(leaf *core.Node) bool {
 // the answer positions.
 func identPos(p int32) int32 { return p }
 
+// failQuery records a search that is returning a contained-fault error
+// instead of an answer, feeding Health().FailedSearches.
+func (ix *Index) failQuery(err error) error {
+	ix.searchFails.Add(1)
+	return err
+}
+
 // beginQuery registers a query with the engine's counters. A sub-search —
 // one shard's branch of a scatter-gather query, recognizable by its
 // non-nil position map — contributes to pool scheduling (FairShare) but
@@ -268,15 +280,23 @@ func (ix *Index) Search(q series.Series, workers int) (core.Result, *QueryStats,
 // pin one consistent cross-shard prefix; -1 answers over everything
 // published. The caller reads the answer from best after the call (and
 // after every sibling shard's call, when sharing).
-func (ix *Index) SearchShared(q series.Series, workers int, best *xsync.Best, mapPos func(int32) int32, appendCut int) (*QueryStats, error) {
+func (ix *Index) SearchShared(q series.Series, workers int, best *xsync.Best, mapPos func(int32) int32, appendCut int) (stats *QueryStats, err error) {
 	if len(q) != ix.cfg.SeriesLen {
 		return nil, fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
 	}
 	v, mp, posLimit := ix.sharedCut(mapPos, appendCut)
-	stats := &QueryStats{Observed: v.total(ix.baseLen)}
+	stats = &QueryStats{Observed: v.total(ix.baseLen)}
 	if stats.Observed == 0 {
 		return stats, nil
 	}
+	// Coordinator-side containment: the approximate phase refines leaves on
+	// this goroutine, so a cold-device fault here does not pass through any
+	// pool-task boundary — recover it into the same typed error shape.
+	defer func() {
+		if r := recover(); r != nil {
+			stats, err = nil, ix.failQuery(engine.Contain(r))
+		}
+	}()
 
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
@@ -292,7 +312,7 @@ func (ix *Index) SearchShared(q series.Series, workers int, best *xsync.Best, ma
 	// Approximate phase: exact distances over the closest p leaves.
 	ix.probeLeaves(sc, t, stats, refine)
 
-	ix.queuedSearch(workers, mapPos != nil, stats, best.Distance, sc, v,
+	if err := ix.queuedSearch(workers, mapPos != nil, stats, best.Distance, sc, v,
 		func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)) {
 			t.PruneWalkTable(node, sc.mt, bsf, emit)
 		},
@@ -308,7 +328,9 @@ func (ix *Index) SearchShared(q series.Series, workers int, best *xsync.Best, ma
 					best.Update(d, int64(mp(int32(ix.baseLen+i))))
 				}
 			})
-		})
+		}); err != nil {
+		return nil, ix.failQuery(err)
+	}
 	return stats, nil
 }
 
@@ -409,6 +431,12 @@ const deltaBlock = 1024
 // per-call scaling knob); each phase submits at most that many tasks and
 // the phase barrier waits only for its own. sub marks a sharded
 // sub-search (see beginQuery).
+//
+// A task that panics — a cold-device *storage.BlockError surfacing inside
+// a refinement, typically — is contained at the Group boundary; the phase
+// barrier still releases, and queuedSearch returns the first contained
+// panic as an error. The caller must then discard the answer: the shared
+// best-so-far may be missing contributions from the failed tasks.
 func (ix *Index) queuedSearch(
 	workers int,
 	sub bool,
@@ -419,7 +447,7 @@ func (ix *Index) queuedSearch(
 	walk func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)),
 	refine func(leaf *core.Node, limit float64, st *QueryStats, lb *lbScratch),
 	scanDelta func(lo, hi int, st *QueryStats, lb *lbScratch),
-) {
+) error {
 	end := ix.beginQuery(sub)
 	defer end()
 	if workers <= 0 {
@@ -493,6 +521,9 @@ func (ix *Index) queuedSearch(
 		})
 	}
 	g.Wait()
+	if err := g.Err(); err != nil {
+		return err
+	}
 
 	// Phase B: best-first refinement. A queue whose head is not below the
 	// BSF can never improve the answer (bounds only grow within a queue and
@@ -575,11 +606,15 @@ func (ix *Index) queuedSearch(
 		})
 	}
 	g.Wait()
+	if err := g.Err(); err != nil {
+		return err
+	}
 
 	stats.LeavesInserted = int(inserted.Load())
 	stats.LeavesPopped = int(popped.Load())
 	stats.EntriesChecked += int(entries.Load())
 	stats.RawDistances += int(raws.Load())
+	return nil
 }
 
 // SearchApproximate answers a query with the approximate algorithm of the
@@ -600,7 +635,7 @@ func (ix *Index) SearchApproximate(q series.Series) (core.Result, error) {
 // keeps the best mapped answer, so the reported global position always
 // lies inside the prefix the caller captured — never a series that landed
 // mid-scatter. See SearchShared for the mapPos and appendCut contracts.
-func (ix *Index) SearchApproximateShared(q series.Series, mapPos func(int32) int32, appendCut int) (core.Result, error) {
+func (ix *Index) SearchApproximateShared(q series.Series, mapPos func(int32) int32, appendCut int) (res core.Result, err error) {
 	if len(q) != ix.cfg.SeriesLen {
 		return core.NoResult(), fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
 	}
@@ -608,6 +643,13 @@ func (ix *Index) SearchApproximateShared(q series.Series, mapPos func(int32) int
 	if v.total(ix.baseLen) == 0 {
 		return core.NoResult(), nil
 	}
+	// The whole approximate probe runs on this goroutine; contain a
+	// cold-device fault into a typed error.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = core.NoResult(), ix.failQuery(engine.Contain(r))
+		}
+	}()
 	end := ix.beginQuery(mapPos != nil)
 	defer end()
 	sc := ix.getScratch()
@@ -660,7 +702,7 @@ func (ix *Index) SearchKNN(q series.Series, k, workers int) ([]core.Result, *Que
 // offer is recorded under mapPos, so the per-position deduplication in kb
 // operates on globally unique positions. See SearchShared for the mapPos
 // and appendCut contracts; the caller reads the answer from kb.Sorted().
-func (ix *Index) SearchKNNShared(q series.Series, k, workers int, kb *xsync.KBest, mapPos func(int32) int32, appendCut int) (*QueryStats, error) {
+func (ix *Index) SearchKNNShared(q series.Series, k, workers int, kb *xsync.KBest, mapPos func(int32) int32, appendCut int) (stats *QueryStats, err error) {
 	if len(q) != ix.cfg.SeriesLen {
 		return nil, fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
 	}
@@ -668,10 +710,15 @@ func (ix *Index) SearchKNNShared(q series.Series, k, workers int, kb *xsync.KBes
 		return &QueryStats{}, nil
 	}
 	v, mp, posLimit := ix.sharedCut(mapPos, appendCut)
-	stats := &QueryStats{Observed: v.total(ix.baseLen)}
+	stats = &QueryStats{Observed: v.total(ix.baseLen)}
 	if stats.Observed == 0 {
 		return stats, nil
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			stats, err = nil, ix.failQuery(engine.Contain(r))
+		}
+	}()
 
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
@@ -695,7 +742,7 @@ func (ix *Index) SearchKNNShared(q series.Series, k, workers int, kb *xsync.KBes
 	ix.probeLeaves(sc, t, stats, refine)
 
 	// The k-th best distance plays the BSF role in every pruning decision.
-	ix.queuedSearch(workers, mapPos != nil, stats, kb.Threshold, sc, v,
+	if err := ix.queuedSearch(workers, mapPos != nil, stats, kb.Threshold, sc, v,
 		func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)) {
 			t.PruneWalkTable(node, sc.mt, bsf, emit)
 		},
@@ -709,7 +756,9 @@ func (ix *Index) SearchKNNShared(q series.Series, k, workers int, kb *xsync.KBes
 				st.RawDistances++
 				kb.Offer(mp(int32(ix.baseLen+i)), vector.SquaredEDEarlyAbandon(q, ix.store.At(i), lim))
 			})
-		})
+		}); err != nil {
+		return nil, ix.failQuery(err)
+	}
 	return stats, nil
 }
 
@@ -735,7 +784,7 @@ func (ix *Index) SearchDTW(q series.Series, window, workers int) (core.Result, *
 // best is shared across shards, so any shard's improvement tightens the
 // LB_Keogh and dynamic-program abandoning thresholds everywhere. See
 // SearchShared for the mapPos and appendCut contracts.
-func (ix *Index) SearchDTWShared(q series.Series, window, workers int, best *xsync.Best, mapPos func(int32) int32, appendCut int) (*QueryStats, error) {
+func (ix *Index) SearchDTWShared(q series.Series, window, workers int, best *xsync.Best, mapPos func(int32) int32, appendCut int) (stats *QueryStats, err error) {
 	if len(q) != ix.cfg.SeriesLen {
 		return nil, fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
 	}
@@ -743,10 +792,15 @@ func (ix *Index) SearchDTWShared(q series.Series, window, workers int, best *xsy
 		window = 0
 	}
 	v, mp, posLimit := ix.sharedCut(mapPos, appendCut)
-	stats := &QueryStats{Observed: v.total(ix.baseLen)}
+	stats = &QueryStats{Observed: v.total(ix.baseLen)}
 	if stats.Observed == 0 {
 		return stats, nil
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			stats, err = nil, ix.failQuery(engine.Contain(r))
+		}
+	}()
 
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
@@ -782,7 +836,7 @@ func (ix *Index) SearchDTWShared(q series.Series, window, workers int, best *xsy
 	}
 	ix.probeLeaves(sc, t, stats, refine)
 
-	ix.queuedSearch(workers, mapPos != nil, stats, best.Distance, sc, v,
+	if err := ix.queuedSearch(workers, mapPos != nil, stats, best.Distance, sc, v,
 		func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)) {
 			t.PruneWalkTable(node, sc.mt, bsf, emit)
 		},
@@ -802,6 +856,8 @@ func (ix *Index) SearchDTWShared(q series.Series, window, workers int, best *xsy
 					best.Update(d, int64(mp(int32(ix.baseLen+i))))
 				}
 			})
-		})
+		}); err != nil {
+		return nil, ix.failQuery(err)
+	}
 	return stats, nil
 }

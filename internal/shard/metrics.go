@@ -5,7 +5,35 @@ import (
 
 	"dsidx/internal/messi"
 	"dsidx/internal/metrics"
+	"dsidx/internal/storage"
 )
+
+// coldFaultTotals sums the fault/retry counters over every live cold
+// reader: the shared build-time tier plus any re-staged per-shard readers
+// (each re-stage stands up its own). The shared reader appears once even
+// though many shards point at it.
+func (s *Sharded) coldFaultTotals() (retries, transient, permanent uint64) {
+	seen := make(map[*storage.DiskReader]bool)
+	add := func(r *storage.DiskReader) {
+		if r == nil || seen[r] {
+			return
+		}
+		seen[r] = true
+		st := r.Stats()
+		retries += st.Retries
+		transient += st.TransientFaults
+		permanent += st.PermanentFaults
+	}
+	if s.cold != nil {
+		add(s.cold.reader)
+	}
+	for _, cp := range s.coldParts {
+		if cp != nil {
+			add(cp.src.Load().reader)
+		}
+	}
+	return retries, transient, permanent
+}
 
 // ShardAppends returns the number of live appends routed to shard si so
 // far (the published cut), independent of merge progress.
@@ -48,6 +76,26 @@ func (s *Sharded) Registry() *metrics.Registry {
 					Help:   "Live appends routed to the shard.",
 					Labels: []metrics.Label{label},
 				}, func() float64 { return float64(s.ShardAppends(si)) }),
+				metrics.NewGaugeFunc(metrics.Opts{
+					Name:   "dsidx_shard_state",
+					Help:   "Serving state: 0=serving, 1=quarantined, 2=restaging.",
+					Labels: []metrics.Label{label},
+				}, func() float64 { return float64(s.health[si].state.Load()) }),
+				metrics.NewCounterFunc(metrics.Opts{
+					Name:   "dsidx_shard_failures_total",
+					Help:   "Queries the shard failed with a storage-classified error.",
+					Labels: []metrics.Label{label},
+				}, func() float64 { return float64(s.health[si].failures.Load()) }),
+				metrics.NewCounterFunc(metrics.Opts{
+					Name:   "dsidx_shard_quarantines_total",
+					Help:   "Serving-to-quarantined transitions.",
+					Labels: []metrics.Label{label},
+				}, func() float64 { return float64(s.health[si].quarantines.Load()) }),
+				metrics.NewCounterFunc(metrics.Opts{
+					Name:   "dsidx_shard_restages_total",
+					Help:   "Completed re-stages onto a fresh store.",
+					Labels: []metrics.Label{label},
+				}, func() float64 { return float64(s.health[si].restages.Load()) }),
 			)
 		}
 		cold := func(f func(ColdStats) float64) func() float64 {
@@ -94,6 +142,18 @@ func (s *Sharded) Registry() *metrics.Registry {
 				Name: "dsidx_cold_device_read_busy_seconds_total",
 				Help: "Modeled device time spent serving reads.",
 			}, cold(func(c ColdStats) float64 { return c.Device.ReadBusy.Seconds() })),
+			metrics.NewCounterFunc(metrics.Opts{
+				Name: "dsidx_cold_retries_total",
+				Help: "Transient cold-read faults retried by the block loaders.",
+			}, func() float64 { r, _, _ := s.coldFaultTotals(); return float64(r) }),
+			metrics.NewCounterFunc(metrics.Opts{
+				Name: "dsidx_cold_faults_transient_total",
+				Help: "Cold block loads that failed after exhausting transient retries.",
+			}, func() float64 { _, t, _ := s.coldFaultTotals(); return float64(t) }),
+			metrics.NewCounterFunc(metrics.Opts{
+				Name: "dsidx_cold_faults_permanent_total",
+				Help: "Cold block loads that failed with a permanent device error.",
+			}, func() float64 { _, _, p := s.coldFaultTotals(); return float64(p) }),
 		)
 	})
 	return s.reg

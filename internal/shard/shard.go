@@ -82,6 +82,23 @@ type Options struct {
 	// exactly); the conformance harness tosses placement randomly to pin
 	// that. Mutually exclusive with CopyBase.
 	ColdStorage *ColdStorage
+	// AllowPartial opts queries into best-effort answers when shards are
+	// unavailable: instead of failing with ErrShardsUnavailable, the query
+	// answers from the shards still serving and records the skipped set in
+	// QueryStats.UncoveredShards. Off by default — a partial answer is no
+	// longer the exact nearest neighbor, so the caller must opt in.
+	AllowPartial bool
+	// QuarantineAfter is the number of CONSECUTIVE permanent cold-read
+	// failures after which a shard is quarantined (0 means
+	// DefaultQuarantineAfter). Retry-exhausted transient faults never
+	// count: only errors the storage tier classified permanent advance
+	// the streak, and any clean query resets it.
+	QuarantineAfter int
+	// AutoRestage schedules a background re-stage (Restage) as soon as a
+	// shard is quarantined, using the shared pool's tracked-job path.
+	// Without it the shard stays quarantined until the operator calls
+	// Restage explicitly.
+	AutoRestage bool
 }
 
 // ColdStorage configures the out-of-core tier: which shards are cold, what
@@ -123,6 +140,17 @@ type ColdStorage struct {
 	// Cold reports whether shard si is placed cold; nil places every
 	// shard cold.
 	Cold func(si int) bool
+	// Retry overrides the cold readers' transient-fault retry policy (the
+	// zero value means storage defaults: 3 retries, capped exponential
+	// backoff). Applies to the shared tier and to re-staged shard files.
+	Retry storage.RetryPolicy
+	// Source, when set, is the hot reader re-staging copies base values
+	// from (it must cover the full base collection in global positions).
+	// When nil, Restage reads through the index's own base reader — fine
+	// on a mixed hot/cold build, but on an all-cold build that is the
+	// failing device itself, so callers that want to re-stage around a
+	// dead store should keep a hot source and pass it here.
+	Source series.Reader
 }
 
 func (o Options) normalize() (Options, error) {
@@ -159,9 +187,13 @@ type Sharded struct {
 	shards    []*messi.Index
 
 	// cold is the shared out-of-core tier (nil when every shard is hot);
-	// coldShards[si] reports shard si's placement.
+	// coldShards[si] reports shard si's placement, coldParts[si] the
+	// swappable device binding its views resolve through (nil for hot
+	// shards), and health[si] its fault accounting.
 	cold       *coldTier
 	coldShards []bool
+	coldParts  []*coldPart
+	health     []shardHealth
 
 	// baseMap[si][localPos] is the global position of shard si's build-time
 	// series; mappers[si] extends it over appends. Both immutable after
@@ -235,6 +267,7 @@ func newShell(coll *series.Collection, opt Options) (*Sharded, []series.Reader, 
 		eng:       engine.New(engine.Options{Workers: opt.Workers, MaxInFlight: opt.MaxInFlight}),
 		shards:    make([]*messi.Index, opt.Shards),
 		baseMap:   baseMap,
+		health:    make([]shardHealth, opt.Shards),
 		appendMap: make([]*series.ChunkedRows[int32], opt.Shards),
 		routeLog:  series.NewChunkedRows[int32](2, 0),
 	}
@@ -300,13 +333,21 @@ func (s *Sharded) initCold(coll *series.Collection, cs *ColdStorage, parts []ser
 	dr, err := storage.NewDiskReader(f, storage.DiskReaderOptions{
 		CacheBytes:  cs.CacheBytes,
 		BlockSeries: cs.BlockSeries,
+		Retry:       cs.Retry,
 	})
 	if err != nil {
 		return fmt.Errorf("shard: cold tier: %w", err)
 	}
+	// Each cold shard's view remaps into a coldPart rather than the reader
+	// directly, so a re-stage can swap the shard onto a fresh store with
+	// one atomic pointer store — no index rebuild, no view rebuild.
+	s.coldParts = make([]*coldPart, s.n)
+	shared := &coldSrc{reader: dr, disk: disk, local: false}
 	for si := range parts {
 		if cold[si] {
-			parts[si] = series.NewView(dr, s.baseMap[si])
+			cp := newColdPart(coll.Len(), coll.SeriesLen(), s.baseMap[si], shared)
+			s.coldParts[si] = cp
+			parts[si] = series.NewView(cp, s.baseMap[si])
 		}
 	}
 	if all {
@@ -493,12 +534,26 @@ func (s *Sharded) view() (cuts []int32, observed int) {
 // per-shard work stats into stats. The logical query is counted once here;
 // the per-shard sub-searches register only as active executors, so the
 // engine's Queries counter reads in logical QPS at any shard count.
+//
+// Fault handling: quarantined shards are skipped up front, and a shard
+// that fails mid-query with a storage-classified error (a contained
+// *storage.BlockError from the cold tier) is absorbed into its health
+// record rather than failing the process. If any shard ends uncovered the
+// query fails fast with ErrShardsUnavailable — or, under
+// Options.AllowPartial, answers from the covered shards and reports the
+// gap in stats.UncoveredShards. Non-storage errors are bugs and fail the
+// query as-is.
 func (s *Sharded) scatter(stats *messi.QueryStats, fn func(si int) (*messi.QueryStats, error)) error {
 	s.eng.CountQuery()
 	sts := make([]*messi.QueryStats, s.n)
 	errs := make([]error, s.n)
+	skipped := make([]bool, s.n)
 	var wg sync.WaitGroup
 	for si := 0; si < s.n; si++ {
+		if !s.available(si) {
+			skipped[si] = true
+			continue
+		}
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
@@ -506,10 +561,32 @@ func (s *Sharded) scatter(stats *messi.QueryStats, fn func(si int) (*messi.Query
 		}(si)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	var skippedIDs, failedIDs []int
+	var cause error
+	for si := 0; si < s.n; si++ {
+		switch {
+		case skipped[si]:
+			skippedIDs = append(skippedIDs, si)
+		case errs[si] != nil:
+			if !s.noteShardError(si, errs[si]) {
+				return errs[si]
+			}
+			failedIDs = append(failedIDs, si)
+			if cause == nil {
+				cause = errs[si]
+			}
+		default:
+			s.noteShardSuccess(si)
 		}
+	}
+	if miss := uncovered(skippedIDs, failedIDs); len(miss) > 0 {
+		if cause == nil && len(skippedIDs) > 0 {
+			cause = s.health[skippedIDs[0]].getErr()
+		}
+		if !s.opt.AllowPartial {
+			return &ErrShardsUnavailable{Shards: miss, Cause: cause}
+		}
+		stats.UncoveredShards = miss
 	}
 	for _, st := range sts {
 		if st == nil {
@@ -611,14 +688,34 @@ func (s *Sharded) SearchApproximate(q series.Series) (core.Result, error) {
 	}
 	s.eng.CountQuery()
 	best := core.NoResult()
+	var skippedIDs, failedIDs []int
+	var cause error
 	for si, sh := range s.shards {
+		if !s.available(si) {
+			skippedIDs = append(skippedIDs, si)
+			continue
+		}
 		r, err := sh.SearchApproximateShared(q, s.mappers[si], int(cuts[si]))
 		if err != nil {
-			return core.NoResult(), err
+			if !s.noteShardError(si, err) {
+				return core.NoResult(), err
+			}
+			failedIDs = append(failedIDs, si)
+			if cause == nil {
+				cause = err
+			}
+			continue
 		}
+		s.noteShardSuccess(si)
 		if r.Pos >= 0 && r.Dist < best.Dist {
 			best = r
 		}
+	}
+	if miss := uncovered(skippedIDs, failedIDs); len(miss) > 0 && !s.opt.AllowPartial {
+		if cause == nil && len(skippedIDs) > 0 {
+			cause = s.health[skippedIDs[0]].getErr()
+		}
+		return core.NoResult(), &ErrShardsUnavailable{Shards: miss, Cause: cause}
 	}
 	return best, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"dsidx/internal/series"
 )
@@ -24,15 +25,20 @@ import (
 //
 // At returns slices into cached blocks; eviction only drops the cache's
 // reference, so values a caller still holds stay valid (the Reader contract:
-// retainers must copy). A device I/O error in At panics: the Reader surface
-// has no error channel, the simulated stores cannot fail, and on a real
-// FileStore a read error under an index is not recoverable mid-query.
+// retainers must copy). A device I/O error in At fails the access, not the
+// process: transient faults are retried with capped exponential backoff per
+// the reader's RetryPolicy, and on exhaustion (or a permanent fault) At
+// panics with a typed *BlockError — the Reader surface has no error channel,
+// so the error rides a panic that the engine's task boundaries recover into
+// a per-query error. Nothing poisons the cache: a failed block is dropped,
+// so a later access retries the device.
 type DiskReader struct {
 	file        *SeriesFile
 	count       int
 	length      int
 	blockSeries int
 	budget      int64
+	retry       RetryPolicy
 
 	// The counters live under mu with the block map, so a Stats snapshot
 	// is one consistent cut of the cache: a resident block's miss is
@@ -41,6 +47,8 @@ type DiskReader struct {
 	// the block before its miss.)
 	mu                      sync.Mutex
 	hits, misses, evictions uint64
+	retries                 uint64
+	transient, permanent    uint64
 	blocks                  map[int]*cacheBlock
 	lru                     cacheBlock // sentinel: lru.next is most recent, lru.prev least
 	resident                int64
@@ -53,7 +61,52 @@ const (
 	DefaultBlockSeries = 64
 )
 
-// DiskReaderOptions sizes the block cache.
+// RetryPolicy governs how a DiskReader re-reads a block after a transient
+// device fault: up to MaxRetries re-reads, sleeping Backoff before the
+// first and doubling up to MaxBackoff between attempts. Permanent faults
+// and unclassified errors are never retried — only failures the store
+// explicitly marked transient (see IsTransient).
+type RetryPolicy struct {
+	// MaxRetries is the number of re-reads after the first failure
+	// (0 means DefaultMaxRetries; negative disables retries).
+	MaxRetries int
+	// Backoff is the sleep before the first retry (0 means
+	// DefaultBackoff); it doubles per attempt, capped at MaxBackoff
+	// (0 means DefaultMaxBackoff).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Sleep replaces time.Sleep, letting tests run backoff schedules
+	// instantly while still observing them.
+	Sleep func(time.Duration)
+}
+
+// Retry policy zero-value defaults: three quick retries spanning ~7 ms.
+const (
+	DefaultMaxRetries = 3
+	DefaultBackoff    = time.Millisecond
+	DefaultMaxBackoff = 50 * time.Millisecond
+)
+
+func (p RetryPolicy) normalize() RetryPolicy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = DefaultMaxRetries
+	}
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = DefaultBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = DefaultMaxBackoff
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// DiskReaderOptions sizes the block cache and configures fault handling.
 type DiskReaderOptions struct {
 	// CacheBytes is the cache budget in bytes of decoded values (0 means
 	// DefaultCacheBytes). The budget is raised to at least one block.
@@ -61,6 +114,9 @@ type DiskReaderOptions struct {
 	// BlockSeries is the number of consecutive series per cached block —
 	// the device-read batch size (0 means DefaultBlockSeries).
 	BlockSeries int
+	// Retry governs transient-fault re-reads (zero value means the
+	// defaults; MaxRetries < 0 disables retrying).
+	Retry RetryPolicy
 }
 
 // CacheStats is a snapshot of the block cache's counters.
@@ -71,6 +127,12 @@ type CacheStats struct {
 	ResidentBytes int64
 	CacheBytes    int64
 	BlockSeries   int
+	// Retries counts block re-reads after transient faults;
+	// TransientFaults and PermanentFaults count block loads that failed
+	// with each class after retries were exhausted (or skipped).
+	Retries         uint64
+	TransientFaults uint64
+	PermanentFaults uint64
 }
 
 // HitRate returns hits/(hits+misses), 0 before any access.
@@ -82,6 +144,23 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// BlockError is the typed panic payload of a DiskReader access that failed
+// after retries: the block, the fault class of the final attempt, and the
+// underlying error. The engine's task boundaries recover it into a
+// per-query error; the shard layer classifies it (permanent faults drive
+// quarantine, transient ones do not).
+type BlockError struct {
+	Block int
+	Class FaultClass
+	Err   error
+}
+
+func (e *BlockError) Error() string {
+	return fmt.Sprintf("storage: disk reader block %d (%s): %v", e.Block, e.Class, e.Err)
+}
+
+func (e *BlockError) Unwrap() error { return e.Err }
+
 // cacheBlock is one aligned run of decoded series. vals and err are written
 // by the single loading goroutine before ready closes and only read after
 // it, so waiters need no lock.
@@ -89,7 +168,7 @@ type cacheBlock struct {
 	idx        int
 	bytes      int64
 	vals       []float32
-	err        error
+	err        *BlockError
 	ready      chan struct{}
 	prev, next *cacheBlock
 }
@@ -111,6 +190,7 @@ func NewDiskReader(f *SeriesFile, opt DiskReaderOptions) (*DiskReader, error) {
 		length:      f.Length(),
 		blockSeries: opt.BlockSeries,
 		budget:      opt.CacheBytes,
+		retry:       opt.Retry.normalize(),
 		blocks:      make(map[int]*cacheBlock),
 	}
 	// The block being returned must be cacheable, or every access at a
@@ -136,9 +216,14 @@ func (r *DiskReader) SeriesLen() int { return r.length }
 // At returns series i, reading its block off the device if cold. The
 // returned slice aliases the cached block; it stays valid after eviction
 // (the backing array lives while referenced) but callers that retain it
-// must copy, per the Reader contract.
+// must copy, per the Reader contract. A device fault that survives the
+// retry policy panics with *BlockError; engine task boundaries recover it
+// into a per-query error.
 func (r *DiskReader) At(i int) series.Series {
-	b := r.block(i / r.blockSeries)
+	b, err := r.block(i / r.blockSeries)
+	if err != nil {
+		panic(err)
+	}
 	lo := (i % r.blockSeries) * r.length
 	return series.Series(b.vals[lo : lo+r.length : lo+r.length])
 }
@@ -148,7 +233,9 @@ func (r *DiskReader) At(i int) series.Series {
 // the NEXT candidate leaf's positions as a pool task while computing real
 // distances on the current one, and single-flight loading means whichever
 // side reaches a block first does the one read. Consecutive duplicate
-// blocks are skipped; already-cached blocks cost a map hit.
+// blocks are skipped; already-cached blocks cost a map hit. Load errors
+// are swallowed: a prefetch is an optimization, and the demand access that
+// actually needs the block will retry the device and surface the fault.
 func (r *DiskReader) Prefetch(pos []int32) {
 	last := -1
 	for _, p := range pos {
@@ -157,7 +244,9 @@ func (r *DiskReader) Prefetch(pos []int32) {
 			continue
 		}
 		last = idx
-		r.block(idx)
+		if _, err := r.block(idx); err != nil {
+			return
+		}
 	}
 }
 
@@ -169,19 +258,24 @@ func (r *DiskReader) Stats() CacheStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return CacheStats{
-		Hits:          r.hits,
-		Misses:        r.misses,
-		Evictions:     r.evictions,
-		ResidentBytes: r.resident,
-		CacheBytes:    r.budget,
-		BlockSeries:   r.blockSeries,
+		Hits:            r.hits,
+		Misses:          r.misses,
+		Evictions:       r.evictions,
+		ResidentBytes:   r.resident,
+		CacheBytes:      r.budget,
+		BlockSeries:     r.blockSeries,
+		Retries:         r.retries,
+		TransientFaults: r.transient,
+		PermanentFaults: r.permanent,
 	}
 }
 
 // block returns block idx, loading it once no matter how many goroutines
 // ask: the miss path installs a not-yet-ready entry under the lock, loads
 // outside it, and closes ready; concurrent callers find the entry and wait.
-func (r *DiskReader) block(idx int) *cacheBlock {
+// A failed load is reported to the loader and every waiter alike, and the
+// entry is dropped so the next access re-reads the device.
+func (r *DiskReader) block(idx int) (*cacheBlock, error) {
 	r.mu.Lock()
 	if b, ok := r.blocks[idx]; ok {
 		r.moveToFront(b)
@@ -189,9 +283,9 @@ func (r *DiskReader) block(idx int) *cacheBlock {
 		r.mu.Unlock()
 		<-b.ready
 		if b.err != nil {
-			panic(fmt.Sprintf("storage: disk reader block %d: %v", idx, b.err))
+			return nil, b.err
 		}
-		return b
+		return b, nil
 	}
 	start := idx * r.blockSeries
 	n := min(r.blockSeries, r.count-start)
@@ -208,25 +302,56 @@ func (r *DiskReader) block(idx int) *cacheBlock {
 	r.mu.Unlock()
 
 	buf := make([]byte, n*r.length*4)
-	b.err = r.file.ReadBatchBytesInto(buf, int64(start))
-	if b.err == nil {
-		b.vals = make([]float32, n*r.length)
-		DecodeFloat32(b.vals, buf)
-	}
-	close(b.ready)
-	if b.err != nil {
+	if err := r.load(buf, int64(start)); err != nil {
+		class := FaultPermanent
+		if IsTransient(err) {
+			class = FaultTransient
+		}
+		b.err = &BlockError{Block: idx, Class: class, Err: err}
+		r.mu.Lock()
+		if class == FaultTransient {
+			r.transient++
+		} else {
+			r.permanent++
+		}
 		// Drop the failed entry (unless eviction already did, or a later
 		// miss replaced it) so a retry re-reads the device.
-		r.mu.Lock()
 		if r.blocks[idx] == b {
 			delete(r.blocks, idx)
 			r.unlink(b)
 			r.resident -= b.bytes
 		}
 		r.mu.Unlock()
-		panic(fmt.Sprintf("storage: disk reader block %d: %v", idx, b.err))
+		close(b.ready)
+		return nil, b.err
 	}
-	return b
+	b.vals = make([]float32, n*r.length)
+	DecodeFloat32(b.vals, buf)
+	close(b.ready)
+	return b, nil
+}
+
+// load performs the device read with the retry policy: transient faults
+// are re-read up to MaxRetries times under capped exponential backoff;
+// anything else fails immediately.
+func (r *DiskReader) load(buf []byte, start int64) error {
+	backoff := r.retry.Backoff
+	for attempt := 0; ; attempt++ {
+		err := r.file.ReadBatchBytesInto(buf, start)
+		if err == nil {
+			return nil
+		}
+		if !IsTransient(err) || attempt >= r.retry.MaxRetries {
+			return err
+		}
+		r.mu.Lock()
+		r.retries++
+		r.mu.Unlock()
+		r.retry.Sleep(backoff)
+		if backoff *= 2; backoff > r.retry.MaxBackoff {
+			backoff = r.retry.MaxBackoff
+		}
+	}
 }
 
 // evictLocked drops least-recently-used blocks until the budget holds,

@@ -176,16 +176,21 @@ type SearchStats struct {
 	// Observed is the number of series the query answered over (base
 	// collection plus published appends at query start).
 	Observed int
+	// UncoveredShards lists the shards a partial-results query (a Sharded
+	// index with WithAllowPartial) could not cover; empty whenever the
+	// answer is complete, and always empty on an unsharded index.
+	UncoveredShards []int
 }
 
 func statsFromQuery(st messi.QueryStats) SearchStats {
 	return SearchStats{
-		ProbeLeaves:    st.ProbeLeaves,
-		LeavesInserted: st.LeavesInserted,
-		LeavesPopped:   st.LeavesPopped,
-		EntriesChecked: st.EntriesChecked,
-		RawDistances:   st.RawDistances,
-		Observed:       st.Observed,
+		ProbeLeaves:     st.ProbeLeaves,
+		LeavesInserted:  st.LeavesInserted,
+		LeavesPopped:    st.LeavesPopped,
+		EntriesChecked:  st.EntriesChecked,
+		RawDistances:    st.RawDistances,
+		Observed:        st.Observed,
+		UncoveredShards: st.UncoveredShards,
 	}
 }
 
@@ -226,6 +231,13 @@ type EngineStats struct {
 	AdmitWaits      uint64
 	AdmitWaitNanos  uint64
 	SubmitFallbacks uint64
+	// Containment counters: TaskPanics counts pool tasks whose panic was
+	// caught at the worker boundary, BgPanics background jobs (merges)
+	// whose panic was caught. Nonzero values mean queries failed with
+	// typed errors instead of crashing the process — inspect Health for
+	// the query-level view.
+	TaskPanics uint64
+	BgPanics   uint64
 }
 
 // engineStatsOf mirrors the internal snapshot into the public type.
@@ -240,6 +252,40 @@ func engineStatsOf(st engine.Stats) EngineStats {
 		AdmitWaits:      st.AdmitWaits,
 		AdmitWaitNanos:  st.AdmitWaitNanos,
 		SubmitFallbacks: st.SubmitFallbacks,
+		TaskPanics:      st.TaskPanics,
+		BgPanics:        st.BgPanics,
+	}
+}
+
+// Health is an index's liveness snapshot: how many queries ran, how many
+// failed with a contained error instead of crashing, and how many
+// background merges were abandoned after a contained panic. A healthy
+// index reports zeros everywhere but Searches.
+type Health struct {
+	// Searches counts exact/approximate searches started;
+	// FailedSearches the subset that returned an error.
+	Searches       uint64
+	FailedSearches uint64
+	// MergeAborts counts background merges abandoned because a task
+	// panicked; the delta buffer stays searchable and the next append or
+	// Flush retries.
+	MergeAborts uint64
+	// TaskPanics and BgPanics are the worker pool's containment counters
+	// (see EngineStats).
+	TaskPanics uint64
+	BgPanics   uint64
+}
+
+// Health snapshots the index's failure counters. Safe to call concurrently
+// with queries and appends.
+func (ix *MESSI) Health() Health {
+	h := ix.inner.Health()
+	return Health{
+		Searches:       h.Searches,
+		FailedSearches: h.FailedSearches,
+		MergeAborts:    h.MergeAborts,
+		TaskPanics:     h.TaskPanics,
+		BgPanics:       h.BgPanics,
 	}
 }
 

@@ -1,0 +1,107 @@
+package dsidx_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dsidx"
+	"dsidx/internal/storage"
+)
+
+// saveSmallMESSI builds and saves a small index, returning the path and a
+// query whose answer pins the decoded content.
+func saveSmallMESSI(t *testing.T) (string, *dsidx.Collection, dsidx.Series, dsidx.Match) {
+	t.Helper()
+	coll := dsidx.Generate(dsidx.Synthetic, 600, 64, 23)
+	idx, err := dsidx.NewMESSI(coll, dsidx.WithLeafCapacity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	q := dsidx.GenerateQueries(dsidx.Synthetic, 1, 64, 23).At(0)
+	want, err := idx.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "idx.dsi")
+	if err := idx.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path, coll, q, want
+}
+
+// TestLoadRejectsChecksumMismatch flips one byte of a saved index: the
+// load must fail with the typed corruption error, never decode a wrong
+// index.
+func TestLoadRejectsChecksumMismatch(t *testing.T) {
+	path, coll, _, _ := saveSmallMESSI(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = dsidx.LoadMESSI(path, coll)
+	if err == nil {
+		t.Fatal("corrupted index loaded without error")
+	}
+	if !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("corruption surfaced untyped: %v", err)
+	}
+}
+
+// TestLoadAcceptsLegacyFileWithoutTrailer strips the integrity trailer —
+// the shape of every file saved before it existed — and the load must
+// still succeed with identical answers.
+func TestLoadAcceptsLegacyFileWithoutTrailer(t *testing.T) {
+	path, coll, q, want := saveSmallMESSI(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := dsidx.LoadMESSI(path, coll)
+	if err != nil {
+		t.Fatalf("legacy trailer-less file failed to load: %v", err)
+	}
+	defer idx.Close()
+	got, err := idx.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("legacy load answered %+v, want %+v", got, want)
+	}
+}
+
+// TestOpenShardedRejectsChecksumMismatch gives the sharded manifest the
+// same bit-flip treatment.
+func TestOpenShardedRejectsChecksumMismatch(t *testing.T) {
+	coll := dsidx.Generate(dsidx.Synthetic, 600, 64, 29)
+	s, err := dsidx.NewSharded(coll, dsidx.WithShards(2), dsidx.WithLeafCapacity(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	path := filepath.Join(t.TempDir(), "idx.dss")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dsidx.OpenSharded(path, coll); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("sharded corruption surfaced as %v, want storage.ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# fault_smoke.sh — assert the fault-tolerance stack actually works end to
+# end: a fixed-seed dsbench -faults run builds a mixed hot/cold sharded
+# index on a fault-injected device and walks the failure lifecycle —
+# transient faults retried invisibly, a dead device failing queries with
+# the typed shards-unavailable error, quarantine after repeated permanent
+# failures, re-stage onto a fresh store, bit-identical recovery. The Go
+# side already fails on any contract violation; this script additionally
+# greps the printed exposition for the fault metric families dashboards
+# key on, and spot-checks that the lifecycle actually moved them (retries
+# happened, the cold shard quarantined and re-staged exactly once, and
+# every shard is back to serving).
+#
+# Usage: scripts/fault_smoke.sh [series]
+#
+# Used identically in CI (fault smoke step) and locally.
+set -euo pipefail
+
+SERIES="${1:-3000}"
+OUT="${FAULT_SMOKE_OUT:-/tmp/fault_smoke.txt}"
+
+go build ./...
+go run ./cmd/dsbench -faults -series "$SERIES" -seed 2020 > "$OUT"
+
+for family in \
+    dsidx_shard_state \
+    dsidx_shard_failures_total \
+    dsidx_shard_quarantines_total \
+    dsidx_shard_restages_total \
+    dsidx_cold_retries_total \
+    dsidx_cold_faults_transient_total \
+    dsidx_cold_faults_permanent_total
+do
+    if ! grep -q "^$family" "$OUT"; then
+        echo "fault smoke: family $family missing from the exposition" >&2
+        exit 1
+    fi
+done
+
+retries=$(awk '/^dsidx_cold_retries_total/ { print $NF + 0 }' "$OUT")
+permanent=$(awk '/^dsidx_cold_faults_permanent_total/ { print $NF + 0 }' "$OUT")
+quarantines=$(awk '/^dsidx_shard_quarantines_total/ { sum += $NF } END { print sum + 0 }' "$OUT")
+restages=$(awk '/^dsidx_shard_restages_total/ { sum += $NF } END { print sum + 0 }' "$OUT")
+degraded=$(awk '/^dsidx_shard_state\{/ { sum += $NF } END { print sum + 0 }' "$OUT")
+
+if [ "$retries" -le 0 ]; then
+    echo "fault smoke: no transient retries recorded — the retry path never ran" >&2
+    exit 1
+fi
+if [ "$permanent" -le 0 ]; then
+    echo "fault smoke: no permanent faults recorded — the dead-device path never ran" >&2
+    exit 1
+fi
+if [ "$quarantines" -ne 1 ] || [ "$restages" -ne 1 ]; then
+    echo "fault smoke: quarantines=$quarantines restages=$restages, want exactly 1 each" >&2
+    exit 1
+fi
+if [ "$degraded" -ne 0 ]; then
+    echo "fault smoke: shards still degraded after recovery (state sum $degraded)" >&2
+    exit 1
+fi
+
+echo "fault smoke: lifecycle OK; retries=$retries permanent_faults=$permanent quarantines=$quarantines restages=$restages, all shards serving"

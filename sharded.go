@@ -3,7 +3,6 @@ package dsidx
 import (
 	"context"
 	"fmt"
-	"os"
 
 	"dsidx/internal/messi"
 	"dsidx/internal/shard"
@@ -45,6 +44,17 @@ func WithShardPolicy(p ShardPolicy) Option {
 	return func(o *options) { o.shardPolicy, o.shardPolicySet = p, true }
 }
 
+// WithAllowPartial opts a Sharded index into best-effort answers when
+// shards are unavailable (quarantined after repeated device failures, or
+// failing mid-query): instead of the whole query failing with a typed
+// shards-unavailable error, it answers from the shards still serving and
+// reports the gap in SearchStats.UncoveredShards. Off by default — a
+// partial answer is no longer guaranteed to be the exact nearest neighbor,
+// so callers must opt in explicitly.
+func WithAllowPartial(enabled bool) Option {
+	return func(o *options) { o.allowPartial = enabled }
+}
+
 // Sharded is a partitioned MESSI index: the collection is split across N
 // independent shards — each a full MESSI index — that answer as one.
 // Search variants scatter to every shard with a single shared best-so-far
@@ -73,8 +83,9 @@ func (o options) shardOptions() (shard.Options, error) {
 		}
 	}
 	return shard.Options{
-		Shards: o.shards,
-		Policy: policy,
+		Shards:       o.shards,
+		Policy:       policy,
+		AllowPartial: o.allowPartial,
 		Options: messi.Options{
 			Workers:        o.workers,
 			QueueCount:     o.queueCount,
@@ -114,9 +125,9 @@ func (s *Sharded) Save(path string) error {
 // file (as written by MESSI.Save) opens as a 1-shard instance with
 // unchanged positions and answers.
 func OpenSharded(path string, coll *Collection, opts ...Option) (*Sharded, error) {
-	data, err := os.ReadFile(path)
+	data, err := readIndexFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("dsidx: reading index: %w", err)
+		return nil, err
 	}
 	o := buildOptions(opts)
 	// shardOptions leaves Shards 0 and Policy nil when unset, which Decode
@@ -237,6 +248,70 @@ func (s *Sharded) IngestStats() IngestStats {
 
 // EngineStats snapshots the one worker pool all shards share — already the
 // aggregate view of the sharded index's execution.
+// ShardHealth is one shard's serving condition inside a Sharded index.
+type ShardHealth struct {
+	// State is "serving", "quarantined" (repeated permanent device
+	// failures; queries skip the shard) or "restaging" (being rewritten
+	// onto a fresh store).
+	State string
+	// Cold reports whether the shard's base values live on the
+	// out-of-core tier.
+	Cold bool
+	// Failures counts queries the shard failed with a storage-classified
+	// error; PermanentFailures is the permanent subset.
+	Failures          uint64
+	PermanentFailures uint64
+	// Quarantines and Restages count lifecycle transitions.
+	Quarantines uint64
+	Restages    uint64
+	// LastError describes the most recent storage failure ("" when none).
+	LastError string
+}
+
+// ShardedHealth is a Sharded index's liveness snapshot: the aggregate
+// query/merge failure counters plus each shard's serving state.
+type ShardedHealth struct {
+	// Searches, FailedSearches and MergeAborts aggregate the per-shard
+	// counters (see Health on MESSI).
+	Searches       uint64
+	FailedSearches uint64
+	MergeAborts    uint64
+	// TaskPanics and BgPanics are the shared pool's containment counters.
+	TaskPanics uint64
+	BgPanics   uint64
+	// Shards holds one entry per shard; Quarantined lists the ids not
+	// currently serving, ascending.
+	Shards      []ShardHealth
+	Quarantined []int
+}
+
+// Health snapshots the index's serving condition. Safe to call
+// concurrently with queries, appends and background re-stages.
+func (s *Sharded) Health() ShardedHealth {
+	h := s.inner.Health()
+	out := ShardedHealth{
+		Searches:       h.Searches,
+		FailedSearches: h.FailedSearches,
+		MergeAborts:    h.MergeAborts,
+		TaskPanics:     h.TaskPanics,
+		BgPanics:       h.BgPanics,
+		Shards:         make([]ShardHealth, len(h.Shards)),
+		Quarantined:    h.Quarantined,
+	}
+	for i, sh := range h.Shards {
+		out.Shards[i] = ShardHealth{
+			State:             sh.State.String(),
+			Cold:              sh.Cold,
+			Failures:          sh.Failures,
+			PermanentFailures: sh.PermanentFailures,
+			Quarantines:       sh.Quarantines,
+			Restages:          sh.Restages,
+			LastError:         sh.LastError,
+		}
+	}
+	return out
+}
+
 func (s *Sharded) EngineStats() EngineStats {
 	return engineStatsOf(s.inner.EngineStats())
 }
