@@ -78,6 +78,7 @@ func main() {
 		inflight    = flag.String("inflight", "", "comma-separated in-flight query counts for the concurrent experiment (default 1,4,16)")
 		appendrate  = flag.String("appendrate", "", "comma-separated append rates (series/s) for the ingest experiment (default 0,1000,10000)")
 		shards      = flag.String("shards", "", "comma-separated shard counts for the sharded experiment (default 1,2,4)")
+		deleterate  = flag.Float64("deleterate", 0, "fraction of the collection tombstoned (evenly spaced, uncompacted) before the -benchjson query benchmark; keys a separate trajectory run")
 		benchjson   = flag.String("benchjson", "", "write the machine-readable query benchmark to this path and exit")
 		shardedjson = flag.String("shardedjson", "", "write the machine-readable sharded benchmark to this path and exit")
 		memjson     = flag.String("memjson", "", "write the machine-readable memory-residency benchmark to this path and exit")
@@ -121,6 +122,7 @@ func main() {
 		InFlightAxis: inflightAxis,
 		AppendRates:  appendRates,
 		ShardAxis:    shardAxis,
+		DeleteRate:   *deleterate,
 	}
 
 	if *metricsDump {

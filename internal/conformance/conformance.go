@@ -1,16 +1,22 @@
 // Package conformance is the randomized differential harness for the
 // serving stack: a seeded generator drives an arbitrary interleaving of
-// Build / Append / AppendBatch / Flush / Save / Load / Search / k-NN / DTW
-// / approximate ops against a plain messi.Index AND a shard.Sharded
-// instance holding identical content, asserting after every query that
-// both answers are bit-identical to each other and to the internal/ucr
-// serial scan over a mirror of everything landed so far.
+// Build / Append / AppendBatch / AppendWithTTL / Delete / DeleteRange /
+// ExpireBefore / Compact / Flush / Save / Load / Search / k-NN / DTW /
+// approximate / sliding-window ops against a plain messi.Index AND a
+// shard.Sharded instance holding identical content, asserting after every
+// query that both answers are bit-identical to each other and to the
+// internal/ucr serial scan over a mirror of everything landed so far.
 //
 // The mirror is the oracle: a flat collection grown in exactly the global
-// position order both systems assign, so "serial scan of the mirror" is
-// the ground truth every exactness claim in this repository reduces to.
+// position order both systems assign, plus a tombstone set and a pending
+// TTL table mirroring the delete state, so "serial scan of the live
+// mirror" is the ground truth every exactness claim in this repository
+// reduces to. TTL expiry runs on a logical clock the harness owns — the
+// index never reads wall time — so runs are deterministic per seed.
 // Equality is exact (not tolerance-based) because every system shares one
-// distance kernel — see ucr.Scan.
+// distance kernel — see ucr.Scan. Some exact queries also carry a random
+// tenant ID: tenancy only moves scheduling, so answers must be
+// bit-identical with or without it.
 //
 // Every (re)build of the sharded instance randomly chooses among the
 // zero-copy view-based base split, the legacy materialized copy
@@ -101,10 +107,17 @@ type harness struct {
 	seq int64 // next fresh series index from the generator
 
 	mirror *series.Collection // oracle: all landed series in global order
+	dead   map[int]bool       // oracle: tombstoned global positions
+	ttls   map[int]int64      // oracle: pending TTL deadlines by position
+	clock  int64              // logical clock driving ExpireBefore
 	base   *series.Collection // the collection both systems were built over
 	qpool  *series.Collection // far-from-everything query series
 	plain  *messi.Index
 	shrd   *shard.Sharded
+
+	// Fired-op counters: a run long enough to claim coverage must have
+	// actually exercised every workload dimension.
+	deletes, rangeDeletes, ttlAppends, expired, windows, tenanted int
 
 	// Fault-mode state: the injecting store under the sharded instance's
 	// cold tier (nil outside fault mode), and counters proving both sides
@@ -130,6 +143,8 @@ func Run(t testing.TB, cfg Config) {
 	h.seq = int64(cfg.BaseSeries)
 	h.qpool = h.gen.Queries(64)
 	h.mirror = series.NewCollection(0, cfg.SeriesLen)
+	h.dead = make(map[int]bool)
+	h.ttls = make(map[int]int64)
 	for i := 0; i < base.Len(); i++ {
 		h.mirror.Append(base.At(i))
 	}
@@ -144,23 +159,36 @@ func Run(t testing.TB, cfg Config) {
 			h.opFault()
 		}
 		switch p := h.rng.Intn(100); {
-		case p < 40:
+		case p < 30:
 			h.opAppend()
-		case p < 55:
+		case p < 40:
 			h.opAppendBatch()
-		case p < 60:
-			h.opFlush()
+		case p < 46:
+			h.opTTLAppend()
+		case p < 51:
+			h.opDelete()
+		case p < 54:
+			h.opDeleteRange()
+		case p < 57:
+			h.opTTLExpire()
+		case p < 59:
+			h.opCompact()
 		case p < 62:
+			h.opFlush()
+		case p < 64:
 			h.opSaveLoad()
-		case p < 63:
+		case p < 65:
 			h.opRebuild()
-		case p < 80:
+		case p < 78:
 			h.opSearch()
 			queries++
-		case p < 90:
+		case p < 85:
+			h.opSearchWindow()
+			queries++
+		case p < 92:
 			h.opKNN()
 			queries++
-		case p < 95:
+		case p < 96:
 			h.opDTW()
 			queries++
 		default:
@@ -174,11 +202,33 @@ func Run(t testing.TB, cfg Config) {
 			h.t.Fatalf("conformance: op %d: counts diverged: plain %d, sharded %d, mirror %d",
 				op, h.plain.Count(), h.shrd.Count(), h.mirror.Len())
 		}
+		if h.plain.Tombstoned() != len(h.dead) || h.shrd.Tombstoned() != len(h.dead) {
+			h.t.Fatalf("conformance: op %d: tombstones diverged: plain %d, sharded %d, mirror %d",
+				op, h.plain.Tombstoned(), h.shrd.Tombstoned(), len(h.dead))
+		}
 	}
 	// A run that never queried verified nothing — the op mix forbids it at
 	// any plausible op count.
 	if cfg.Ops >= 100 && queries == 0 {
 		h.t.Fatal("conformance: no query ops executed")
+	}
+	// Every workload dimension must actually have fired: a long run that
+	// never deleted, never expired a TTL, never windowed or never carried a
+	// tenant verified less than it claims. The op mix makes each
+	// near-certain at any plausible op count.
+	if cfg.Ops >= 300 {
+		for name, n := range map[string]int{
+			"delete":       h.deletes,
+			"delete-range": h.rangeDeletes,
+			"ttl-append":   h.ttlAppends,
+			"ttl-expired":  h.expired,
+			"window-query": h.windows,
+			"tenant-query": h.tenanted,
+		} {
+			if n == 0 {
+				h.t.Fatalf("conformance: op kind %q never fired in %d ops", name, cfg.Ops)
+			}
+		}
 	}
 	// A fault-mode run must have exercised both sides of the contract:
 	// queries completed under injection (checked bit-identical above) and
@@ -352,6 +402,113 @@ func (h *harness) opAppendBatch() {
 	}
 }
 
+// opTTLAppend lands a fresh series with a deadline a few logical ticks
+// ahead, so later opTTLExpire calls actually reap it mid-stream.
+func (h *harness) opTTLAppend() {
+	s := h.fresh()
+	deadline := h.clock + 1 + int64(h.rng.Intn(5))
+	g := h.mirror.Len()
+	h.mirror.Append(s)
+	p1, err := h.plain.AppendWithTTL(s, deadline)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	p2, err := h.shrd.AppendWithTTL(s, deadline)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if p1 != g || p2 != g {
+		h.t.Fatalf("ttl append landed at plain %d / sharded %d, mirror says %d", p1, p2, g)
+	}
+	h.ttls[g] = deadline
+	h.ttlAppends++
+}
+
+// opDelete tombstones one random landed position — sometimes one already
+// deleted, so the newly-deleted report is verified both ways.
+func (h *harness) opDelete() {
+	if h.mirror.Len() == 0 {
+		return
+	}
+	pos := h.rng.Intn(h.mirror.Len())
+	wantNew := !h.dead[pos]
+	ok1, err := h.plain.Delete(pos)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	ok2, err := h.shrd.Delete(pos)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if ok1 != wantNew || ok2 != wantNew {
+		h.t.Fatalf("delete #%d: newly plain %v / sharded %v, mirror says %v", pos, ok1, ok2, wantNew)
+	}
+	h.dead[pos] = true
+	h.deletes++
+}
+
+// opDeleteRange tombstones a small random range, which may straddle the
+// base/append boundary, overlap earlier deletes, or be empty.
+func (h *harness) opDeleteRange() {
+	lo := h.rng.Intn(h.mirror.Len() + 1)
+	hi := lo + h.rng.Intn(6)
+	if hi > h.mirror.Len() {
+		hi = h.mirror.Len()
+	}
+	want := 0
+	for p := lo; p < hi; p++ {
+		if !h.dead[p] {
+			want++
+		}
+	}
+	n1, err := h.plain.DeleteRange(lo, hi)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	n2, err := h.shrd.DeleteRange(lo, hi)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if n1 != want || n2 != want {
+		h.t.Fatalf("delete range [%d, %d): newly plain %d / sharded %d, mirror says %d", lo, hi, n1, n2, want)
+	}
+	for p := lo; p < hi; p++ {
+		h.dead[p] = true
+	}
+	h.rangeDeletes++
+}
+
+// opTTLExpire advances the logical clock and reaps every deadline it
+// passed, verifying both systems report exactly the mirror's count of
+// newly expired series (TTLs on already-deleted positions expire silently).
+func (h *harness) opTTLExpire() {
+	h.clock += int64(1 + h.rng.Intn(3))
+	want := 0
+	for pos, deadline := range h.ttls {
+		if deadline > h.clock {
+			continue
+		}
+		if !h.dead[pos] {
+			want++
+			h.dead[pos] = true
+		}
+		delete(h.ttls, pos)
+	}
+	n1 := h.plain.ExpireBefore(h.clock)
+	n2 := h.shrd.ExpireBefore(h.clock)
+	if n1 != want || n2 != want {
+		h.t.Fatalf("expire at %d: plain %d / sharded %d, mirror says %d", h.clock, n1, n2, want)
+	}
+	h.expired += want
+}
+
+// opCompact forces the tombstone sweep on both systems; every later query
+// verifies answers are unchanged by it.
+func (h *harness) opCompact() {
+	h.plain.Compact()
+	h.shrd.Compact()
+}
+
 func (h *harness) opFlush() {
 	h.plain.Flush()
 	h.shrd.Flush()
@@ -411,12 +568,42 @@ func (h *harness) opRebuild() {
 	}
 	h.close()
 	h.build(base)
+	// A from-scratch rebuild has no delete state; re-apply the mirror's
+	// tombstones (now all base positions — exercising base-side deletes)
+	// and pending TTL deadlines.
+	for pos := range h.dead {
+		if _, err := h.plain.Delete(pos); err != nil {
+			h.t.Fatal(err)
+		}
+		if _, err := h.shrd.Delete(pos); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+	for pos, deadline := range h.ttls {
+		if err := h.plain.SetTTL(pos, deadline); err != nil {
+			h.t.Fatal(err)
+		}
+		if err := h.shrd.SetTTL(pos, deadline); err != nil {
+			h.t.Fatal(err)
+		}
+	}
 }
+
+// isDead is the oracle's tombstone predicate.
+func (h *harness) isDead(pos int) bool { return h.dead[pos] }
 
 func (h *harness) opSearch() {
 	q := h.query()
-	want := ucr.Scan(h.mirror, q)
-	got, st, err := h.plain.Search(q, 0)
+	// A third of exact searches carry a random tenant ID: tenancy touches
+	// only admission and pool scheduling, so the answer must be
+	// bit-identical with or without it.
+	scope := messi.FullScope
+	if h.rng.Intn(3) == 0 {
+		scope.Tenant = []string{"tenant-a", "tenant-b"}[h.rng.Intn(2)]
+		h.tenanted++
+	}
+	want := ucr.ScanLive(h.mirror, q, 0, h.isDead)
+	got, st, err := h.plain.SearchScoped(q, 0, scope)
 	if err != nil {
 		h.t.Fatal(err)
 	}
@@ -426,7 +613,7 @@ func (h *harness) opSearch() {
 	if got.Pos != want.Pos || got.Dist != want.Dist {
 		h.t.Errorf("1-NN: plain (#%d, %v) != serial (#%d, %v)", got.Pos, got.Dist, want.Pos, want.Dist)
 	}
-	sgot, sst, err := h.shrd.Search(q, 0)
+	sgot, sst, err := h.shrd.SearchScoped(q, 0, scope)
 	if h.shardErr("1-NN", err) {
 		return
 	}
@@ -438,10 +625,40 @@ func (h *harness) opSearch() {
 	}
 }
 
+// opSearchWindow queries the most recent n landed series — sometimes a
+// window wider than everything landed (degenerating to a full search),
+// sometimes a thin recent slice — and compares both systems against the
+// serial scan of exactly that live suffix.
+func (h *harness) opSearchWindow() {
+	q := h.query()
+	n := 1 + h.rng.Intn(h.mirror.Len()+8)
+	tenant := ""
+	if h.rng.Intn(4) == 0 {
+		tenant = "tenant-w"
+		h.tenanted++
+	}
+	want := ucr.ScanLive(h.mirror, q, h.mirror.Len()-n, h.isDead)
+	got, _, err := h.plain.SearchWindowTenant(q, n, 0, tenant)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if got.Pos != want.Pos || got.Dist != want.Dist {
+		h.t.Errorf("window(n=%d): plain (#%d, %v) != serial (#%d, %v)", n, got.Pos, got.Dist, want.Pos, want.Dist)
+	}
+	sgot, _, err := h.shrd.SearchWindowTenant(q, n, 0, tenant)
+	if h.shardErr("window", err) {
+		return
+	}
+	if sgot.Pos != want.Pos || sgot.Dist != want.Dist {
+		h.t.Errorf("window(n=%d): sharded (#%d, %v) != serial (#%d, %v)", n, sgot.Pos, sgot.Dist, want.Pos, want.Dist)
+	}
+	h.windows++
+}
+
 func (h *harness) opKNN() {
 	q := h.query()
 	k := 1 + h.rng.Intn(6)
-	want := ucr.ScanKNN(h.mirror, q, k)
+	want := ucr.ScanLiveKNN(h.mirror, q, k, 0, h.isDead)
 	got, _, err := h.plain.SearchKNN(q, k, 0)
 	if err != nil {
 		h.t.Fatal(err)
@@ -473,7 +690,7 @@ func (h *harness) opKNN() {
 func (h *harness) opDTW() {
 	q := h.query()
 	w := h.rng.Intn(6)
-	want := ucr.ScanDTW(h.mirror, q, w)
+	want := ucr.ScanLiveDTW(h.mirror, q, w, 0, h.isDead)
 	got, _, err := h.plain.SearchDTW(q, w, 0)
 	if err != nil {
 		h.t.Fatal(err)
@@ -495,7 +712,7 @@ func (h *harness) opDTW() {
 // true distance, and it upper-bounds the exact answer.
 func (h *harness) opApproximate() {
 	q := h.query()
-	exact := ucr.Scan(h.mirror, q)
+	exact := ucr.ScanLive(h.mirror, q, 0, h.isDead)
 	for name, search := range map[string]func() (core.Result, error){
 		"plain":   func() (core.Result, error) { return h.plain.SearchApproximate(q) },
 		"sharded": func() (core.Result, error) { return h.shrd.SearchApproximate(q) },
@@ -507,8 +724,28 @@ func (h *harness) opApproximate() {
 		if err != nil {
 			h.t.Fatal(err)
 		}
-		if r.Pos < 0 || int(r.Pos) >= h.mirror.Len() {
+		if r.Pos < 0 {
+			// No answer is within the approximate contract once deletes
+			// exist: the probed leaves (a bounded set) may all be
+			// tombstoned even while live series sit elsewhere. With no
+			// deletes a non-empty index must always answer.
+			if exact.Pos >= 0 && len(h.dead) == 0 {
+				h.t.Errorf("%s approx returned no answer over a live collection", name)
+			}
+			continue
+		}
+		if exact.Pos < 0 {
+			// Nothing is live; an approximate answer would have to name a
+			// deleted series.
+			h.t.Errorf("%s approx answered #%d with nothing live", name, r.Pos)
+			continue
+		}
+		if int(r.Pos) >= h.mirror.Len() {
 			h.t.Errorf("%s approx position %d out of range [0, %d)", name, r.Pos, h.mirror.Len())
+			continue
+		}
+		if h.dead[int(r.Pos)] {
+			h.t.Errorf("%s approx answered deleted series #%d", name, r.Pos)
 			continue
 		}
 		if r.Dist < exact.Dist {

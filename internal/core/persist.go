@@ -95,7 +95,9 @@ type indexReader struct {
 }
 
 func (r *indexReader) take(n int) ([]byte, error) {
-	if r.off+n > len(r.data) {
+	// n < 0 catches length-prefix arithmetic that overflowed on hostile
+	// input; without it the slice below panics instead of erroring.
+	if n < 0 || r.off+n > len(r.data) {
 		return nil, fmt.Errorf("core: index truncated at offset %d (+%d): %w",
 			r.off, n, storage.ErrCorrupt)
 	}
@@ -166,6 +168,13 @@ func DecodeIndex(data []byte) (*Tree, *SAXArray, error) {
 	count, err := r.u64()
 	if err != nil {
 		return nil, nil, err
+	}
+	// Bound the claimed series count by the bytes actually present before
+	// the multiply below — a hostile count would overflow int and slip
+	// past take's range check as a small (or negative) length.
+	if count > uint64(len(r.data))/uint64(cfg.Segments) {
+		return nil, nil, fmt.Errorf("core: series count %d exceeds index size: %w",
+			count, storage.ErrCorrupt)
 	}
 	saxBytes, err := r.take(int(count) * cfg.Segments)
 	if err != nil {

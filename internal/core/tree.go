@@ -96,6 +96,44 @@ func (t *Tree) SetSubtree(key uint32, n *Node) {
 	}
 }
 
+// CloneSubtreeFiltered returns a deep copy of the root subtree for key with
+// every entry whose position satisfies drop removed. The copy is rebuilt by
+// re-inserting the surviving entries (leaf order) into a fresh root child:
+// filtering in place cannot work, because CheckInvariants pins every inner
+// node's children to exact Word.Child forms — an inner node whose side
+// empties out must disappear, and only a rebuild keeps the word chain
+// valid. Returns nil when the subtree does not exist; returns a plain
+// Clone when the subtree holds flushed leaves (their entries live on disk
+// and cannot be filtered here). The caller owns the result, exactly as
+// with Clone — the merge path filters tombstoned series out of a subtree
+// while copying it aside.
+func (t *Tree) CloneSubtreeFiltered(key uint32, drop func(pos int32) bool) *Node {
+	old := t.roots[key]
+	if old == nil {
+		return nil
+	}
+	flushed := false
+	old.WalkLeaves(func(leaf *Node) {
+		if leaf.Flushed {
+			flushed = true
+		}
+	})
+	if flushed {
+		return old.Clone()
+	}
+	w, sl := t.cfg.Segments, t.cfg.SeriesLen
+	fresh := &Node{Word: isax.RootWordFromKey(key, w)}
+	old.WalkLeaves(func(leaf *Node) {
+		for i := 0; i < leaf.Count; i++ {
+			if drop(leaf.Pos[i]) {
+				continue
+			}
+			fresh.insert(t.cfg, leaf.entrySAX(i, w), leaf.Pos[i], leaf.EntryRaw(i, sl))
+		}
+	})
+	return fresh
+}
+
 // SubtreeInsert inserts a summary into the subtree for key, which the
 // caller has already computed (and owns). sax is copied.
 func (t *Tree) SubtreeInsert(key uint32, sax []uint8, pos int32) {

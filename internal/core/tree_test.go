@@ -266,3 +266,90 @@ func TestSAXArray(t *testing.T) {
 		t.Error("empty String()")
 	}
 }
+
+func TestCloneSubtreeFiltered(t *testing.T) {
+	tree, _, _ := buildTestTree(t, 2000, testConfig())
+	dropEven := func(pos int32) bool { return pos%2 == 0 }
+
+	next := tree.CloneShell()
+	total := 0
+	for _, key := range tree.OccupiedKeys() {
+		filtered := tree.CloneSubtreeFiltered(key, dropEven)
+		next.SetSubtree(key, filtered)
+		// Collect surviving positions and compare against a direct walk
+		// of the original subtree.
+		want := map[int32]bool{}
+		tree.Subtree(key).WalkLeaves(func(leaf *Node) {
+			for i := 0; i < leaf.Count; i++ {
+				if !dropEven(leaf.Pos[i]) {
+					want[leaf.Pos[i]] = true
+				}
+			}
+		})
+		got := map[int32]bool{}
+		if filtered != nil {
+			filtered.WalkLeaves(func(leaf *Node) {
+				for i := 0; i < leaf.Count; i++ {
+					if dropEven(leaf.Pos[i]) {
+						t.Fatalf("key %d: dropped pos %d survived", key, leaf.Pos[i])
+					}
+					got[leaf.Pos[i]] = true
+				}
+			})
+		}
+		if len(got) != len(want) {
+			t.Fatalf("key %d: %d survivors, want %d", key, len(got), len(want))
+		}
+		for p := range want {
+			if !got[p] {
+				t.Fatalf("key %d: missing survivor %d", key, p)
+			}
+		}
+		total += len(got)
+	}
+	if total != 1000 {
+		t.Fatalf("total survivors = %d, want 1000", total)
+	}
+	if err := next.CheckInvariants(); err != nil {
+		t.Fatalf("filtered tree invariants: %v", err)
+	}
+	if next.Count() != 1000 {
+		t.Fatalf("filtered Count = %d, want 1000", next.Count())
+	}
+	// The original tree must be untouched.
+	if tree.Count() != 2000 {
+		t.Fatalf("original Count = %d after filter", tree.Count())
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("original invariants after filter: %v", err)
+	}
+}
+
+func TestCloneSubtreeFilteredDropAll(t *testing.T) {
+	tree, _, _ := buildTestTree(t, 500, testConfig())
+	next := tree.CloneShell()
+	for _, key := range tree.OccupiedKeys() {
+		next.SetSubtree(key, tree.CloneSubtreeFiltered(key, func(int32) bool { return true }))
+	}
+	if err := next.CheckInvariants(); err != nil {
+		t.Fatalf("drop-all invariants: %v", err)
+	}
+	if next.Count() != 0 {
+		t.Fatalf("drop-all Count = %d", next.Count())
+	}
+	// Missing subtree: filtering a key that was never occupied yields nil.
+	var missing uint32
+	occupied := map[uint32]bool{}
+	for _, key := range tree.OccupiedKeys() {
+		occupied[key] = true
+	}
+	for k := uint32(0); ; k++ {
+		if !occupied[k] {
+			missing = k
+			break
+		}
+	}
+	if got := tree.CloneSubtreeFiltered(missing, func(int32) bool { return false }); got != nil {
+		t.Fatalf("missing subtree: got %v, want nil", got)
+	}
+}

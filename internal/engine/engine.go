@@ -127,6 +127,14 @@ type Engine struct {
 	// background-job boundaries instead of crashing the process.
 	taskPanics atomic.Uint64
 	bgPanics   atomic.Uint64
+
+	// Tenant-fairness state (tenant.go): per-tenant accounting plus the
+	// condition variable gating tenant admission. Untenanted traffic
+	// (tenant "") never touches any of it.
+	tmu         sync.Mutex
+	tcond       *sync.Cond
+	tenants     map[string]*tenantState
+	liveTenants int
 }
 
 // New starts an engine with opt.Workers pool goroutines. The pool is idle
@@ -134,11 +142,13 @@ type Engine struct {
 func New(opt Options) *Engine {
 	opt = opt.normalize()
 	e := &Engine{
-		opt:   opt,
-		tasks: make(chan func(), opt.QueueDepth),
-		quit:  make(chan struct{}),
-		sem:   make(chan struct{}, opt.MaxInFlight),
+		opt:     opt,
+		tasks:   make(chan func(), opt.QueueDepth),
+		quit:    make(chan struct{}),
+		sem:     make(chan struct{}, opt.MaxInFlight),
+		tenants: make(map[string]*tenantState),
 	}
+	e.tcond = sync.NewCond(&e.tmu)
 	e.refs.Store(1)
 	for w := 0; w < opt.Workers; w++ {
 		e.wg.Add(1)

@@ -55,4 +55,35 @@ func (e *Engine) RegisterMetrics(r *metrics.Registry) {
 			Help: "Background jobs (merges) whose panic was contained.",
 		}, stat(func(s Stats) float64 { return float64(s.BgPanics) })),
 	)
+	// Per-tenant families: one sample per tenant ever seen, labeled by the
+	// opaque tenant ID. Untenanted ("") traffic never creates a sample —
+	// it lives entirely in the global families above.
+	tstat := func(f func(TenantStat) float64) func() []metrics.LabeledValue {
+		return func() []metrics.LabeledValue {
+			ts := e.TenantStats()
+			out := make([]metrics.LabeledValue, len(ts))
+			for i, t := range ts {
+				out[i] = metrics.LabeledValue{Label: t.Tenant, Value: f(t)}
+			}
+			return out
+		}
+	}
+	r.MustRegister(
+		metrics.NewMultiGaugeFunc(metrics.Opts{
+			Name: "dsidx_tenant_in_flight",
+			Help: "Queries currently admitted, per tenant.",
+		}, "tenant", tstat(func(t TenantStat) float64 { return float64(t.InFlight) })),
+		metrics.NewMultiGaugeFunc(metrics.Opts{
+			Name: "dsidx_tenant_active_queries",
+			Help: "Query branches currently executing, per tenant.",
+		}, "tenant", tstat(func(t TenantStat) float64 { return float64(t.ActiveQueries) })),
+		metrics.NewMultiCounterFunc(metrics.Opts{
+			Name: "dsidx_tenant_queries_total",
+			Help: "Logical queries executed since creation, per tenant.",
+		}, "tenant", tstat(func(t TenantStat) float64 { return float64(t.Queries) })),
+		metrics.NewMultiCounterFunc(metrics.Opts{
+			Name: "dsidx_tenant_admit_waits_total",
+			Help: "Admissions that blocked on the tenant's own gate.",
+		}, "tenant", tstat(func(t TenantStat) float64 { return float64(t.AdmitWaits) })),
+	)
 }

@@ -1,0 +1,236 @@
+package engine
+
+// Unit coverage for tenant-aware admission and fair-share accounting: the
+// per-tenant gate in front of the untouched global semaphore, its equal
+// split of MaxInFlight across live tenants, cancellation through the gate,
+// stats snapshots, and the dsidx_tenant_* metric families.
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dsidx/internal/metrics"
+)
+
+func TestAdmitTenantSequential(t *testing.T) {
+	e := New(Options{Workers: 2, MaxInFlight: 4})
+	defer e.Close()
+
+	r1 := e.AdmitTenant("a")
+	r2 := e.AdmitTenant("a")
+	st := e.TenantStats()
+	if len(st) != 1 || st[0].Tenant != "a" || st[0].InFlight != 2 {
+		t.Fatalf("stats after two admissions: %+v", st)
+	}
+	r1()
+	r2()
+	r2() // release is idempotent
+	st = e.TenantStats()
+	if st[0].InFlight != 0 {
+		t.Fatalf("in-flight after release: %+v", st)
+	}
+
+	// Tenant "" bypasses the gate entirely: no tenant entry appears.
+	rel := e.AdmitTenant("")
+	rel()
+	if st := e.TenantStats(); len(st) != 1 {
+		t.Fatalf("untenanted admission created a tenant entry: %+v", st)
+	}
+}
+
+func TestAdmitTenantContextCancel(t *testing.T) {
+	e := New(Options{Workers: 1, MaxInFlight: 2})
+	defer e.Close()
+
+	// Fill the lone tenant's cap (its equal split of MaxInFlight = 2).
+	r1, err := e.AdmitTenantContext(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.AdmitTenantContext(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A third admission blocks on the tenant gate until its context dies.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := e.AdmitTenantContext(ctx, "a"); err == nil {
+		t.Fatal("over-cap admission returned without error")
+	}
+	st := e.TenantStats()
+	if len(st) != 1 || st[0].AdmitWaits == 0 {
+		t.Fatalf("blocked admission not counted as a wait: %+v", st)
+	}
+
+	// An already-dead context fails fast.
+	dead, kill := context.WithCancel(context.Background())
+	kill()
+	if _, err := e.AdmitTenantContext(dead, "a"); err == nil {
+		t.Fatal("admission under a canceled context returned without error")
+	}
+
+	// Releasing a slot unblocks the gate again.
+	r1()
+	r3, err := e.AdmitTenantContext(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3()
+	r2()
+	if st := e.TenantStats(); st[0].InFlight != 0 {
+		t.Fatalf("in-flight after all releases: %+v", st)
+	}
+}
+
+func TestAdmitTenantCapSplitsAcrossTenants(t *testing.T) {
+	// With two live tenants, each tenant's gate caps at MaxInFlight/2 —
+	// tenant b can still admit while tenant a sits at its full split.
+	e := New(Options{Workers: 1, MaxInFlight: 4})
+	defer e.Close()
+
+	var relA []func()
+	// b registers first so a's cap is already the two-tenant split.
+	relB, err := e.AdmitTenantContext(context.Background(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		r, err := e.AdmitTenantContext(context.Background(), "a")
+		if err != nil {
+			t.Fatalf("admission %d for tenant a: %v", i, err)
+		}
+		relA = append(relA, r)
+	}
+	// a is at its split (4/2 = 2): one more must block.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := e.AdmitTenantContext(ctx, "a"); err == nil {
+		t.Fatal("tenant a exceeded its split")
+	}
+	// b still has room in its own split and in the global window.
+	relB2, err := e.AdmitTenantContext(context.Background(), "b")
+	if err != nil {
+		t.Fatalf("tenant b blocked by tenant a's storm: %v", err)
+	}
+	relB2()
+	relB()
+	for _, r := range relA {
+		r()
+	}
+}
+
+func TestAdmitTenantConcurrentStorm(t *testing.T) {
+	// Two tenants hammer a tiny admission window concurrently; everything
+	// must drain without deadlock and the books must balance to zero.
+	e := New(Options{Workers: 2, MaxInFlight: 2})
+	defer e.Close()
+	var wg sync.WaitGroup
+	for _, tenant := range []string{"a", "b"} {
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(tenant string) {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					rel := e.AdmitTenant(tenant)
+					end := e.BeginQueryTenant(tenant)
+					end()
+					rel()
+				}
+			}(tenant)
+		}
+	}
+	wg.Wait()
+	for _, st := range e.TenantStats() {
+		if st.InFlight != 0 || st.ActiveQueries != 0 {
+			t.Fatalf("unbalanced books after storm: %+v", st)
+		}
+		if st.Queries != 60 {
+			t.Fatalf("tenant %s counted %d queries, want 60", st.Tenant, st.Queries)
+		}
+	}
+}
+
+func TestFairShareTenant(t *testing.T) {
+	e := New(Options{Workers: 8, MaxInFlight: 16})
+	defer e.Close()
+
+	// Untenanted and lone-tenant callers get the global fair share.
+	if got, want := e.FairShareTenant(""), e.FairShare(); got != want {
+		t.Fatalf("untenanted share %d, global %d", got, want)
+	}
+	endA := e.BeginSubQueryTenant("a")
+	if got, want := e.FairShareTenant("a"), e.FairShare(); got != want {
+		t.Fatalf("lone tenant share %d, global %d", got, want)
+	}
+
+	// A second live tenant halves the slice; a second active branch of the
+	// same tenant halves it again. Never above global, never below 1.
+	endB := e.BeginSubQueryTenant("b")
+	if got := e.FairShareTenant("a"); got != 4 {
+		t.Fatalf("two-tenant share %d, want 4", got)
+	}
+	endA2 := e.BeginSubQueryTenant("a")
+	if got := e.FairShareTenant("a"); got != 2 {
+		t.Fatalf("two-branch share %d, want 2", got)
+	}
+	if got := e.FairShareTenant("zzz-idle"); got < 1 {
+		t.Fatalf("idle tenant share %d, want >= 1", got)
+	}
+	endA()
+	endA2()
+	endB()
+	// All branches done: back to the global share.
+	if got, want := e.FairShareTenant("a"), e.FairShare(); got != want {
+		t.Fatalf("post-drain share %d, global %d", got, want)
+	}
+}
+
+func TestTenantStatsSortedAndCounted(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+	e.CountQueryTenant("b")
+	e.CountQueryTenant("a")
+	e.CountQueryTenant("a")
+	e.CountQueryTenant("") // global only, no tenant entry
+	st := e.TenantStats()
+	if len(st) != 2 || st[0].Tenant != "a" || st[1].Tenant != "b" {
+		t.Fatalf("stats not sorted by tenant: %+v", st)
+	}
+	if st[0].Queries != 2 || st[1].Queries != 1 {
+		t.Fatalf("query counts: %+v", st)
+	}
+}
+
+func TestTenantMetricsExposition(t *testing.T) {
+	e := New(Options{Workers: 2})
+	defer e.Close()
+	r := metrics.NewRegistry()
+	e.RegisterMetrics(r)
+
+	e.CountQueryTenant("beta")
+	e.CountQueryTenant("alpha")
+	rel := e.AdmitTenant("alpha")
+	defer rel()
+
+	text := r.Text()
+	for _, want := range []string{
+		`dsidx_tenant_queries_total{tenant="alpha"} 1`,
+		`dsidx_tenant_queries_total{tenant="beta"} 1`,
+		`dsidx_tenant_in_flight{tenant="alpha"} 1`,
+		`dsidx_tenant_in_flight{tenant="beta"} 0`,
+		`dsidx_tenant_active_queries{tenant="alpha"} 0`,
+		`dsidx_tenant_admit_waits_total{tenant="alpha"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, text)
+		}
+	}
+	// Labels sort deterministically: alpha before beta.
+	if strings.Index(text, `tenant="alpha"`) > strings.Index(text, `tenant="beta"`) {
+		t.Error("tenant samples not sorted by label")
+	}
+}

@@ -62,6 +62,13 @@ type QueryBenchResult struct {
 	RawDistancesPerQuery   float64 `json:"raw_distances_per_query"`
 	EntriesCheckedPerQuery float64 `json:"entries_checked_per_query"`
 
+	// DeleteRate and Tombstoned describe the -deleterate mode: the
+	// requested tombstone fraction and the positions actually deleted
+	// (evenly spaced, left uncompacted so the measured path is the
+	// tombstone-filtered search). Zero for the delete-free baseline.
+	DeleteRate float64 `json:"delete_rate,omitempty"`
+	Tombstoned int     `json:"tombstoned,omitempty"`
+
 	Note string `json:"note,omitempty"`
 }
 
@@ -88,6 +95,23 @@ func RunQueryBench(cfg Config) (*QueryBenchResult, error) {
 	}
 	defer ix.Close()
 
+	// -deleterate mode: tombstone an evenly spaced fraction of the
+	// collection, left uncompacted, so the sweep below measures the
+	// tombstone-filtered search path under a realistic delete spread.
+	tombstoned := 0
+	if cfg.DeleteRate > 0 {
+		k := int(cfg.DeleteRate * float64(w.coll.Len()))
+		for i := 0; i < k; i++ {
+			newly, err := ix.Delete(i * w.coll.Len() / k)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: deleterate: %w", err)
+			}
+			if newly {
+				tombstoned++
+			}
+		}
+	}
+
 	qs := make([]series.Series, w.queries.Len())
 	for i := range qs {
 		qs[i] = w.queries.At(i)
@@ -109,6 +133,8 @@ func RunQueryBench(cfg Config) (*QueryBenchResult, error) {
 		QPSByInflight:          make(map[string]float64, len(cfg.InFlightAxis)),
 		RawDistancesPerQuery:   float64(raw) / float64(len(qs)),
 		EntriesCheckedPerQuery: float64(entries) / float64(len(qs)),
+		DeleteRate:             cfg.DeleteRate,
+		Tombstoned:             tombstoned,
 		Note:                   machineBoundNote,
 	}
 

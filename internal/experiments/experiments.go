@@ -42,6 +42,11 @@ type Config struct {
 	// ShardAxis lists the shard counts of the sharded scatter-gather
 	// experiment (default 1, 2, 4; 1 is the unsharded baseline).
 	ShardAxis []int
+	// DeleteRate is the fraction of the collection tombstoned (evenly
+	// spaced, uncompacted) before the query benchmark runs, measuring the
+	// tombstone-filtered search path. 0 (the default) benchmarks the
+	// delete-free hot path; values are clamped to [0, 0.9].
+	DeleteRate float64
 }
 
 // Normalize fills defaults.
@@ -66,6 +71,12 @@ func (c Config) Normalize() Config {
 	}
 	if len(c.ShardAxis) == 0 {
 		c.ShardAxis = []int{1, 2, 4}
+	}
+	if c.DeleteRate < 0 {
+		c.DeleteRate = 0
+	}
+	if c.DeleteRate > 0.9 {
+		c.DeleteRate = 0.9
 	}
 	return c
 }

@@ -321,3 +321,44 @@ func TestDiskBenchWriteJSON(t *testing.T) {
 		}
 	}
 }
+
+// TestRunQueryBenchDeleteRate pins the -deleterate mode: the requested
+// fraction is tombstoned (evenly spaced, all distinct), the record carries
+// it, and the configuration key gains the deleterate suffix so the
+// delete-free trajectory stays untouched.
+func TestRunQueryBenchDeleteRate(t *testing.T) {
+	cfg := tiny()
+	cfg.DeleteRate = 0.25
+	res, err := RunQueryBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int(0.25 * float64(cfg.SeriesCount)); res.Tombstoned != want {
+		t.Errorf("tombstoned %d, want %d", res.Tombstoned, want)
+	}
+	if res.DeleteRate != 0.25 {
+		t.Errorf("delete rate %v", res.DeleteRate)
+	}
+	if res.NsPerQuery <= 0 || len(res.QPSByInflight) == 0 {
+		t.Errorf("sweep missing: %+v", res)
+	}
+	key := res.ConfigKey()
+	if !strings.Contains(key, ",deleterate=0.25") {
+		t.Errorf("config key %q lacks the deleterate suffix", key)
+	}
+	base := *res
+	base.DeleteRate = 0
+	if strings.Contains(base.ConfigKey(), "deleterate") {
+		t.Errorf("delete-free key %q changed", base.ConfigKey())
+	}
+}
+
+// TestConfigNormalizeDeleteRateClamp pins the [0, 0.9] clamp.
+func TestConfigNormalizeDeleteRateClamp(t *testing.T) {
+	if got := (Config{DeleteRate: -1}).Normalize().DeleteRate; got != 0 {
+		t.Errorf("negative rate normalized to %v", got)
+	}
+	if got := (Config{DeleteRate: 2}).Normalize().DeleteRate; got != 0.9 {
+		t.Errorf("oversized rate normalized to %v", got)
+	}
+}

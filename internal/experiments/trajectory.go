@@ -54,10 +54,16 @@ func (h BenchHeader) Validate() error {
 	return nil
 }
 
-// ConfigKey identifies a query-benchmark configuration.
+// ConfigKey identifies a query-benchmark configuration. The deleterate
+// suffix appears only for tombstone-filtered runs, so delete-free keys stay
+// byte-identical to those written before -deleterate existed.
 func (r *QueryBenchResult) ConfigKey() string {
-	return fmt.Sprintf("query:series=%d,len=%d,queries=%d,workers=%d",
+	key := fmt.Sprintf("query:series=%d,len=%d,queries=%d,workers=%d",
 		r.SeriesCount, r.SeriesLen, r.QueryCount, r.Workers)
+	if r.DeleteRate > 0 {
+		key += fmt.Sprintf(",deleterate=%g", r.DeleteRate)
+	}
+	return key
 }
 
 // ConfigKey identifies a sharded-sweep configuration.

@@ -126,6 +126,11 @@ type IngestStats struct {
 	// MergeThreshold is the delta size that triggers a background merge —
 	// the live value, which AutoTune may have moved off the configured one.
 	MergeThreshold int
+	// Live and Tombstoned split the served position space: Live series a
+	// full search ranges over, Tombstoned positions deleted or TTL-expired
+	// (tombstone.go). Their sum is the index Count().
+	Live       int
+	Tombstoned int
 }
 
 // IngestStats snapshots the write path's counters.
@@ -140,6 +145,7 @@ type IngestStats struct {
 func (ix *Index) IngestStats() IngestStats {
 	snap := ix.snap.Load()
 	a := ix.appended.Load() // after snap: a >= snap.mergedA
+	tombstoned := ix.tombs.Load().count()
 	return IngestStats{
 		Appended:       uint64(a - ix.restored),
 		Pending:        int(a) - snap.mergedA,
@@ -148,6 +154,8 @@ func (ix *Index) IngestStats() IngestStats {
 		MergeAborts:    ix.mergeAborts.Load(),
 		SnapshotSwaps:  ix.snapSwaps.Load(),
 		MergeThreshold: ix.mergeThresholdNow(),
+		Live:           ix.baseLen + int(a) - tombstoned,
+		Tombstoned:     tombstoned,
 	}
 }
 
@@ -233,6 +241,11 @@ func (ix *Index) mergeOnce() bool {
 	if lo >= total {
 		return true // a concurrent mergeOnce already covered this suffix
 	}
+	// One tombstone snapshot for the whole cycle: rebuilt subtrees drop
+	// entries it marks, and marked pending entries are not inserted. Bits
+	// set after this load stay in the published set — queries filter them —
+	// so a racing Delete loses nothing.
+	tombs := ix.tombs.Load()
 	pending := total - lo
 	blocks := xsync.Blocks(pending, mergeBlock)
 	workers := min(ix.eng.Workers(), len(blocks))
@@ -302,9 +315,19 @@ func (ix *Index) mergeOnce() bool {
 					return
 				}
 				key := keys[ki]
-				next.SetSubtree(key, old.tree.Subtree(key).Clone())
+				if tombs.count() > 0 {
+					// Rebuilding anyway — drop tombstoned entries from the
+					// copy (deletes compact for free on subtrees merges
+					// touch; Compact sweeps the rest).
+					next.SetSubtree(key, old.tree.CloneSubtreeFiltered(key, tombs.has))
+				} else {
+					next.SetSubtree(key, old.tree.Subtree(key).Clone())
+				}
 				for _, part := range parts {
 					for _, ai := range part[key] {
+						if tombs.has(int32(ix.baseLen) + ai) {
+							continue // deleted while pending: never enters the tree
+						}
 						if ix.opt.DisableLeafRaw {
 							next.SubtreeInsert(key, ix.saxLog.At(int(ai)), int32(ix.baseLen)+ai)
 						} else {
@@ -358,11 +381,45 @@ const (
 // Encode serializes the index — tree, SAX array and the append store (its
 // raw values and summaries) — so the delta buffer survives Save/Load. The
 // base collection is not included and must be supplied again to Decode.
-// Encode takes no locks and never stalls appenders: the snapshot load is
-// consistent on its own, loading the published count after it guarantees
-// a ≥ mergedA, and every store/log row below that count is immutable, so
-// concurrent appends simply fall outside this save.
+// Encode never stalls appenders: the snapshot load is consistent on its
+// own, loading the published count after it guarantees a ≥ mergedA, and
+// every store/log row below that count is immutable, so concurrent appends
+// simply fall outside this save. Delete/TTL state is read under its own
+// short mutex and wraps the result in a DST1 envelope (tombstone.go) only
+// when non-empty, so indexes without deletes keep their legacy encoding.
 func (ix *Index) Encode() []byte {
+	inner := ix.encodeLive()
+	ix.tombMu.Lock()
+	tombs := ix.tombs.Load()
+	ttls := slices.Clone(ix.ttls)
+	ix.tombMu.Unlock()
+	if tombs.count() == 0 && len(ttls) == 0 {
+		return inner
+	}
+	// Canonical TTL order: equivalent delete states encode identically no
+	// matter the SetTTL call order (positions are unique in ttls).
+	slices.SortFunc(ttls, func(a, b ttlEntry) int { return int(a.pos) - int(b.pos) })
+	var buf bytes.Buffer
+	buf.WriteString(tombMagic)
+	_ = binary.Write(&buf, binary.LittleEndian, uint32(tombVersion))
+	pos := tombs.positions() // ascending
+	_ = binary.Write(&buf, binary.LittleEndian, uint32(len(pos)))
+	for _, p := range pos {
+		_ = binary.Write(&buf, binary.LittleEndian, uint32(p))
+	}
+	_ = binary.Write(&buf, binary.LittleEndian, uint32(len(ttls)))
+	for _, e := range ttls {
+		_ = binary.Write(&buf, binary.LittleEndian, uint32(e.pos))
+		_ = binary.Write(&buf, binary.LittleEndian, uint64(e.deadline))
+	}
+	_ = binary.Write(&buf, binary.LittleEndian, uint64(len(inner)))
+	buf.Write(inner)
+	return buf.Bytes()
+}
+
+// encodeLive is the pre-delete encoding: the DSL1 live wrapper, or a bare
+// DSI1 blob when nothing was ever appended.
+func (ix *Index) encodeLive() []byte {
 	snap := ix.snap.Load()
 	a := int(ix.appended.Load())
 	w := ix.cfg.Segments
@@ -407,7 +464,11 @@ func (ix *Index) Encode() []byte {
 // merged/pending split are restored exactly as saved.
 func Decode(data []byte, coll series.Reader, opt Options) (*Index, error) {
 	opt = opt.normalize()
-	blob, tail, a, mergedA, err := splitLive(data)
+	inner, tombPos, ttls, err := splitTomb(data)
+	if err != nil {
+		return nil, err
+	}
+	blob, tail, a, mergedA, err := splitLive(inner)
 	if err != nil {
 		return nil, err
 	}
@@ -468,6 +529,27 @@ func Decode(data []byte, coll series.Reader, opt Options) (*Index, error) {
 			})
 		}
 	}
+	// Restore delete/TTL state before the index can merge or serve: the
+	// envelope's positions must land inside the restored position space.
+	if len(tombPos) > 0 || len(ttls) > 0 {
+		limit := coll.Len() + a
+		ts := (*tombSet)(nil).clone(limit)
+		for _, p := range tombPos {
+			if int(p) >= limit {
+				return nil, corruptf("messi: tombstone position %d outside %d series", p, limit)
+			}
+			ts.set(p)
+		}
+		for _, e := range ttls {
+			if int(e.pos) >= limit {
+				return nil, corruptf("messi: ttl position %d outside %d series", e.pos, limit)
+			}
+		}
+		if ts.n > 0 {
+			ix.tombs.Store(ts)
+		}
+		ix.ttls = ttls
+	}
 	// The decoded flat SAX array covers base + merged appends; the index
 	// keeps only the immutable base prefix (merged summaries live in the
 	// saxLog, re-appended above).
@@ -506,4 +588,86 @@ func splitLive(data []byte) (blob, tail []byte, appended, mergedA int, err error
 	}
 	blob = data[header : header+int(blobLen)]
 	return blob, data[header+int(blobLen):], int(a), int(merged), nil
+}
+
+// splitTomb peels the optional DST1 delete/TTL envelope (tombstone.go) off a
+// serialized index. Files without the envelope — every file written before
+// deletes existed, and every current file with no delete state — pass
+// through unchanged with zero tombstones. All structural failures wrap
+// storage.ErrCorrupt; position range checks against the restored series
+// count happen in Decode once the inner image is parsed.
+func splitTomb(data []byte) (inner []byte, tombs []int32, ttls []ttlEntry, err error) {
+	if !bytes.HasPrefix(data, []byte(tombMagic)) {
+		return data, nil, nil, nil
+	}
+	off := len(tombMagic)
+	u32 := func(what string) (uint32, error) {
+		if len(data)-off < 4 {
+			return 0, corruptf("messi: truncated tombstone envelope at %s", what)
+		}
+		v := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return v, nil
+	}
+	u64 := func(what string) (uint64, error) {
+		if len(data)-off < 8 {
+			return 0, corruptf("messi: truncated tombstone envelope at %s", what)
+		}
+		v := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		return v, nil
+	}
+	version, err := u32("version")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if version != tombVersion {
+		return nil, nil, nil, corruptf("messi: unsupported tombstone envelope version %d", version)
+	}
+	tombCount, err := u32("tombstone count")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if uint64(tombCount)*4 > uint64(len(data)-off) {
+		return nil, nil, nil, corruptf("messi: tombstone count %d exceeds envelope size", tombCount)
+	}
+	tombs = make([]int32, tombCount)
+	for i := range tombs {
+		p, _ := u32("tombstone position")
+		if int64(p) > int64(1)<<30 {
+			return nil, nil, nil, corruptf("messi: tombstone position %d out of range", p)
+		}
+		if i > 0 && int32(p) <= tombs[i-1] {
+			return nil, nil, nil, corruptf("messi: tombstone positions not strictly ascending at %d", p)
+		}
+		tombs[i] = int32(p)
+	}
+	ttlCount, err := u32("ttl count")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if uint64(ttlCount)*12 > uint64(len(data)-off) {
+		return nil, nil, nil, corruptf("messi: ttl count %d exceeds envelope size", ttlCount)
+	}
+	ttls = make([]ttlEntry, ttlCount)
+	for i := range ttls {
+		p, _ := u32("ttl position")
+		d, _ := u64("ttl deadline")
+		if int64(p) > int64(1)<<30 {
+			return nil, nil, nil, corruptf("messi: ttl position %d out of range", p)
+		}
+		if i > 0 && int32(p) <= ttls[i-1].pos {
+			return nil, nil, nil, corruptf("messi: ttl positions not strictly ascending at %d", p)
+		}
+		ttls[i] = ttlEntry{pos: int32(p), deadline: int64(d)}
+	}
+	innerLen, err := u64("inner length")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if innerLen != uint64(len(data)-off) {
+		return nil, nil, nil, corruptf("messi: tombstone envelope inner length %d, %d bytes remain",
+			innerLen, len(data)-off)
+	}
+	return data[off:], tombs, ttls, nil
 }

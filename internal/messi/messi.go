@@ -202,6 +202,13 @@ type Index struct {
 	// published a new tree).
 	snapSwaps atomic.Uint64
 
+	// Delete/TTL state (tombstone.go). tombs is the published copy-on-write
+	// tombstone set every search consults; tombMu serializes mutators and
+	// guards ttls, the pending per-position expiry deadlines.
+	tombs  atomic.Pointer[tombSet]
+	tombMu sync.Mutex
+	ttls   []ttlEntry
+
 	// searches counts Shared-entry searches served by this index (for a
 	// sharded index: this shard's sub-searches); queryDur is their
 	// latency histogram. Both feed the metrics registry and the tuner.
@@ -312,6 +319,18 @@ func (ix *Index) AdmitContext(ctx context.Context) (release func(), err error) {
 	return ix.eng.AdmitContext(ctx)
 }
 
+// AdmitTenantContext is AdmitContext under a tenant identity: the query
+// clears the tenant's own admission gate before the global one, so one
+// tenant's storm queues on its own gate instead of capturing the shared
+// window. Tenant "" is exactly AdmitContext.
+func (ix *Index) AdmitTenantContext(ctx context.Context, tenant string) (release func(), err error) {
+	return ix.eng.AdmitTenantContext(ctx, tenant)
+}
+
+// TenantStats snapshots the engine's per-tenant accounting, sorted by
+// tenant ID; empty until the first tenanted call.
+func (ix *Index) TenantStats() []engine.TenantStat { return ix.eng.TenantStats() }
+
 // MaxInFlight returns the admission bound on concurrently admitted queries.
 func (ix *Index) MaxInFlight() int { return ix.eng.MaxInFlight() }
 
@@ -342,6 +361,11 @@ type Health struct {
 	// the same values through every index attached to it.
 	TaskPanics uint64
 	BgPanics   uint64
+	// Live and Tombstoned split Count() into series a full search ranges
+	// over and series deleted (or TTL-expired) but still occupying
+	// positions.
+	Live       int
+	Tombstoned int
 }
 
 // Health snapshots the index's fault counters.
@@ -353,6 +377,8 @@ func (ix *Index) Health() Health {
 		MergeAborts:    ix.mergeAborts.Load(),
 		TaskPanics:     es.TaskPanics,
 		BgPanics:       es.BgPanics,
+		Live:           ix.Live(),
+		Tombstoned:     ix.Tombstoned(),
 	}
 }
 

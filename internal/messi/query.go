@@ -203,6 +203,49 @@ func (sc *searchScratch) wasProbed(leaf *core.Node) bool {
 // the answer positions.
 func identPos(p int32) int32 { return p }
 
+// Scope bounds one query's visible position space and carries its tenant
+// identity. The zero Scope answers over nothing appended — use FullScope
+// (or AppendCut: -1) for "everything published".
+type Scope struct {
+	// AppendCut, when ≥ 0, bounds the query to the first AppendCut appended
+	// series, so a sharding layer can pin one consistent cross-shard
+	// prefix; -1 answers over everything published at call time.
+	AppendCut int
+	// LowPos, when > 0, excludes answers whose mapped (global) position is
+	// below it — the sliding-window lower cut. Composed with AppendCut the
+	// query ranges over exactly the global suffix [LowPos, cut).
+	LowPos int32
+	// Tenant is an opaque tenant ID for fair scheduling: the engine divides
+	// pool shares across tenants with live queries, so one tenant's storm
+	// cannot starve the rest. "" is the untenanted default (exactly the
+	// pre-tenant behavior).
+	Tenant string
+}
+
+// FullScope answers over everything published, untenanted.
+var FullScope = Scope{AppendCut: -1}
+
+// qfilter is the per-entry visibility filter one query carries: the
+// exclusive local position limit (merged appends beyond the scope's append
+// cut), the tombstone set loaded at query start, and the window's lower
+// global position. One consistent filter per query — a delete or append
+// landing mid-query is invisible, exactly like a mid-query merge.
+type qfilter struct {
+	posLimit int32
+	lowPos   int32
+	tombs    *tombSet
+}
+
+// skip reports whether the entry at local position p is outside the query's
+// scope: past the append cut, tombstoned, or (for window queries) mapping
+// below the window's global lower cut.
+func (f *qfilter) skip(p int32, mp func(int32) int32) bool {
+	if p >= f.posLimit || f.tombs.has(p) {
+		return true
+	}
+	return f.lowPos > 0 && mp(p) < f.lowPos
+}
+
 // failQuery records a search that is returning a contained-fault error
 // instead of an answer, feeding Health().FailedSearches.
 func (ix *Index) failQuery(err error) error {
@@ -218,13 +261,14 @@ func (ix *Index) failQuery(err error) error {
 // so the returned end also feeds the index's own observability surface
 // (per-index search count and latency histogram) and gives the tuner
 // its per-query tick.
-func (ix *Index) beginQuery(sub bool) (end func()) {
+func (ix *Index) beginQuery(sub bool, tenant string) (end func()) {
 	t0 := time.Now()
-	endEng := ix.eng.BeginSubQuery
-	if !sub {
-		endEng = ix.eng.BeginQuery
+	var endE func()
+	if sub {
+		endE = ix.eng.BeginSubQueryTenant(tenant)
+	} else {
+		endE = ix.eng.BeginQueryTenant(tenant)
 	}
-	endE := endEng()
 	return func() {
 		endE()
 		ix.searches.Add(1)
@@ -234,21 +278,27 @@ func (ix *Index) beginQuery(sub bool) (end func()) {
 }
 
 // sharedCut prepares the cross-index search state: the view (its delta
-// suffix capped at appendCut when a sharding layer pins this query to a
-// consistent global prefix), the position map, and the exclusive local
-// position limit. A merge may already have folded appends beyond the cut
+// suffix capped at the scope's append cut when a sharding layer pins this
+// query to a consistent global prefix), the position map, and the per-entry
+// visibility filter. A merge may already have folded appends beyond the cut
 // into the tree snapshot — those entries are filtered by position during
-// refinement, so the answer covers exactly [0, baseLen+cut).
-func (ix *Index) sharedCut(mapPos func(int32) int32, appendCut int) (v view, mp func(int32) int32, posLimit int32) {
+// refinement, so the answer covers exactly the scoped slice of
+// [0, baseLen+cut), minus the tombstones published at capture time.
+func (ix *Index) sharedCut(mapPos func(int32) int32, scope Scope) (v view, mp func(int32) int32, f qfilter) {
 	v = ix.view()
-	if appendCut >= 0 && appendCut < v.aLive {
-		v.aLive = appendCut
+	if scope.AppendCut >= 0 && scope.AppendCut < v.aLive {
+		v.aLive = scope.AppendCut
 	}
 	mp = mapPos
 	if mp == nil {
 		mp = identPos
 	}
-	return v, mp, int32(ix.baseLen + v.aLive)
+	f = qfilter{
+		posLimit: int32(ix.baseLen + v.aLive),
+		lowPos:   scope.LowPos,
+		tombs:    ix.tombs.Load(),
+	}
+	return v, mp, f
 }
 
 // Search answers an exact 1-NN query over everything the index holds at
@@ -257,16 +307,51 @@ func (ix *Index) sharedCut(mapPos func(int32) int32, appendCut int) (v view, mp 
 // parallelism is additionally capped by the index's pool size, which all
 // in-flight queries share.
 func (ix *Index) Search(q series.Series, workers int) (core.Result, *QueryStats, error) {
+	return ix.SearchScoped(q, workers, FullScope)
+}
+
+// SearchScoped is Search under an explicit Scope: a bounded append cut, a
+// sliding-window lower cut, a tenant identity, or any combination.
+func (ix *Index) SearchScoped(q series.Series, workers int, scope Scope) (core.Result, *QueryStats, error) {
 	if len(q) != ix.cfg.SeriesLen {
 		return core.NoResult(), nil, fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
 	}
 	best := xsync.NewBest()
-	stats, err := ix.SearchShared(q, workers, best, nil, -1)
+	stats, err := ix.SearchShared(q, workers, best, nil, scope)
 	if err != nil {
 		return core.NoResult(), nil, err
 	}
 	d, p := best.Load()
 	return core.Result{Pos: int32(p), Dist: d}, stats, nil
+}
+
+// SearchWindow answers an exact 1-NN query over the most recent n landed
+// series: the consistent append cut captured at call time composed with a
+// lower cut n positions back. A window wider than everything landed so far
+// degenerates to Search. The answer is bit-identical to a serial scan of
+// exactly that suffix minus tombstones.
+func (ix *Index) SearchWindow(q series.Series, n, workers int) (core.Result, *QueryStats, error) {
+	return ix.SearchWindowTenant(q, n, workers, "")
+}
+
+// SearchWindowTenant is SearchWindow under a tenant identity.
+func (ix *Index) SearchWindowTenant(q series.Series, n, workers int, tenant string) (core.Result, *QueryStats, error) {
+	scope, err := ix.windowScope(n)
+	if err != nil {
+		return core.NoResult(), nil, err
+	}
+	scope.Tenant = tenant
+	return ix.SearchScoped(q, workers, scope)
+}
+
+// windowScope captures the consistent cut of a most-recent-n window: the
+// published append count as the upper cut, total-n as the global lower cut.
+func (ix *Index) windowScope(n int) (Scope, error) {
+	if n <= 0 {
+		return Scope{}, fmt.Errorf("messi: window size %d, want > 0", n)
+	}
+	cut := int(ix.appended.Load())
+	return Scope{AppendCut: cut, LowPos: int32(max(0, ix.baseLen+cut-n))}, nil
 }
 
 // SearchShared is the scatter-gather form of Search, the injection point a
@@ -275,16 +360,16 @@ func (ix *Index) Search(q series.Series, workers int) (core.Result, *QueryStats,
 // shard immediately prunes every other shard's traversal, lower-bound
 // filtering and early abandoning — not just the merged answer afterwards.
 // Every improvement is recorded under mapPos (local position → the caller's
-// global position space; nil means identity). appendCut, when ≥ 0, bounds
-// the query to the first appendCut appended series, so a sharding layer can
-// pin one consistent cross-shard prefix; -1 answers over everything
-// published. The caller reads the answer from best after the call (and
-// after every sibling shard's call, when sharing).
-func (ix *Index) SearchShared(q series.Series, workers int, best *xsync.Best, mapPos func(int32) int32, appendCut int) (stats *QueryStats, err error) {
+// global position space; nil means identity). scope bounds the visible
+// position space — append cut, window lower cut — and names the tenant (see
+// Scope); FullScope answers over everything published. The caller reads the
+// answer from best after the call (and after every sibling shard's call,
+// when sharing).
+func (ix *Index) SearchShared(q series.Series, workers int, best *xsync.Best, mapPos func(int32) int32, scope Scope) (stats *QueryStats, err error) {
 	if len(q) != ix.cfg.SeriesLen {
 		return nil, fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
 	}
-	v, mp, posLimit := ix.sharedCut(mapPos, appendCut)
+	v, mp, f := ix.sharedCut(mapPos, scope)
 	stats = &QueryStats{Observed: v.total(ix.baseLen)}
 	if stats.Observed == 0 {
 		return stats, nil
@@ -307,12 +392,12 @@ func (ix *Index) SearchShared(q series.Series, workers int, best *xsync.Best, ma
 	sc.mt.FillFrom(t.Quantizer(), sc.table)
 
 	refine := func(leaf *core.Node, _ float64, st *QueryStats, lb *lbScratch) {
-		ix.refineLeafED(q, sc.table, leaf, best, st, lb, mp, posLimit)
+		ix.refineLeafED(q, sc.table, leaf, best, st, lb, mp, f)
 	}
 	// Approximate phase: exact distances over the closest p leaves.
 	ix.probeLeaves(sc, t, stats, refine)
 
-	if err := ix.queuedSearch(workers, mapPos != nil, stats, best.Distance, sc, v,
+	if err := ix.queuedSearch(workers, mapPos != nil, scope.Tenant, stats, best.Distance, sc, v,
 		func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)) {
 			t.PruneWalkTable(node, sc.mt, bsf, emit)
 		},
@@ -320,7 +405,7 @@ func (ix *Index) SearchShared(q series.Series, workers int, best *xsync.Best, ma
 		func(lo, hi int, st *QueryStats, lb *lbScratch) {
 			ix.forDeltaBounds(sc.table, lo, hi, st, lb, func(i int, b float64) {
 				limit := best.Distance()
-				if b >= limit {
+				if b >= limit || f.skip(int32(ix.baseLen+i), mp) {
 					return
 				}
 				st.RawDistances++
@@ -396,12 +481,13 @@ func (ix *Index) BatchSearch(qs []series.Series) ([]core.Result, error) {
 // identical to the per-entry MinDistSAX values), then survivors pay an
 // early-abandoning real distance against the leaf's materialized raw
 // block — two sequential streams instead of per-entry pointer chasing.
-// Entries at or past posLimit (merged appends beyond a sharding layer's
-// consistent cut) are skipped; improvements land in best under mp.
-func (ix *Index) refineLeafED(q series.Series, table *isax.QueryTable, leaf *core.Node, best *xsync.Best, stats *QueryStats, lb *lbScratch, mp func(int32) int32, posLimit int32) {
+// Entries outside the query's filter — past the consistent cut, tombstoned,
+// or below a window's lower cut — are skipped; improvements land in best
+// under mp.
+func (ix *Index) refineLeafED(q series.Series, table *isax.QueryTable, leaf *core.Node, best *xsync.Best, stats *QueryStats, lb *lbScratch, mp func(int32) int32, f qfilter) {
 	ix.forLeafBounds(table, leaf, stats, lb, func(i int, b float64) {
 		limit := best.Distance()
-		if b >= limit || leaf.Pos[i] >= posLimit {
+		if b >= limit || f.skip(leaf.Pos[i], mp) {
 			return
 		}
 		stats.RawDistances++
@@ -440,6 +526,7 @@ const deltaBlock = 1024
 func (ix *Index) queuedSearch(
 	workers int,
 	sub bool,
+	tenant string,
 	stats *QueryStats,
 	bsf func() float64,
 	sc *searchScratch,
@@ -448,14 +535,15 @@ func (ix *Index) queuedSearch(
 	refine func(leaf *core.Node, limit float64, st *QueryStats, lb *lbScratch),
 	scanDelta func(lo, hi int, st *QueryStats, lb *lbScratch),
 ) error {
-	end := ix.beginQuery(sub)
+	end := ix.beginQuery(sub, tenant)
 	defer end()
 	if workers <= 0 {
 		// Unpinned queries take a fair share of the pool: full fan-out when
-		// alone, a proportional slice when other queries are active. An
-		// explicit workers value (the paper's scaling knob) is honored up to
-		// the pool size.
-		workers = ix.eng.FairShare()
+		// alone, a proportional slice when other queries are active — and,
+		// for a tenanted query, a slice of the tenant's share, so one
+		// tenant's storm cannot starve the rest. An explicit workers value
+		// (the paper's scaling knob) is honored up to the pool size.
+		workers = ix.eng.FairShareTenant(tenant)
 	} else if workers > ix.eng.Workers() {
 		workers = ix.eng.Workers()
 	}
@@ -627,19 +715,24 @@ func (ix *Index) queuedSearch(
 // observed. The answer is not guaranteed to be the true nearest neighbor
 // but is computed in microseconds.
 func (ix *Index) SearchApproximate(q series.Series) (core.Result, error) {
-	return ix.SearchApproximateShared(q, nil, -1)
+	return ix.SearchApproximateScoped(q, FullScope)
+}
+
+// SearchApproximateScoped is SearchApproximate under an explicit Scope.
+func (ix *Index) SearchApproximateScoped(q series.Series, scope Scope) (core.Result, error) {
+	return ix.SearchApproximateShared(q, nil, scope)
 }
 
 // SearchApproximateShared is the scatter form of SearchApproximate: the
 // sharding layer probes every shard under one consistent append cut and
 // keeps the best mapped answer, so the reported global position always
 // lies inside the prefix the caller captured — never a series that landed
-// mid-scatter. See SearchShared for the mapPos and appendCut contracts.
-func (ix *Index) SearchApproximateShared(q series.Series, mapPos func(int32) int32, appendCut int) (res core.Result, err error) {
+// mid-scatter. See SearchShared for the mapPos and scope contracts.
+func (ix *Index) SearchApproximateShared(q series.Series, mapPos func(int32) int32, scope Scope) (res core.Result, err error) {
 	if len(q) != ix.cfg.SeriesLen {
 		return core.NoResult(), fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
 	}
-	v, mp, posLimit := ix.sharedCut(mapPos, appendCut)
+	v, mp, f := ix.sharedCut(mapPos, scope)
 	if v.total(ix.baseLen) == 0 {
 		return core.NoResult(), nil
 	}
@@ -650,7 +743,7 @@ func (ix *Index) SearchApproximateShared(q series.Series, mapPos func(int32) int
 			res, err = core.NoResult(), ix.failQuery(engine.Contain(r))
 		}
 	}()
-	end := ix.beginQuery(mapPos != nil)
+	end := ix.beginQuery(mapPos != nil, scope.Tenant)
 	defer end()
 	sc := ix.getScratch()
 	defer ix.putScratch(sc)
@@ -659,7 +752,7 @@ func (ix *Index) SearchApproximateShared(q series.Series, mapPos func(int32) int
 	best := core.NoResult()
 	for _, leaf := range v.snap.tree.BestLeavesApprox(sc.qsax, sc.qpaa, ix.probeLeavesNow()) {
 		for i := range leaf.Pos {
-			if leaf.Pos[i] >= posLimit {
+			if f.skip(leaf.Pos[i], mp) {
 				continue
 			}
 			if d := vector.SquaredEDEarlyAbandon(q, ix.leafSeries(leaf, i), best.Dist); d < best.Dist {
@@ -668,6 +761,9 @@ func (ix *Index) SearchApproximateShared(q series.Series, mapPos func(int32) int
 		}
 	}
 	for i := v.snap.mergedA; i < v.aLive; i++ {
+		if f.skip(int32(ix.baseLen+i), mp) {
+			continue
+		}
 		if d := vector.SquaredEDEarlyAbandon(q, ix.store.At(i), best.Dist); d < best.Dist {
 			best = core.Result{Pos: mp(int32(ix.baseLen + i)), Dist: d}
 		}
@@ -678,6 +774,11 @@ func (ix *Index) SearchApproximateShared(q series.Series, mapPos func(int32) int
 // SearchKNN answers an exact k-NN query, returning the k nearest series in
 // ascending distance order. The k-th best distance plays the BSF role.
 func (ix *Index) SearchKNN(q series.Series, k, workers int) ([]core.Result, *QueryStats, error) {
+	return ix.SearchKNNScoped(q, k, workers, FullScope)
+}
+
+// SearchKNNScoped is SearchKNN under an explicit Scope.
+func (ix *Index) SearchKNNScoped(q series.Series, k, workers int, scope Scope) ([]core.Result, *QueryStats, error) {
 	if len(q) != ix.cfg.SeriesLen {
 		return nil, nil, fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
 	}
@@ -685,7 +786,7 @@ func (ix *Index) SearchKNN(q series.Series, k, workers int) ([]core.Result, *Que
 		return nil, &QueryStats{}, nil
 	}
 	kb := xsync.NewKBest(k)
-	stats, err := ix.SearchKNNShared(q, k, workers, kb, nil, -1)
+	stats, err := ix.SearchKNNShared(q, k, workers, kb, nil, scope)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -701,15 +802,15 @@ func (ix *Index) SearchKNN(q series.Series, k, workers int) ([]core.Result, *Que
 // threshold tightens globally as any shard improves the set — and every
 // offer is recorded under mapPos, so the per-position deduplication in kb
 // operates on globally unique positions. See SearchShared for the mapPos
-// and appendCut contracts; the caller reads the answer from kb.Sorted().
-func (ix *Index) SearchKNNShared(q series.Series, k, workers int, kb *xsync.KBest, mapPos func(int32) int32, appendCut int) (stats *QueryStats, err error) {
+// and scope contracts; the caller reads the answer from kb.Sorted().
+func (ix *Index) SearchKNNShared(q series.Series, k, workers int, kb *xsync.KBest, mapPos func(int32) int32, scope Scope) (stats *QueryStats, err error) {
 	if len(q) != ix.cfg.SeriesLen {
 		return nil, fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
 	}
 	if k <= 0 {
 		return &QueryStats{}, nil
 	}
-	v, mp, posLimit := ix.sharedCut(mapPos, appendCut)
+	v, mp, f := ix.sharedCut(mapPos, scope)
 	stats = &QueryStats{Observed: v.total(ix.baseLen)}
 	if stats.Observed == 0 {
 		return stats, nil
@@ -732,7 +833,7 @@ func (ix *Index) SearchKNNShared(q series.Series, k, workers int, kb *xsync.KBes
 	refine := func(leaf *core.Node, _ float64, st *QueryStats, lb *lbScratch) {
 		ix.forLeafBounds(table, leaf, st, lb, func(i int, b float64) {
 			lim := kb.Threshold()
-			if b >= lim || leaf.Pos[i] >= posLimit {
+			if b >= lim || f.skip(leaf.Pos[i], mp) {
 				return
 			}
 			st.RawDistances++
@@ -742,7 +843,7 @@ func (ix *Index) SearchKNNShared(q series.Series, k, workers int, kb *xsync.KBes
 	ix.probeLeaves(sc, t, stats, refine)
 
 	// The k-th best distance plays the BSF role in every pruning decision.
-	if err := ix.queuedSearch(workers, mapPos != nil, stats, kb.Threshold, sc, v,
+	if err := ix.queuedSearch(workers, mapPos != nil, scope.Tenant, stats, kb.Threshold, sc, v,
 		func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)) {
 			t.PruneWalkTable(node, sc.mt, bsf, emit)
 		},
@@ -750,7 +851,7 @@ func (ix *Index) SearchKNNShared(q series.Series, k, workers int, kb *xsync.KBes
 		func(lo, hi int, st *QueryStats, lb *lbScratch) {
 			ix.forDeltaBounds(table, lo, hi, st, lb, func(i int, b float64) {
 				lim := kb.Threshold()
-				if b >= lim {
+				if b >= lim || f.skip(int32(ix.baseLen+i), mp) {
 					return
 				}
 				st.RawDistances++
@@ -768,11 +869,16 @@ func (ix *Index) SearchKNNShared(q series.Series, k, workers int, kb *xsync.KBes
 // pass an LB_Keogh check, and survivors pay the full dynamic program. The
 // unmerged delta runs through the same cascade.
 func (ix *Index) SearchDTW(q series.Series, window, workers int) (core.Result, *QueryStats, error) {
+	return ix.SearchDTWScoped(q, window, workers, FullScope)
+}
+
+// SearchDTWScoped is SearchDTW under an explicit Scope.
+func (ix *Index) SearchDTWScoped(q series.Series, window, workers int, scope Scope) (core.Result, *QueryStats, error) {
 	if len(q) != ix.cfg.SeriesLen {
 		return core.NoResult(), nil, fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
 	}
 	best := xsync.NewBest()
-	stats, err := ix.SearchDTWShared(q, window, workers, best, nil, -1)
+	stats, err := ix.SearchDTWShared(q, window, workers, best, nil, scope)
 	if err != nil {
 		return core.NoResult(), nil, err
 	}
@@ -783,15 +889,15 @@ func (ix *Index) SearchDTW(q series.Series, window, workers int) (core.Result, *
 // SearchDTWShared is the scatter-gather form of SearchDTW: the caller-owned
 // best is shared across shards, so any shard's improvement tightens the
 // LB_Keogh and dynamic-program abandoning thresholds everywhere. See
-// SearchShared for the mapPos and appendCut contracts.
-func (ix *Index) SearchDTWShared(q series.Series, window, workers int, best *xsync.Best, mapPos func(int32) int32, appendCut int) (stats *QueryStats, err error) {
+// SearchShared for the mapPos and scope contracts.
+func (ix *Index) SearchDTWShared(q series.Series, window, workers int, best *xsync.Best, mapPos func(int32) int32, scope Scope) (stats *QueryStats, err error) {
 	if len(q) != ix.cfg.SeriesLen {
 		return nil, fmt.Errorf("messi: query length %d != %d", len(q), ix.cfg.SeriesLen)
 	}
 	if window < 0 {
 		window = 0
 	}
-	v, mp, posLimit := ix.sharedCut(mapPos, appendCut)
+	v, mp, f := ix.sharedCut(mapPos, scope)
 	stats = &QueryStats{Observed: v.total(ix.baseLen)}
 	if stats.Observed == 0 {
 		return stats, nil
@@ -821,7 +927,7 @@ func (ix *Index) SearchDTWShared(q series.Series, window, workers int, best *xsy
 	refine := func(leaf *core.Node, _ float64, st *QueryStats, lb *lbScratch) {
 		ix.forLeafBounds(table, leaf, st, lb, func(i int, b float64) {
 			lim := best.Distance()
-			if b >= lim || leaf.Pos[i] >= posLimit {
+			if b >= lim || f.skip(leaf.Pos[i], mp) {
 				return
 			}
 			s := ix.leafSeries(leaf, i)
@@ -836,7 +942,7 @@ func (ix *Index) SearchDTWShared(q series.Series, window, workers int, best *xsy
 	}
 	ix.probeLeaves(sc, t, stats, refine)
 
-	if err := ix.queuedSearch(workers, mapPos != nil, stats, best.Distance, sc, v,
+	if err := ix.queuedSearch(workers, mapPos != nil, scope.Tenant, stats, best.Distance, sc, v,
 		func(node *core.Node, bsf func() float64, emit func(*core.Node, float64)) {
 			t.PruneWalkTable(node, sc.mt, bsf, emit)
 		},
@@ -844,7 +950,7 @@ func (ix *Index) SearchDTWShared(q series.Series, window, workers int, best *xsy
 		func(lo, hi int, st *QueryStats, lb *lbScratch) {
 			ix.forDeltaBounds(table, lo, hi, st, lb, func(i int, b float64) {
 				lim := best.Distance()
-				if b >= lim {
+				if b >= lim || f.skip(int32(ix.baseLen+i), mp) {
 					return
 				}
 				s := ix.store.At(i)

@@ -57,7 +57,7 @@ func BenchmarkMESSIRefineLeaf(b *testing.B) {
 				for _, leaf := range leaves {
 					best.Reset()
 					best.Update(loose, -1)
-					ix.refineLeafED(q, sc.table, leaf, best, stats, lb, identPos, math.MaxInt32)
+					ix.refineLeafED(q, sc.table, leaf, best, stats, lb, identPos, qfilter{posLimit: math.MaxInt32})
 				}
 			}
 			b.StopTimer()

@@ -144,6 +144,58 @@ func (g *GaugeFunc) write(b *strings.Builder, labels []Label) {
 	sampleLine(b, g.o.Name, labels, nil, formatFloat(g.fn()))
 }
 
+// LabeledValue is one sample of a multi-sample instrument: a value under
+// one variable-label value.
+type LabeledValue struct {
+	Label string
+	Value float64
+}
+
+// MultiFunc exposes a whole metric family sampled from one callback at
+// scrape time: fn returns any number of samples, each rendered under
+// labelKey="<Label>" plus the instrument's constant labels. This is how
+// per-tenant families — whose member set is dynamic and unknown at
+// registration time — fit a registry of statically registered
+// instruments. Samples render sorted by label so expositions are
+// deterministic; fn must be safe to call concurrently.
+type MultiFunc struct {
+	o        Opts
+	k        string
+	labelKey string
+	fn       func() []LabeledValue
+}
+
+// NewMultiGaugeFunc returns a callback-backed multi-sample gauge family.
+// Panics if labelKey is not a valid label name.
+func NewMultiGaugeFunc(o Opts, labelKey string, fn func() []LabeledValue) *MultiFunc {
+	return newMultiFunc(o, "gauge", labelKey, fn)
+}
+
+// NewMultiCounterFunc returns a callback-backed multi-sample counter
+// family; each sample's value should be monotonically non-decreasing.
+// Panics if labelKey is not a valid label name.
+func NewMultiCounterFunc(o Opts, labelKey string, fn func() []LabeledValue) *MultiFunc {
+	return newMultiFunc(o, "counter", labelKey, fn)
+}
+
+func newMultiFunc(o Opts, kind, labelKey string, fn func() []LabeledValue) *MultiFunc {
+	if !validName(labelKey) {
+		panic(fmt.Sprintf("metrics: invalid label name %q on %q", labelKey, o.Name))
+	}
+	return &MultiFunc{o: o, k: kind, labelKey: labelKey, fn: fn}
+}
+
+func (m *MultiFunc) opts() Opts   { return m.o }
+func (m *MultiFunc) kind() string { return m.k }
+func (m *MultiFunc) write(b *strings.Builder, labels []Label) {
+	vs := append([]LabeledValue(nil), m.fn()...)
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Label < vs[j].Label })
+	for _, v := range vs {
+		sampleLine(b, m.o.Name, labels,
+			[]Label{{Key: m.labelKey, Value: v.Label}}, formatFloat(v.Value))
+	}
+}
+
 // --- histogram ---
 
 // LatencyBuckets are the fixed bucket upper bounds (seconds) used for

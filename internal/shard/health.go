@@ -135,6 +135,10 @@ type Health struct {
 	// TaskPanics and BgPanics are the shared pool's containment counters.
 	TaskPanics uint64
 	BgPanics   uint64
+	// Live and Tombstoned partition the landed series across shards into
+	// searchable and deleted (or TTL-expired).
+	Live       int
+	Tombstoned int
 	// Shards holds one entry per shard; Quarantined lists the ids not
 	// currently Serving, ascending.
 	Shards      []ShardHealth
@@ -150,6 +154,8 @@ func (s *Sharded) Health() Health {
 		out.Searches += mh.Searches
 		out.FailedSearches += mh.FailedSearches
 		out.MergeAborts += mh.MergeAborts
+		out.Live += mh.Live
+		out.Tombstoned += mh.Tombstoned
 		h := &s.health[si]
 		hs := ShardHealth{
 			State:             ShardState(h.state.Load()),

@@ -42,6 +42,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -514,6 +515,15 @@ func (s *Sharded) AdmitContext(ctx context.Context) (release func(), err error) 
 
 // MaxInFlight returns the admission bound on concurrently admitted
 // scatter-gather queries.
+// AdmitTenantContext is AdmitContext under a tenant identity; tenant "" is
+// exactly AdmitContext.
+func (s *Sharded) AdmitTenantContext(ctx context.Context, tenant string) (release func(), err error) {
+	return s.eng.AdmitTenantContext(ctx, tenant)
+}
+
+// TenantStats snapshots the shared pool's per-tenant accounting.
+func (s *Sharded) TenantStats() []engine.TenantStat { return s.eng.TenantStats() }
+
 func (s *Sharded) MaxInFlight() int { return s.eng.MaxInFlight() }
 
 // view captures one consistent cross-shard cut: the per-shard append
@@ -543,8 +553,8 @@ func (s *Sharded) view() (cuts []int32, observed int) {
 // Options.AllowPartial, answers from the covered shards and reports the
 // gap in stats.UncoveredShards. Non-storage errors are bugs and fail the
 // query as-is.
-func (s *Sharded) scatter(stats *messi.QueryStats, fn func(si int) (*messi.QueryStats, error)) error {
-	s.eng.CountQuery()
+func (s *Sharded) scatter(tenant string, stats *messi.QueryStats, fn func(si int) (*messi.QueryStats, error)) error {
+	s.eng.CountQueryTenant(tenant)
 	sts := make([]*messi.QueryStats, s.n)
 	errs := make([]error, s.n)
 	skipped := make([]bool, s.n)
@@ -601,22 +611,70 @@ func (s *Sharded) scatter(stats *messi.QueryStats, fn func(si int) (*messi.Query
 	return nil
 }
 
+// shardScope is shard si's slice of one scatter-gather query's scope: the
+// layer's own consistent per-shard append cut, with the caller's window
+// lower cut and tenant identity carried through. The caller-side AppendCut
+// is not forwarded — the cut vector is the only consistent cross-shard
+// prefix (per-shard counts are not interchangeable with a global count).
+func (s *Sharded) shardScope(scope messi.Scope, cuts []int32, si int) messi.Scope {
+	return messi.Scope{AppendCut: int(cuts[si]), LowPos: scope.LowPos, Tenant: scope.Tenant}
+}
+
 // Search answers an exact 1-NN query by scatter-gathering over every shard
 // with one shared best-so-far: the bound tightens globally as any shard
 // improves it, pruning the others mid-flight. The answer is bit-identical
 // to a serial scan of the observed global prefix.
 func (s *Sharded) Search(q series.Series, workers int) (core.Result, *messi.QueryStats, error) {
+	return s.SearchScoped(q, workers, messi.FullScope)
+}
+
+// SearchWindow answers an exact 1-NN query over the most recent n landed
+// series across all shards: the consistent cut vector captured at call time
+// pins the upper edge, and a global lower cut n positions back restricts
+// every shard to exactly the global suffix — the per-shard cut machinery
+// guarantees the window is a contiguous range of global positions no matter
+// how appends were routed.
+func (s *Sharded) SearchWindow(q series.Series, n, workers int) (core.Result, *messi.QueryStats, error) {
+	return s.SearchWindowTenant(q, n, workers, "")
+}
+
+// SearchWindowTenant is SearchWindow under a tenant identity. The lower
+// cut derives from the same view capture that pins the scatter's cut
+// vector, so the window is exactly the last min(n, observed) global
+// positions of one consistent prefix.
+func (s *Sharded) SearchWindowTenant(q series.Series, n, workers int, tenant string) (core.Result, *messi.QueryStats, error) {
+	if n <= 0 {
+		return core.NoResult(), nil, fmt.Errorf("shard: window size %d, want > 0", n)
+	}
 	if len(q) != s.seriesLen {
 		return core.NoResult(), nil, fmt.Errorf("shard: query length %d != %d", len(q), s.seriesLen)
 	}
 	cuts, observed := s.view()
+	scope := messi.Scope{AppendCut: -1, LowPos: int32(max(0, observed-n)), Tenant: tenant}
+	return s.searchAt(q, workers, scope, cuts, observed)
+}
+
+// SearchScoped is Search under an explicit scope: a window lower cut and a
+// tenant identity. The scope's AppendCut is ignored — the sharding layer
+// always pins its own consistent cross-shard cut.
+func (s *Sharded) SearchScoped(q series.Series, workers int, scope messi.Scope) (core.Result, *messi.QueryStats, error) {
+	if len(q) != s.seriesLen {
+		return core.NoResult(), nil, fmt.Errorf("shard: query length %d != %d", len(q), s.seriesLen)
+	}
+	cuts, observed := s.view()
+	return s.searchAt(q, workers, scope, cuts, observed)
+}
+
+// searchAt runs the 1-NN scatter against an already-captured consistent
+// view (cut vector + observed prefix length).
+func (s *Sharded) searchAt(q series.Series, workers int, scope messi.Scope, cuts []int32, observed int) (core.Result, *messi.QueryStats, error) {
 	stats := &messi.QueryStats{Observed: observed}
 	if observed == 0 {
 		return core.NoResult(), stats, nil
 	}
 	best := xsync.NewBest()
-	if err := s.scatter(stats, func(si int) (*messi.QueryStats, error) {
-		return s.shards[si].SearchShared(q, workers, best, s.mappers[si], int(cuts[si]))
+	if err := s.scatter(scope.Tenant, stats, func(si int) (*messi.QueryStats, error) {
+		return s.shards[si].SearchShared(q, workers, best, s.mappers[si], s.shardScope(scope, cuts, si))
 	}); err != nil {
 		return core.NoResult(), nil, err
 	}
@@ -627,6 +685,25 @@ func (s *Sharded) Search(q series.Series, workers int) (core.Result, *messi.Quer
 // SearchKNN answers an exact k-NN query with one shared k-best set across
 // all shards; its k-th-best threshold plays the global BSF role.
 func (s *Sharded) SearchKNN(q series.Series, k, workers int) ([]core.Result, *messi.QueryStats, error) {
+	return s.SearchKNNScoped(q, k, workers, messi.FullScope)
+}
+
+// SearchKNNScoped is SearchKNN under an explicit scope (window lower cut
+// and tenant); the scope's AppendCut is ignored in favor of the layer's own
+// consistent cut vector.
+//
+// Tombstone audit for the shared k-best set: a deleted position can never
+// re-enter the results through cross-shard deduplication. Every global
+// position is owned by exactly one shard (the mappers are disjoint by
+// construction — base positions partition via baseMap, appended positions
+// via the route log), so the only goroutines that can Offer a position run
+// inside its owner's SearchKNNShared, after that shard's tombstone filter
+// (qfilter.skip) consulted the delete state captured at query start. KBest
+// dedup only drops re-offers of a position already present; it never
+// revives one that was filtered, and no other shard can offer it.
+// TestDeletedNearestNeverInKNN pins this across shard counts, placements
+// and compaction states.
+func (s *Sharded) SearchKNNScoped(q series.Series, k, workers int, scope messi.Scope) ([]core.Result, *messi.QueryStats, error) {
 	if len(q) != s.seriesLen {
 		return nil, nil, fmt.Errorf("shard: query length %d != %d", len(q), s.seriesLen)
 	}
@@ -639,8 +716,8 @@ func (s *Sharded) SearchKNN(q series.Series, k, workers int) ([]core.Result, *me
 		return nil, stats, nil
 	}
 	kb := xsync.NewKBest(k)
-	if err := s.scatter(stats, func(si int) (*messi.QueryStats, error) {
-		return s.shards[si].SearchKNNShared(q, k, workers, kb, s.mappers[si], int(cuts[si]))
+	if err := s.scatter(scope.Tenant, stats, func(si int) (*messi.QueryStats, error) {
+		return s.shards[si].SearchKNNShared(q, k, workers, kb, s.mappers[si], s.shardScope(scope, cuts, si))
 	}); err != nil {
 		return nil, nil, err
 	}
@@ -655,6 +732,13 @@ func (s *Sharded) SearchKNN(q series.Series, k, workers int) ([]core.Result, *me
 // window) with the shared best-so-far threaded through every shard's
 // LB_Keogh cascade.
 func (s *Sharded) SearchDTW(q series.Series, window, workers int) (core.Result, *messi.QueryStats, error) {
+	return s.SearchDTWScoped(q, window, workers, messi.FullScope)
+}
+
+// SearchDTWScoped is SearchDTW under an explicit scope (window lower cut
+// and tenant); the scope's AppendCut is ignored in favor of the layer's own
+// consistent cut vector.
+func (s *Sharded) SearchDTWScoped(q series.Series, window, workers int, scope messi.Scope) (core.Result, *messi.QueryStats, error) {
 	if len(q) != s.seriesLen {
 		return core.NoResult(), nil, fmt.Errorf("shard: query length %d != %d", len(q), s.seriesLen)
 	}
@@ -664,8 +748,8 @@ func (s *Sharded) SearchDTW(q series.Series, window, workers int) (core.Result, 
 		return core.NoResult(), stats, nil
 	}
 	best := xsync.NewBest()
-	if err := s.scatter(stats, func(si int) (*messi.QueryStats, error) {
-		return s.shards[si].SearchDTWShared(q, window, workers, best, s.mappers[si], int(cuts[si]))
+	if err := s.scatter(scope.Tenant, stats, func(si int) (*messi.QueryStats, error) {
+		return s.shards[si].SearchDTWShared(q, window, workers, best, s.mappers[si], s.shardScope(scope, cuts, si))
 	}); err != nil {
 		return core.NoResult(), nil, err
 	}
@@ -679,6 +763,13 @@ func (s *Sharded) SearchDTW(q series.Series, window, workers int) (core.Result, 
 // under one consistent cut, so the reported global position always lies
 // inside the prefix this call observed, even mid-append.
 func (s *Sharded) SearchApproximate(q series.Series) (core.Result, error) {
+	return s.SearchApproximateScoped(q, messi.FullScope)
+}
+
+// SearchApproximateScoped is SearchApproximate under an explicit scope
+// (window lower cut and tenant); the scope's AppendCut is ignored in favor
+// of the layer's own consistent cut vector.
+func (s *Sharded) SearchApproximateScoped(q series.Series, scope messi.Scope) (core.Result, error) {
 	if len(q) != s.seriesLen {
 		return core.NoResult(), fmt.Errorf("shard: query length %d != %d", len(q), s.seriesLen)
 	}
@@ -686,7 +777,7 @@ func (s *Sharded) SearchApproximate(q series.Series) (core.Result, error) {
 	if observed == 0 {
 		return core.NoResult(), nil
 	}
-	s.eng.CountQuery()
+	s.eng.CountQueryTenant(scope.Tenant)
 	best := core.NoResult()
 	var skippedIDs, failedIDs []int
 	var cause error
@@ -695,7 +786,7 @@ func (s *Sharded) SearchApproximate(q series.Series) (core.Result, error) {
 			skippedIDs = append(skippedIDs, si)
 			continue
 		}
-		r, err := sh.SearchApproximateShared(q, s.mappers[si], int(cuts[si]))
+		r, err := sh.SearchApproximateShared(q, s.mappers[si], s.shardScope(scope, cuts, si))
 		if err != nil {
 			if !s.noteShardError(si, err) {
 				return core.NoResult(), err
@@ -804,6 +895,122 @@ func (s *Sharded) publishLocked(n int) {
 	s.appended.Add(int64(n))
 }
 
+// AppendWithTTL is Append with an expiry deadline: the series lands and is
+// immediately searchable, and a later ExpireBefore(now) with now past the
+// deadline tombstones it. The TTL is attached before the cut publishes, so
+// no reader can observe the series without its deadline.
+func (s *Sharded) AppendWithTTL(ser series.Series, deadline int64) (int, error) {
+	if len(ser) != s.seriesLen {
+		return 0, fmt.Errorf("shard: append length %d != %d", len(ser), s.seriesLen)
+	}
+	s.mu.Lock()
+	g := s.appendLocked(ser)
+	r := s.routeLog.At(g - s.baseLen)
+	if err := s.shards[r[0]].SetTTL(int(r[1]), deadline); err != nil {
+		s.mu.Unlock()
+		// appendLocked just landed this exact local position.
+		panic(fmt.Sprintf("shard: shard %d rejected TTL on a landed append: %v", r[0], err))
+	}
+	s.publishLocked(1)
+	s.mu.Unlock()
+	return g, nil
+}
+
+// locate resolves a global position to its (shard, shard-local position)
+// pair. Base positions binary-search the per-shard base maps (each an
+// ascending slice of global positions); appended positions read the route
+// log row, which was written before the position became visible. Caller
+// guarantees 0 <= pos < Count().
+func (s *Sharded) locate(pos int) (si, local int) {
+	if pos < s.baseLen {
+		for si, bm := range s.baseMap {
+			j := sort.Search(len(bm), func(i int) bool { return bm[i] >= int32(pos) })
+			if j < len(bm) && bm[j] == int32(pos) {
+				return si, j
+			}
+		}
+		panic(fmt.Sprintf("shard: base position %d in no shard's base map", pos))
+	}
+	r := s.routeLog.At(pos - s.baseLen)
+	return int(r[0]), int(r[1])
+}
+
+// Delete tombstones the series at global position pos on whichever shard
+// holds it; every subsequent search on every shard skips it. Reports
+// whether this call newly deleted it.
+func (s *Sharded) Delete(pos int) (bool, error) {
+	n, err := s.DeleteRange(pos, pos+1)
+	return n > 0, err
+}
+
+// DeleteRange tombstones every series in the global position range
+// [lo, hi), returning how many this call newly deleted. The range must lie
+// within [0, Count()].
+func (s *Sharded) DeleteRange(lo, hi int) (int, error) {
+	total := s.Count()
+	if lo < 0 || hi < lo || hi > total {
+		return 0, fmt.Errorf("shard: delete range [%d, %d) outside [0, %d]", lo, hi, total)
+	}
+	deleted := 0
+	for pos := lo; pos < hi; pos++ {
+		si, local := s.locate(pos)
+		ok, err := s.shards[si].Delete(local)
+		if err != nil {
+			return deleted, err
+		}
+		if ok {
+			deleted++
+		}
+	}
+	return deleted, nil
+}
+
+// SetTTL sets (or replaces) the expiry deadline on the series at global
+// position pos.
+func (s *Sharded) SetTTL(pos int, deadline int64) error {
+	if pos < 0 || pos >= s.Count() {
+		return fmt.Errorf("shard: ttl position %d outside [0, %d)", pos, s.Count())
+	}
+	si, local := s.locate(pos)
+	return s.shards[si].SetTTL(local, deadline)
+}
+
+// ExpireBefore tombstones every TTL'd series whose deadline is at or
+// before now, across all shards, returning how many it newly deleted.
+func (s *Sharded) ExpireBefore(now int64) int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.ExpireBefore(now)
+	}
+	return n
+}
+
+// Tombstoned counts deleted (or expired) series across all shards.
+func (s *Sharded) Tombstoned() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Tombstoned()
+	}
+	return n
+}
+
+// Live counts landed-and-not-tombstoned series across all shards.
+func (s *Sharded) Live() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Live()
+	}
+	return n
+}
+
+// Compact synchronously flushes every shard and rebuilds its tree without
+// tombstoned entries, reclaiming their tree residency.
+func (s *Sharded) Compact() {
+	for _, sh := range s.shards {
+		sh.Compact()
+	}
+}
+
 // Pending sums the shards' unmerged delta sizes.
 func (s *Sharded) Pending() int {
 	total := 0
@@ -832,6 +1039,8 @@ func (s *Sharded) IngestStats() messi.IngestStats {
 		out.Merges += st.Merges
 		out.SnapshotSwaps += st.SnapshotSwaps
 		out.MergeThreshold = st.MergeThreshold
+		out.Live += st.Live
+		out.Tombstoned += st.Tombstoned
 	}
 	return out
 }

@@ -46,6 +46,71 @@ func Scan(coll *series.Collection, q series.Series) Result {
 	return best
 }
 
+// ScanLive is Scan restricted to the positions [lo, coll.Len()) for which
+// dead reports false — the oracle form the delete- and window-aware
+// differential suites reduce to. A nil dead means every position is live;
+// lo 0 plus nil dead is exactly Scan. The same kernel-sharing argument
+// makes it a bit-exact ground truth: skipping a position never perturbs
+// the floating-point sums computed for the positions that are visited.
+func ScanLive(coll *series.Collection, q series.Series, lo int, dead func(int) bool) Result {
+	best := Result{Pos: -1, Dist: math.Inf(1)}
+	if lo < 0 {
+		lo = 0
+	}
+	for i := lo; i < coll.Len(); i++ {
+		if dead != nil && dead(i) {
+			continue
+		}
+		d := vector.SquaredEDEarlyAbandon(q, coll.At(i), best.Dist)
+		if d < best.Dist {
+			best = Result{Pos: int32(i), Dist: d}
+		}
+	}
+	return best
+}
+
+// ScanLiveKNN is ScanKNN restricted like ScanLive.
+func ScanLiveKNN(coll *series.Collection, q series.Series, k, lo int, dead func(int) bool) []Result {
+	if k <= 0 {
+		return nil
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	heap := newKBest(k)
+	for i := lo; i < coll.Len(); i++ {
+		if dead != nil && dead(i) {
+			continue
+		}
+		d := vector.SquaredEDEarlyAbandon(q, coll.At(i), heap.threshold())
+		heap.offer(Result{Pos: int32(i), Dist: d})
+	}
+	return heap.sorted()
+}
+
+// ScanLiveDTW is ScanDTW restricted like ScanLive.
+func ScanLiveDTW(coll *series.Collection, q series.Series, window, lo int, dead func(int) bool) Result {
+	env := series.NewEnvelope(q, window)
+	best := Result{Pos: -1, Dist: math.Inf(1)}
+	if lo < 0 {
+		lo = 0
+	}
+	for i := lo; i < coll.Len(); i++ {
+		if dead != nil && dead(i) {
+			continue
+		}
+		s := coll.At(i)
+		if lb := series.LBKeogh(env, s, best.Dist); lb >= best.Dist {
+			continue
+		}
+		d := series.DTW(q, s, window, best.Dist)
+		if d < best.Dist {
+			best = Result{Pos: int32(i), Dist: d}
+		}
+	}
+	return best
+}
+
 // ScanKNN performs serial exact k-NN search, returning the k nearest
 // neighbors in ascending distance order.
 func ScanKNN(coll *series.Collection, q series.Series, k int) []Result {

@@ -86,6 +86,49 @@ func (ix *MESSI) SearchApproximate(q Series) (Match, error) {
 	return matchOf(r), err
 }
 
+// SearchWindow returns the exact nearest neighbor of q among the most
+// recent n appended-or-built series — a sliding-window query. The window is
+// a consistent suffix captured at call time: series landing mid-query are
+// invisible, deleted series are skipped, and a window wider than everything
+// landed degenerates to Search.
+func (ix *MESSI) SearchWindow(q Series, n int) (Match, error) {
+	r, _, err := ix.inner.SearchWindow(q, n, 0)
+	return matchOf(r), err
+}
+
+// SearchTenant is Search under an opaque tenant ID: the query is accounted
+// to the tenant, and under multi-tenant load its worker share is the
+// tenant's slice of the pool rather than the whole of it. Tenant "" is
+// exactly Search.
+func (ix *MESSI) SearchTenant(q Series, tenant string) (Match, error) {
+	r, _, err := ix.inner.SearchScoped(q, 0, messi.Scope{AppendCut: -1, Tenant: tenant})
+	return matchOf(r), err
+}
+
+// SearchKNNTenant is SearchKNN under an opaque tenant ID.
+func (ix *MESSI) SearchKNNTenant(q Series, k int, tenant string) ([]Match, error) {
+	rs, _, err := ix.inner.SearchKNNScoped(q, k, 0, messi.Scope{AppendCut: -1, Tenant: tenant})
+	return matchesOf(rs), err
+}
+
+// SearchDTWTenant is SearchDTW under an opaque tenant ID.
+func (ix *MESSI) SearchDTWTenant(q Series, window int, tenant string) (Match, error) {
+	r, _, err := ix.inner.SearchDTWScoped(q, window, 0, messi.Scope{AppendCut: -1, Tenant: tenant})
+	return matchOf(r), err
+}
+
+// SearchApproximateTenant is SearchApproximate under an opaque tenant ID.
+func (ix *MESSI) SearchApproximateTenant(q Series, tenant string) (Match, error) {
+	r, err := ix.inner.SearchApproximateScoped(q, messi.Scope{AppendCut: -1, Tenant: tenant})
+	return matchOf(r), err
+}
+
+// SearchWindowTenant is SearchWindow under an opaque tenant ID.
+func (ix *MESSI) SearchWindowTenant(q Series, n int, tenant string) (Match, error) {
+	r, _, err := ix.inner.SearchWindowTenant(q, n, 0, tenant)
+	return matchOf(r), err
+}
+
 // Stats returns the index tree shape.
 func (ix *MESSI) Stats() IndexStats { return statsOf(ix.inner.Tree()) }
 
@@ -110,6 +153,50 @@ func (ix *MESSI) AppendBatch(ss []Series) (int, error) { return ix.inner.AppendB
 // to bound per-query delta-scan cost ahead of a traffic spike).
 func (ix *MESSI) Flush() { ix.inner.Flush() }
 
+// Delete removes the series at position pos from every future search: it
+// is tombstoned immediately (no search flavor can return it from the
+// moment Delete returns) and physically dropped from the tree by the next
+// merge or Compact. Positions are never reused. Reports whether this call
+// newly deleted it; deleting a deleted position is a no-op.
+func (ix *MESSI) Delete(pos int) (bool, error) { return ix.inner.Delete(pos) }
+
+// DeleteRange deletes every series at positions [lo, hi), returning how
+// many this call newly deleted. The range must lie within [0, Len()].
+func (ix *MESSI) DeleteRange(lo, hi int) (int, error) { return ix.inner.DeleteRange(lo, hi) }
+
+// AppendWithTTL is Append with an expiry deadline attached: once a later
+// ExpireBefore(now) observes now at or past the deadline, the series is
+// deleted exactly as by Delete. Deadlines are opaque int64s — wall-clock
+// nanoseconds, a logical epoch, whatever the caller's clock produces; the
+// index never reads a clock itself.
+func (ix *MESSI) AppendWithTTL(s Series, deadline int64) (int, error) {
+	return ix.inner.AppendWithTTL(s, deadline)
+}
+
+// SetTTL sets (or replaces) the expiry deadline on the series at position
+// pos; a deadline already past still requires an ExpireBefore call to take
+// effect.
+func (ix *MESSI) SetTTL(pos int, deadline int64) error { return ix.inner.SetTTL(pos, deadline) }
+
+// ExpireBefore deletes every series whose TTL deadline is at or before
+// now, returning how many it newly deleted. The caller owns the clock:
+// call it from a ticker for wall-clock TTLs, or at logical epoch
+// boundaries.
+func (ix *MESSI) ExpireBefore(now int64) int { return ix.inner.ExpireBefore(now) }
+
+// Tombstoned counts deleted (or expired) series; Live counts the rest.
+// Len stays the full position space: Len() == Live() + Tombstoned().
+func (ix *MESSI) Tombstoned() int { return ix.inner.Tombstoned() }
+
+// Live counts landed-and-not-deleted series.
+func (ix *MESSI) Live() int { return ix.inner.Live() }
+
+// Compact synchronously flushes pending appends and rebuilds the index
+// tree without its tombstoned entries, reclaiming their tree residency.
+// Searches never require it — tombstoned series are filtered either way —
+// and it is safe to call concurrently with queries and appends.
+func (ix *MESSI) Compact() { ix.inner.Compact() }
+
 // IngestStats is a snapshot of the live-ingestion counters.
 type IngestStats struct {
 	// Appended counts series accepted by Append/AppendBatch since the
@@ -129,6 +216,10 @@ type IngestStats struct {
 	// merge (the WithMergeThreshold option, possibly moved by
 	// WithAutoTune).
 	MergeThreshold int
+	// Live and Tombstoned partition the landed series (base plus appends)
+	// into searchable and deleted/expired.
+	Live       int
+	Tombstoned int
 }
 
 // ingestStatsOf mirrors the internal snapshot into the public type.
@@ -140,6 +231,8 @@ func ingestStatsOf(st messi.IngestStats) IngestStats {
 		Merges:         st.Merges,
 		SnapshotSwaps:  st.SnapshotSwaps,
 		MergeThreshold: st.MergeThreshold,
+		Live:           st.Live,
+		Tombstoned:     st.Tombstoned,
 	}
 }
 
@@ -274,6 +367,10 @@ type Health struct {
 	// (see EngineStats).
 	TaskPanics uint64
 	BgPanics   uint64
+	// Live and Tombstoned partition the landed series into searchable and
+	// deleted/expired.
+	Live       int
+	Tombstoned int
 }
 
 // Health snapshots the index's failure counters. Safe to call concurrently
@@ -286,8 +383,44 @@ func (ix *MESSI) Health() Health {
 		MergeAborts:    h.MergeAborts,
 		TaskPanics:     h.TaskPanics,
 		BgPanics:       h.BgPanics,
+		Live:           h.Live,
+		Tombstoned:     h.Tombstoned,
 	}
 }
+
+// TenantStats is one tenant's scheduling-and-throughput snapshot.
+type TenantStats struct {
+	// Tenant is the opaque ID supplied on Search*Tenant calls or
+	// QueryRequest.Tenant.
+	Tenant string
+	// InFlight and ActiveQueries are the tenant's currently admitted and
+	// currently executing query counts.
+	InFlight      int
+	ActiveQueries int
+	// Queries counts the tenant's lifetime queries; AdmitWaits its
+	// admissions that blocked on the tenant's own fairness gate.
+	Queries    uint64
+	AdmitWaits uint64
+}
+
+// tenantStatsOf mirrors the engine's per-tenant snapshot.
+func tenantStatsOf(ts []engine.TenantStat) []TenantStats {
+	out := make([]TenantStats, len(ts))
+	for i, t := range ts {
+		out[i] = TenantStats{
+			Tenant:        t.Tenant,
+			InFlight:      t.InFlight,
+			ActiveQueries: t.ActiveQueries,
+			Queries:       t.Queries,
+			AdmitWaits:    t.AdmitWaits,
+		}
+	}
+	return out
+}
+
+// TenantStats snapshots every tenant ever seen, sorted by ID; untenanted
+// traffic never appears. Empty until the first tenanted call.
+func (ix *MESSI) TenantStats() []TenantStats { return tenantStatsOf(ix.inner.TenantStats()) }
 
 // EngineStats snapshots the worker pool's counters. Sample it periodically
 // to derive throughput.
@@ -310,5 +443,7 @@ func (ix *MESSI) Serve(ctx context.Context, in <-chan QueryRequest) <-chan Query
 }
 
 // admitContext and maxInFlight adapt the index to the shared serving loop.
-func (ix *MESSI) admitContext(ctx context.Context) (func(), error) { return ix.inner.AdmitContext(ctx) }
-func (ix *MESSI) maxInFlight() int                                 { return ix.inner.MaxInFlight() }
+func (ix *MESSI) admitContext(ctx context.Context, tenant string) (func(), error) {
+	return ix.inner.AdmitTenantContext(ctx, tenant)
+}
+func (ix *MESSI) maxInFlight() int { return ix.inner.MaxInFlight() }

@@ -22,6 +22,9 @@ const (
 	QueryDTW
 	// QueryApprox is the microsecond approximate search.
 	QueryApprox
+	// QueryWindowNN is an exact 1-NN search over the most recent LastN
+	// landed series (the SearchWindow method); set QueryRequest.LastN.
+	QueryWindowNN
 )
 
 // QueryRequest is one query submitted to Serve.
@@ -37,6 +40,13 @@ type QueryRequest struct {
 	K int
 	// Window is the Sakoe-Chiba half-width for QueryDTW (ignored otherwise).
 	Window int
+	// LastN is the window size for QueryWindowNN (ignored otherwise).
+	LastN int
+	// Tenant is the request's opaque tenant ID ("" means untenanted): its
+	// admission queues on the tenant's fair share of the in-flight budget,
+	// its execution on the tenant's slice of the worker pool, and the
+	// dsidx_tenant_* metric families account it under this ID.
+	Tenant string
 }
 
 // QueryResponse answers one QueryRequest.
@@ -51,13 +61,15 @@ type QueryResponse struct {
 }
 
 // queryBackend is the method set the serving loop multiplexes over,
-// implemented by MESSI and Sharded.
+// implemented by MESSI and Sharded. The tenant-suffixed variants carry the
+// request's tenant ID; "" degrades each to its untenanted sibling.
 type queryBackend interface {
-	Search(q Series) (Match, error)
-	SearchKNN(q Series, k int) ([]Match, error)
-	SearchDTW(q Series, window int) (Match, error)
-	SearchApproximate(q Series) (Match, error)
-	admitContext(ctx context.Context) (func(), error)
+	SearchTenant(q Series, tenant string) (Match, error)
+	SearchKNNTenant(q Series, k int, tenant string) ([]Match, error)
+	SearchDTWTenant(q Series, window int, tenant string) (Match, error)
+	SearchApproximateTenant(q Series, tenant string) (Match, error)
+	SearchWindowTenant(q Series, n int, tenant string) (Match, error)
+	admitContext(ctx context.Context, tenant string) (func(), error)
 	maxInFlight() int
 }
 
@@ -104,7 +116,7 @@ func serve(ctx context.Context, in <-chan QueryRequest, ix queryBackend) <-chan 
 						// must not wait behind other traffic for a slot, but
 						// the preempted request still gets its response,
 						// with Err set.
-						release, err := ix.admitContext(ctx)
+						release, err := ix.admitContext(ctx, req.Tenant)
 						if err != nil {
 							out <- QueryResponse{ID: req.ID, Err: err}
 							return
@@ -142,16 +154,19 @@ func answer(ix queryBackend, req QueryRequest) QueryResponse {
 			resp.Err = fmt.Errorf("dsidx: QueryKNN request %d needs K > 0, got %d", req.ID, req.K)
 			return resp
 		}
-		ms, err := ix.SearchKNN(req.Query, req.K)
+		ms, err := ix.SearchKNNTenant(req.Query, req.K, req.Tenant)
 		resp.Matches, resp.Err = ms, err
 	case QueryDTW:
-		m, err := ix.SearchDTW(req.Query, req.Window)
+		m, err := ix.SearchDTWTenant(req.Query, req.Window, req.Tenant)
 		resp.singleMatch(m, err)
 	case QueryApprox:
-		m, err := ix.SearchApproximate(req.Query)
+		m, err := ix.SearchApproximateTenant(req.Query, req.Tenant)
+		resp.singleMatch(m, err)
+	case QueryWindowNN:
+		m, err := ix.SearchWindowTenant(req.Query, req.LastN, req.Tenant)
 		resp.singleMatch(m, err)
 	case QueryNN:
-		m, err := ix.Search(req.Query)
+		m, err := ix.SearchTenant(req.Query, req.Tenant)
 		resp.singleMatch(m, err)
 	default:
 		// An unrecognized kind must not silently run some other search.

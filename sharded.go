@@ -211,6 +211,46 @@ func (s *Sharded) SearchApproximate(q Series) (Match, error) {
 	return matchOf(r), err
 }
 
+// SearchWindow returns the exact nearest neighbor of q among the most
+// recent n landed series across all shards — the window is a consistent
+// global suffix captured at call time, regardless of how appends were
+// routed, minus deleted series.
+func (s *Sharded) SearchWindow(q Series, n int) (Match, error) {
+	r, _, err := s.inner.SearchWindow(q, n, 0)
+	return matchOf(r), err
+}
+
+// SearchTenant is Search under an opaque tenant ID (see MESSI.SearchTenant;
+// the fairness machinery is the shared pool's, so it spans all shards).
+func (s *Sharded) SearchTenant(q Series, tenant string) (Match, error) {
+	r, _, err := s.inner.SearchScoped(q, 0, messi.Scope{AppendCut: -1, Tenant: tenant})
+	return matchOf(r), err
+}
+
+// SearchKNNTenant is SearchKNN under an opaque tenant ID.
+func (s *Sharded) SearchKNNTenant(q Series, k int, tenant string) ([]Match, error) {
+	rs, _, err := s.inner.SearchKNNScoped(q, k, 0, messi.Scope{AppendCut: -1, Tenant: tenant})
+	return matchesOf(rs), err
+}
+
+// SearchDTWTenant is SearchDTW under an opaque tenant ID.
+func (s *Sharded) SearchDTWTenant(q Series, window int, tenant string) (Match, error) {
+	r, _, err := s.inner.SearchDTWScoped(q, window, 0, messi.Scope{AppendCut: -1, Tenant: tenant})
+	return matchOf(r), err
+}
+
+// SearchApproximateTenant is SearchApproximate under an opaque tenant ID.
+func (s *Sharded) SearchApproximateTenant(q Series, tenant string) (Match, error) {
+	r, err := s.inner.SearchApproximateScoped(q, messi.Scope{AppendCut: -1, Tenant: tenant})
+	return matchOf(r), err
+}
+
+// SearchWindowTenant is SearchWindow under an opaque tenant ID.
+func (s *Sharded) SearchWindowTenant(q Series, n int, tenant string) (Match, error) {
+	r, _, err := s.inner.SearchWindowTenant(q, n, 0, tenant)
+	return matchOf(r), err
+}
+
 // BatchSearch answers one exact 1-NN query per element of qs concurrently
 // under the shared admission budget; results[i] answers qs[i].
 func (s *Sharded) BatchSearch(qs []Series) ([]Match, error) {
@@ -240,6 +280,45 @@ func (s *Sharded) AppendBatch(ss []Series) (int, error) { return s.inner.AppendB
 
 // Flush synchronously merges every shard's pending appends into its tree.
 func (s *Sharded) Flush() { s.inner.Flush() }
+
+// Delete removes the series at global position pos from every future
+// search on every shard (see MESSI.Delete). Reports whether this call
+// newly deleted it.
+func (s *Sharded) Delete(pos int) (bool, error) { return s.inner.Delete(pos) }
+
+// DeleteRange deletes every series at global positions [lo, hi),
+// returning how many this call newly deleted.
+func (s *Sharded) DeleteRange(lo, hi int) (int, error) { return s.inner.DeleteRange(lo, hi) }
+
+// AppendWithTTL is Append with an expiry deadline attached (see
+// MESSI.AppendWithTTL); the deadline routes to whichever shard receives
+// the series.
+func (s *Sharded) AppendWithTTL(ser Series, deadline int64) (int, error) {
+	return s.inner.AppendWithTTL(ser, deadline)
+}
+
+// SetTTL sets (or replaces) the expiry deadline on the series at global
+// position pos.
+func (s *Sharded) SetTTL(pos int, deadline int64) error { return s.inner.SetTTL(pos, deadline) }
+
+// ExpireBefore deletes every series whose TTL deadline is at or before
+// now, across all shards, returning how many it newly deleted.
+func (s *Sharded) ExpireBefore(now int64) int { return s.inner.ExpireBefore(now) }
+
+// Tombstoned counts deleted (or expired) series across all shards; Live
+// counts the rest. Len() == Live() + Tombstoned().
+func (s *Sharded) Tombstoned() int { return s.inner.Tombstoned() }
+
+// Live counts landed-and-not-deleted series across all shards.
+func (s *Sharded) Live() int { return s.inner.Live() }
+
+// Compact synchronously flushes every shard and rebuilds its tree without
+// tombstoned entries.
+func (s *Sharded) Compact() { s.inner.Compact() }
+
+// TenantStats snapshots the shared pool's per-tenant accounting, sorted by
+// tenant ID.
+func (s *Sharded) TenantStats() []TenantStats { return tenantStatsOf(s.inner.TenantStats()) }
 
 // IngestStats merges the shards' write-path counters.
 func (s *Sharded) IngestStats() IngestStats {
@@ -279,6 +358,10 @@ type ShardedHealth struct {
 	// TaskPanics and BgPanics are the shared pool's containment counters.
 	TaskPanics uint64
 	BgPanics   uint64
+	// Live and Tombstoned partition the landed series across shards into
+	// searchable and deleted/expired.
+	Live       int
+	Tombstoned int
 	// Shards holds one entry per shard; Quarantined lists the ids not
 	// currently serving, ascending.
 	Shards      []ShardHealth
@@ -295,6 +378,8 @@ func (s *Sharded) Health() ShardedHealth {
 		MergeAborts:    h.MergeAborts,
 		TaskPanics:     h.TaskPanics,
 		BgPanics:       h.BgPanics,
+		Live:           h.Live,
+		Tombstoned:     h.Tombstoned,
 		Shards:         make([]ShardHealth, len(h.Shards)),
 		Quarantined:    h.Quarantined,
 	}
@@ -324,5 +409,7 @@ func (s *Sharded) Serve(ctx context.Context, in <-chan QueryRequest) <-chan Quer
 	return serve(ctx, in, s)
 }
 
-func (s *Sharded) admitContext(ctx context.Context) (func(), error) { return s.inner.AdmitContext(ctx) }
-func (s *Sharded) maxInFlight() int                                 { return s.inner.MaxInFlight() }
+func (s *Sharded) admitContext(ctx context.Context, tenant string) (func(), error) {
+	return s.inner.AdmitTenantContext(ctx, tenant)
+}
+func (s *Sharded) maxInFlight() int { return s.inner.MaxInFlight() }
