@@ -14,6 +14,7 @@
 //	dsbench -shardedjson BENCH_sharded.json -shards 1,2,4
 //	dsbench -memjson BENCH_mem.json -series 20000 -shards 4
 //	dsbench -diskjson BENCH_disk.json -series 20000 -queries 8
+//	dsbench -kerneljson BENCH_query.json
 //	dsbench -metrics -series 4000
 //	dsbench -faults -series 3000
 //
@@ -39,7 +40,11 @@
 // for the memory-residency comparison of flat vs sharded builds
 // (BENCH_mem.json) — the record behind the CI memory smoke step, which
 // asserts a sharded build keeps the base data resident once (bytes/series
-// within 1.1x of flat; see scripts/mem_smoke.sh).
+// within 1.1x of flat; see scripts/mem_smoke.sh). -kerneljson records the
+// distance-kernel microbenchmark (SIMD vs forced-scalar ns/op per kernel)
+// as another trajectory point in the same envelope — the record behind the
+// CI kernel smoke step (scripts/kernel_smoke.sh), keyed by what CPU
+// detection found so avx2 and scalar machines track separate series.
 //
 // -metrics is the observability self-check behind scripts/metrics_smoke.sh:
 // it builds a small auto-tuned sharded index, drives appends and queries
@@ -83,6 +88,7 @@ func main() {
 		shardedjson = flag.String("shardedjson", "", "write the machine-readable sharded benchmark to this path and exit")
 		memjson     = flag.String("memjson", "", "write the machine-readable memory-residency benchmark to this path and exit")
 		diskjson    = flag.String("diskjson", "", "write the machine-readable out-of-core tiering benchmark to this path and exit")
+		kerneljson  = flag.String("kerneljson", "", "write the machine-readable distance-kernel microbenchmark to this path and exit")
 		metricsDump = flag.Bool("metrics", false, "build a small index, scrape and validate its Prometheus metrics, print them, and exit")
 		faultSmoke  = flag.Bool("faults", false, "walk the fault-tolerance lifecycle on a fault-injected cold tier, print its metrics, and exit")
 	)
@@ -214,6 +220,22 @@ func main() {
 		return
 	}
 
+	if *kerneljson != "" {
+		res, err := experiments.RunKernelBench(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dsbench: kerneljson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := res.WriteJSON(*kerneljson); err != nil {
+			fmt.Fprintf(os.Stderr, "dsbench: kerneljson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: simd=%s, ED %.1f vs %.1f ns, EA %.1f vs %.1f ns, MinDist %.1f vs %.1f ns/bound, min ED speedup %.2fx\n",
+			*kerneljson, res.Simd, res.EDSimdNs, res.EDScalarNs, res.EASimdNs, res.EAScalarNs,
+			res.MinDistSimdNs, res.MinDistScalarNs, res.MinEDSpeedup)
+		return
+	}
+
 	var ids []string
 	if *expID == "all" {
 		ids = experiments.IDs()
@@ -284,6 +306,7 @@ func metricsSelfCheck(n int) error {
 		"dsidx_tuning_autotune", "dsidx_tuning_probe_leaves",
 		"dsidx_shards", "dsidx_shard_base_series", "dsidx_shard_appends_total",
 		"dsidx_cold_shards", "dsidx_cold_cache_hits_total", "dsidx_cold_device_reads_total",
+		"dsidx_vector_simd",
 	}
 	var missing []string
 	for _, name := range required {

@@ -1,6 +1,9 @@
 package engine
 
-import "dsidx/internal/metrics"
+import (
+	"dsidx/internal/metrics"
+	"dsidx/internal/vector"
+)
 
 // RegisterMetrics wires the engine's stats into r as one metric family
 // set, sampled from Stats() at scrape time. Called once per registry —
@@ -54,6 +57,18 @@ func (e *Engine) RegisterMetrics(r *metrics.Registry) {
 			Name: "dsidx_engine_bg_panics_total",
 			Help: "Background jobs (merges) whose panic was contained.",
 		}, stat(func(s Stats) float64 { return float64(s.BgPanics) })),
+		// Process-global like the pool itself: which distance-kernel
+		// implementation serves queries, after CPU detection and the
+		// runtime ForceScalar escape hatch.
+		metrics.NewGaugeFunc(metrics.Opts{
+			Name: "dsidx_vector_simd",
+			Help: "Whether the SIMD distance kernels are active (1) or the scalar oracle serves queries (0).",
+		}, func() float64 {
+			if vector.Impl() == "scalar" {
+				return 0
+			}
+			return 1
+		}),
 	)
 	// Per-tenant families: one sample per tenant ever seen, labeled by the
 	// opaque tenant ID. Untenanted ("") traffic never creates a sample —

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"dsidx/internal/vector"
 )
 
 // tiny returns a configuration small enough to smoke-run every experiment
@@ -284,6 +286,64 @@ func TestRunMemBench(t *testing.T) {
 		"flat_bytes_per_series", "sharded_bytes_per_series", "sharded_over_flat"} {
 		if _, ok := flat[key]; !ok {
 			t.Errorf("BENCH_mem.json missing flat key %q", key)
+		}
+	}
+}
+
+// TestRunKernelBench validates the distance-kernel microbenchmark record
+// behind dsbench -kerneljson and the CI kernel smoke step: both dispatch
+// arms measured, detection recorded, plausible timings, the shared flat
+// JSON envelope, and rerun-replaces-point trajectory semantics.
+func TestRunKernelBench(t *testing.T) {
+	defer vector.ForceScalar(false)
+	res, err := RunKernelBench(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != "dsidx-bench-kernels/v1" {
+		t.Errorf("schema %q", res.Schema)
+	}
+	if res.Simd != vector.Detected() {
+		t.Errorf("recorded simd %q, detection says %q", res.Simd, vector.Detected())
+	}
+	if res.Workers != 1 {
+		t.Errorf("workers %d: kernel timings must be single-core", res.Workers)
+	}
+	if err := res.Validate(); err != nil {
+		t.Errorf("self-validation: %v", err)
+	}
+	if res.MinEDSpeedup <= 0 || res.MinDistSpeedup <= 0 {
+		t.Errorf("implausible speedups: %+v", res)
+	}
+	if vector.Impl() == "scalar" && vector.Detected() == "avx2" {
+		t.Error("RunKernelBench left ForceScalar engaged")
+	}
+	path := t.TempDir() + "/BENCH_query.json"
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	// A rerun of the same configuration replaces its point, not appends.
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data := readOnlyRun(t, path)
+	var back KernelBenchResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.EDSimdNs != res.EDSimdNs || back.Simd != res.Simd {
+		t.Errorf("round-trip mismatch: %+v vs %+v", back, res)
+	}
+	var flat map[string]any
+	if err := json.Unmarshal(data, &flat); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "generated_at", "gomaxprocs", "workers",
+		"series_count", "series_len", "simd", "batch", "card",
+		"ed_simd_ns", "ed_scalar_ns", "ea_simd_ns", "ea_scalar_ns",
+		"mindist_simd_ns", "mindist_scalar_ns", "min_ed_speedup", "mindist_speedup"} {
+		if _, ok := flat[key]; !ok {
+			t.Errorf("kernel record missing flat key %q", key)
 		}
 	}
 }

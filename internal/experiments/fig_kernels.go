@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"dsidx/internal/vector"
+)
+
+// Kernel-level microbenchmark: the SIMD distance kernels against their
+// scalar oracle, measured in isolation so the per-kernel ns/op series can
+// be tracked across PRs in the same trajectory file as the end-to-end
+// query numbers. This is the programmatic form of dsbench -kerneljson and
+// the CI kernel-smoke step (scripts/kernel_smoke.sh).
+
+// KernelBenchResult is the machine-readable kernel record (schema
+// dsidx-bench-kernels/v1). All ns/op figures are single-core: kernels
+// never parallelize internally, so Workers is pinned to 1 and speedups
+// read as per-core gains.
+type KernelBenchResult struct {
+	BenchHeader
+	// Simd is what CPU feature detection found at startup: "avx2" on
+	// amd64 machines with AVX2 (and a build carrying the assembly layer),
+	// "none" otherwise. When "none", every *SimdNs field measures the
+	// scalar path and the speedups sit at ~1.
+	Simd string `json:"simd"`
+	// Batch and Card are the lower-bound workload shape: bounds per
+	// MinDistBatch call and table cardinality.
+	Batch int `json:"batch"`
+	Card  int `json:"card"`
+
+	// Per-kernel ns/op, dispatch (SIMD where detected) vs forced scalar.
+	// SquaredED and EarlyAbandon are per distance over SeriesLen points
+	// (EarlyAbandon at limit +Inf: the never-abandons worst case, so both
+	// implementations do full-length work); MinDist is per bound (w=16).
+	EDSimdNs        float64 `json:"ed_simd_ns"`
+	EDScalarNs      float64 `json:"ed_scalar_ns"`
+	EASimdNs        float64 `json:"ea_simd_ns"`
+	EAScalarNs      float64 `json:"ea_scalar_ns"`
+	MinDistSimdNs   float64 `json:"mindist_simd_ns"`
+	MinDistScalarNs float64 `json:"mindist_scalar_ns"`
+
+	// MinEDSpeedup is the smaller of the two ED-kernel scalar/SIMD
+	// ratios — the margin the kernel-smoke gate asserts on. The MinDist
+	// speedup is recorded alongside but gated more loosely (gathers are
+	// closer to the scalar lookup loop than the arithmetic kernels are).
+	MinEDSpeedup   float64 `json:"min_ed_speedup"`
+	MinDistSpeedup float64 `json:"mindist_speedup"`
+
+	Note string `json:"note,omitempty"`
+}
+
+// Validate extends the shared header checks with kernel-record shape.
+func (r *KernelBenchResult) Validate() error {
+	if err := r.BenchHeader.Validate(); err != nil {
+		return err
+	}
+	if r.Simd != "avx2" && r.Simd != "none" {
+		return fmt.Errorf("simd %q, want avx2 or none", r.Simd)
+	}
+	if r.Batch <= 0 || r.Card <= 0 {
+		return fmt.Errorf("implausible lower-bound shape: batch %d, card %d", r.Batch, r.Card)
+	}
+	for name, ns := range map[string]float64{
+		"ed_simd_ns": r.EDSimdNs, "ed_scalar_ns": r.EDScalarNs,
+		"ea_simd_ns": r.EASimdNs, "ea_scalar_ns": r.EAScalarNs,
+		"mindist_simd_ns": r.MinDistSimdNs, "mindist_scalar_ns": r.MinDistScalarNs,
+	} {
+		if ns <= 0 {
+			return fmt.Errorf("%s = %v, want positive", name, ns)
+		}
+	}
+	return nil
+}
+
+// kernelReps spreads a time budget over the measurement loop: enough
+// repetitions to dominate timer noise without making the smoke step slow.
+const kernelReps = 300
+
+// measureKernel times fn over reps repetitions of a pass covering ops
+// operations, returning ns per operation.
+func measureKernel(ops int, fn func()) float64 {
+	fn() // warm caches and page in inputs before the timed reps
+	t0 := time.Now()
+	for r := 0; r < kernelReps; r++ {
+		fn()
+	}
+	return float64(time.Since(t0).Nanoseconds()) / float64(kernelReps*ops)
+}
+
+// RunKernelBench measures every distance kernel under both dispatch
+// choices and returns one trajectory point. The vector-length and
+// lower-bound shapes follow the production defaults (256-point series,
+// w=16 summaries at cardinality 256) regardless of cfg's collection
+// scale — kernel timings should stay comparable across runs that sweep
+// the end-to-end workload.
+func RunKernelBench(cfg Config) (*KernelBenchResult, error) {
+	cfg = cfg.Normalize()
+	const n, pairs, batch, card = 256, 512, 1024, 256
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	a := make([][]float32, pairs)
+	b := make([][]float32, pairs)
+	for i := range a {
+		a[i] = make([]float32, n)
+		b[i] = make([]float32, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = float32(rng.NormFloat64())
+			b[i][j] = float32(rng.NormFloat64())
+		}
+	}
+	cells := make([]float64, 16*card)
+	for i := range cells {
+		cells[i] = rng.Float64()
+	}
+	sax := make([]uint8, batch*16)
+	for i := range sax {
+		sax[i] = uint8(rng.Intn(card))
+	}
+	bounds := make([]float64, batch)
+
+	var sink float64
+	inf := math.Inf(1)
+	edPass := func() {
+		for i := range a {
+			sink += vector.SquaredED(a[i], b[i])
+		}
+	}
+	eaPass := func() {
+		for i := range a {
+			sink += vector.SquaredEDEarlyAbandon(a[i], b[i], inf)
+		}
+	}
+	mdPass := func() { vector.MinDistBatch(cells, sax, 16, card, bounds) }
+
+	res := &KernelBenchResult{
+		BenchHeader: BenchHeader{
+			Schema:      "dsidx-bench-kernels/v1",
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Workers:     1, // kernels are single-core by construction
+			SeriesCount: pairs,
+			SeriesLen:   n,
+			QueryCount:  0,
+		},
+		Simd:  vector.Detected(),
+		Batch: batch,
+		Card:  card,
+		Note:  machineBoundNote + "; speedups are per-core (kernels never parallelize internally)",
+	}
+
+	vector.ForceScalar(false)
+	defer vector.ForceScalar(false)
+	res.EDSimdNs = measureKernel(pairs, edPass)
+	res.EASimdNs = measureKernel(pairs, eaPass)
+	res.MinDistSimdNs = measureKernel(batch, mdPass)
+	vector.ForceScalar(true)
+	res.EDScalarNs = measureKernel(pairs, edPass)
+	res.EAScalarNs = measureKernel(pairs, eaPass)
+	res.MinDistScalarNs = measureKernel(batch, mdPass)
+	vector.ForceScalar(false)
+
+	res.MinEDSpeedup = res.EDScalarNs / res.EDSimdNs
+	if s := res.EAScalarNs / res.EASimdNs; s < res.MinEDSpeedup {
+		res.MinEDSpeedup = s
+	}
+	res.MinDistSpeedup = res.MinDistScalarNs / res.MinDistSimdNs
+	if sink == 0 {
+		res.Note += "; sink zero (unexpected)"
+	}
+	return res, nil
+}
+
+// WriteJSON writes the record to path (kept as a method for the dsbench
+// entry point; all schemas funnel through WriteBenchJSON).
+func (r *KernelBenchResult) WriteJSON(path string) error { return WriteBenchJSON(path, r) }

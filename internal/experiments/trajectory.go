@@ -72,6 +72,14 @@ func (r *ShardedBenchResult) ConfigKey() string {
 		r.SeriesCount, r.SeriesLen, r.QueryCount, r.Workers, r.Policy)
 }
 
+// ConfigKey identifies a kernel-microbenchmark configuration. Detection
+// ("avx2"/"none") is part of the key: runs on machines with and without
+// SIMD are different experiments, not reruns of one.
+func (r *KernelBenchResult) ConfigKey() string {
+	return fmt.Sprintf("kernels:len=%d,batch=%d,card=%d,simd=%s",
+		r.SeriesLen, r.Batch, r.Card, r.Simd)
+}
+
 // ConfigKey identifies a memory-residency configuration.
 func (r *MemBenchResult) ConfigKey() string {
 	return fmt.Sprintf("mem:series=%d,len=%d,shards=%d", r.SeriesCount, r.SeriesLen, r.Shards)

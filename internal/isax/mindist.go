@@ -3,6 +3,8 @@ package isax
 import (
 	"fmt"
 	"math"
+
+	"dsidx/internal/vector"
 )
 
 // This file implements the lower-bounding distances between a query and iSAX
@@ -103,8 +105,14 @@ func (t *QueryTable) Cells() []float64 { return t.cells }
 func (t *QueryTable) Card() int { return t.card }
 
 // MinDistSAX returns the lower-bounding distance between the query
-// underlying t and one full-cardinality summary.
+// underlying t and one full-cardinality summary. At w = 16 (the paper's
+// configuration) it delegates to the vector kernel, so per-entry and
+// batched scans produce bit-identical bounds by construction, whichever
+// implementation dispatch selects.
 func (t *QueryTable) MinDistSAX(fullSAX []uint8) float64 {
+	if len(fullSAX) == 16 && t.segments == 16 {
+		return vector.MinDistLookup16(t.cells, fullSAX, t.card)
+	}
 	var acc float64
 	cells, card := t.cells, t.card
 	for j, s := range fullSAX {
@@ -123,9 +131,7 @@ func (t *QueryTable) MinDistSAXStrided(sax []uint8, out []float64) {
 		panic(fmt.Sprintf("isax: strided batch mismatch: %d summaries of %d segments vs %d bounds",
 			len(sax)/w, w, len(out)))
 	}
-	for i := range out {
-		out[i] = t.MinDistSAX(sax[i*w : (i+1)*w])
-	}
+	vector.MinDistBatch(t.cells, sax, w, t.card, out)
 }
 
 // MinDistWord returns the lower bound between the query underlying t and a
@@ -272,10 +278,14 @@ func (mt *MultiTable) DistWord(w Word) float64 {
 }
 
 // DistSAX returns the full-cardinality bound (equivalent to the base
-// table's MinDistSAX).
+// table's MinDistSAX — at w = 16 both delegate to the same vector kernel,
+// keeping the equivalence bit-exact under either dispatch choice).
 func (mt *MultiTable) DistSAX(fullSAX []uint8) float64 {
 	cells := mt.levels[mt.maxBits-1]
 	card := 1 << mt.maxBits
+	if len(fullSAX) == 16 && mt.segments == 16 {
+		return vector.MinDistLookup16(cells, fullSAX, card)
+	}
 	var acc float64
 	for j, s := range fullSAX {
 		acc += cells[j*card+int(s)]

@@ -121,11 +121,13 @@ func FuzzPersistRoundTrip(f *testing.F) {
 // FuzzBatchedLowerBounds is the differential guarantee behind the batched
 // refinement hot path: for random leaves (SAX blocks), cardinalities and
 // segment counts, the batched kernel used by leaf refinement and the delta
-// scans (vector.MinDistBatch, both the generic and the unrolled w=16 form)
-// and the strided table form must produce bounds BIT-IDENTICAL to the
-// per-entry QueryTable.MinDistSAX path — so batched and per-entry
+// scans (vector.MinDistBatch — SIMD at w=16 where the CPU has it, generic
+// otherwise) and the strided table form must produce bounds BIT-IDENTICAL
+// to the per-entry QueryTable.MinDistSAX path — so batched and per-entry
 // refinement make the same pruning decisions down to the last ulp, and the
-// set of entries surviving any limit is the same.
+// set of entries surviving any limit is the same. The batched bounds must
+// also be bit-identical across implementations: a ForceScalar pass re-runs
+// the kernel on the scalar oracle and compares.
 func FuzzBatchedLowerBounds(f *testing.F) {
 	f.Add(int64(1), uint8(16), uint8(8), uint8(64), false)
 	f.Add(int64(2), uint8(16), uint8(3), uint8(1), true)
@@ -186,6 +188,20 @@ func FuzzBatchedLowerBounds(f *testing.F) {
 			if strided[i] != perEntry[i] {
 				t.Fatalf("w=%d bits=%d entry %d: strided bound %v != per-entry %v",
 					w, maxBits, i, strided[i], perEntry[i])
+			}
+		}
+
+		// SIMD and scalar implementations must agree bit for bit (on
+		// machines without SIMD both passes run the oracle and this is
+		// trivially true).
+		vector.ForceScalar(true)
+		scalarBounds := make([]float64, count)
+		vector.MinDistBatch(table.Cells(), sax, w, table.Card(), scalarBounds)
+		vector.ForceScalar(false)
+		for i := 0; i < count; i++ {
+			if math.Float64bits(scalarBounds[i]) != math.Float64bits(batched[i]) {
+				t.Fatalf("w=%d bits=%d entry %d: %s bound %v != scalar bound %v",
+					w, maxBits, i, vector.Impl(), batched[i], scalarBounds[i])
 			}
 		}
 

@@ -173,7 +173,7 @@ func ScanDisk(f *storage.SeriesFile, q series.Series, batch int) (Result, error)
 			return best, fmt.Errorf("ucr: scanning batch at %d: %w", lo, err)
 		}
 		for i := 0; i < coll.Len(); i++ {
-			d := series.SquaredEDEarlyAbandon(q, coll.At(i), best.Dist)
+			d := vector.SquaredEDEarlyAbandon(q, coll.At(i), best.Dist)
 			if d < best.Dist {
 				best = Result{Pos: int32(lo) + int32(i), Dist: d}
 			}

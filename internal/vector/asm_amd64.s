@@ -1,0 +1,273 @@
+//go:build !purego
+
+// AVX2 kernels implementing the pinned summation contract documented in
+// vector.go. Every instruction sequence here mirrors the scalar oracle in
+// scalar.go operation for operation:
+//
+//   - element i lives in lane i mod 4 (VCVTPS2PD loads 4 consecutive
+//     float32 as 4 float64 lanes, so lane j of vector step s is element
+//     4s+j — exactly the oracle's l0..l3 striping),
+//   - each product is rounded before the add (VMULPD then VADDPD are two
+//     rounded operations, matching the oracle's float64(d*d) barriers),
+//   - the lane reduce is (l0+l1)+(l2+l3) with the left operand of every
+//     add as the x86 first source, so NaN payload propagation matches the
+//     compiled oracle,
+//   - the scalar tail runs element-at-a-time with VCVTSS2SD/VSUBSD/
+//     VMULSD/VADDSD, the same instructions gc emits for the oracle tail.
+//
+// a is always the first source of the subtract and the accumulator the
+// first source of the add: x86 binary FP ops return the first source
+// quieted when both inputs are NaN, and that is the operand order the
+// compiler picks for the oracle.
+
+#include "textflag.h"
+
+// maskOdd selects int64 lanes 1 and 3; maskHi selects lanes 2 and 3.
+// Together they turn a broadcast card into the row-offset ramp
+// [0, card, 2*card, 3*card] without needing a variable shift.
+DATA maskOdd<>+0(SB)/8, $0
+DATA maskOdd<>+8(SB)/8, $-1
+DATA maskOdd<>+16(SB)/8, $0
+DATA maskOdd<>+24(SB)/8, $-1
+GLOBL maskOdd<>(SB), RODATA|NOPTR, $32
+
+DATA maskHi<>+0(SB)/8, $0
+DATA maskHi<>+8(SB)/8, $0
+DATA maskHi<>+16(SB)/8, $-1
+DATA maskHi<>+24(SB)/8, $-1
+GLOBL maskHi<>(SB), RODATA|NOPTR, $32
+
+// func simdSquaredED(a, b []float32) float64
+TEXT ·simdSquaredED(SB), NOSPLIT, $0-56
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), DI
+	VXORPD Y0, Y0, Y0
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-4, BX
+
+edVec:
+	CMPQ AX, BX
+	JGE  edReduce
+	VCVTPS2PD (SI)(AX*4), Y1
+	VCVTPS2PD (DI)(AX*4), Y2
+	VSUBPD Y2, Y1, Y1
+	VMULPD Y1, Y1, Y1
+	VADDPD Y1, Y0, Y0
+	ADDQ $4, AX
+	JMP  edVec
+
+edReduce:
+	// (l0+l1)+(l2+l3), left operand of each add as first source.
+	VEXTRACTF128 $1, Y0, X2
+	VPERMILPD $1, X0, X3
+	VADDSD X3, X0, X0
+	VPERMILPD $1, X2, X3
+	VADDSD X3, X2, X2
+	VADDSD X2, X0, X0
+
+edTail:
+	CMPQ AX, CX
+	JGE  edDone
+	VCVTSS2SD (SI)(AX*4), X1, X1
+	VCVTSS2SD (DI)(AX*4), X2, X2
+	VSUBSD X2, X1, X1
+	VMULSD X1, X1, X1
+	VADDSD X1, X0, X0
+	INCQ AX
+	JMP  edTail
+
+edDone:
+	VZEROUPPER
+	MOVSD X0, ret+48(FP)
+	RET
+
+// func simdSquaredEDEarlyAbandon(a, b []float32, limit float64) float64
+TEXT ·simdSquaredEDEarlyAbandon(SB), NOSPLIT, $0-64
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), DI
+	VMOVSD limit+48(FP), X7
+	VXORPD Y0, Y0, Y0
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-16, BX
+
+eaBlk16:
+	CMPQ AX, BX
+	JGE  eaBlk16Done
+	VCVTPS2PD (SI)(AX*4), Y1
+	VCVTPS2PD (DI)(AX*4), Y2
+	VSUBPD Y2, Y1, Y1
+	VMULPD Y1, Y1, Y1
+	VADDPD Y1, Y0, Y0
+	VCVTPS2PD 16(SI)(AX*4), Y1
+	VCVTPS2PD 16(DI)(AX*4), Y2
+	VSUBPD Y2, Y1, Y1
+	VMULPD Y1, Y1, Y1
+	VADDPD Y1, Y0, Y0
+	VCVTPS2PD 32(SI)(AX*4), Y1
+	VCVTPS2PD 32(DI)(AX*4), Y2
+	VSUBPD Y2, Y1, Y1
+	VMULPD Y1, Y1, Y1
+	VADDPD Y1, Y0, Y0
+	VCVTPS2PD 48(SI)(AX*4), Y1
+	VCVTPS2PD 48(DI)(AX*4), Y2
+	VSUBPD Y2, Y1, Y1
+	VMULPD Y1, Y1, Y1
+	VADDPD Y1, Y0, Y0
+	ADDQ $16, AX
+	// Reduce into X4 without disturbing the lane accumulators in Y0, and
+	// abandon on r > limit. Unordered (NaN) compares fall through, like
+	// the oracle's `r > limit`.
+	VEXTRACTF128 $1, Y0, X2
+	VPERMILPD $1, X0, X3
+	VADDSD X3, X0, X4
+	VPERMILPD $1, X2, X5
+	VADDSD X5, X2, X5
+	VADDSD X5, X4, X4
+	VUCOMISD X7, X4
+	JA   eaAbandon
+	JMP  eaBlk16
+
+eaBlk16Done:
+	MOVQ CX, BX
+	ANDQ $-4, BX
+
+eaBlk4:
+	CMPQ AX, BX
+	JGE  eaBlk4Done
+	VCVTPS2PD (SI)(AX*4), Y1
+	VCVTPS2PD (DI)(AX*4), Y2
+	VSUBPD Y2, Y1, Y1
+	VMULPD Y1, Y1, Y1
+	VADDPD Y1, Y0, Y0
+	ADDQ $4, AX
+	JMP  eaBlk4
+
+eaBlk4Done:
+	VEXTRACTF128 $1, Y0, X2
+	VPERMILPD $1, X0, X3
+	VADDSD X3, X0, X4
+	VPERMILPD $1, X2, X5
+	VADDSD X5, X2, X5
+	VADDSD X5, X4, X4
+
+eaTail:
+	CMPQ AX, CX
+	JGE  eaDone
+	VCVTSS2SD (SI)(AX*4), X1, X1
+	VCVTSS2SD (DI)(AX*4), X2, X2
+	VSUBSD X2, X1, X1
+	VMULSD X1, X1, X1
+	VADDSD X1, X4, X4
+	INCQ AX
+	JMP  eaTail
+
+eaAbandon:
+eaDone:
+	VZEROUPPER
+	MOVSD X4, ret+56(FP)
+	RET
+
+// func simdMinDistBatch16(cells []float64, sax []uint8, card int, out []float64)
+TEXT ·simdMinDistBatch16(SB), NOSPLIT, $0-80
+	MOVQ out_len+64(FP), R10
+	TESTQ R10, R10
+	JZ   mdDone
+	MOVQ cells_base+0(FP), SI
+	MOVQ sax_base+24(FP), DX
+	MOVQ card+48(FP), R8
+	MOVQ out_base+56(FP), R9
+	// Y9 = broadcast(card-1): the symbol mask (card is a power of two).
+	LEAQ -1(R8), R11
+	MOVQ R11, X9
+	VPBROADCASTQ X9, Y9
+	// Y8 = [0, card, 2*card, 3*card], Y11 = broadcast(4*card).
+	MOVQ R8, X10
+	VPBROADCASTQ X10, Y10
+	VPAND maskOdd<>(SB), Y10, Y8
+	VPAND maskHi<>(SB), Y10, Y12
+	VPADDQ Y12, Y12, Y12
+	VPADDQ Y12, Y8, Y8
+	VPADDQ Y10, Y10, Y11
+	VPADDQ Y11, Y11, Y11
+
+mdEntry:
+	// Lane j accumulates rows j, j+4, j+8, j+12 — the oracle's l0..l3.
+	VXORPD Y0, Y0, Y0
+	VMOVDQA Y8, Y1
+
+	// Group 0: rows 0..3.
+	VPMOVZXBQ (DX), Y2
+	VPAND Y9, Y2, Y2
+	VPADDQ Y1, Y2, Y2
+	VPCMPEQQ Y3, Y3, Y3
+	VGATHERQPD Y3, (SI)(Y2*8), Y4
+	VADDPD Y4, Y0, Y0
+	VPADDQ Y11, Y1, Y1
+
+	// Group 1: rows 4..7. VGATHERQPD clobbers its mask, so Y3 is
+	// re-armed before every gather.
+	VPMOVZXBQ 4(DX), Y2
+	VPAND Y9, Y2, Y2
+	VPADDQ Y1, Y2, Y2
+	VPCMPEQQ Y3, Y3, Y3
+	VGATHERQPD Y3, (SI)(Y2*8), Y4
+	VADDPD Y4, Y0, Y0
+	VPADDQ Y11, Y1, Y1
+
+	// Group 2: rows 8..11.
+	VPMOVZXBQ 8(DX), Y2
+	VPAND Y9, Y2, Y2
+	VPADDQ Y1, Y2, Y2
+	VPCMPEQQ Y3, Y3, Y3
+	VGATHERQPD Y3, (SI)(Y2*8), Y4
+	VADDPD Y4, Y0, Y0
+	VPADDQ Y11, Y1, Y1
+
+	// Group 3: rows 12..15.
+	VPMOVZXBQ 12(DX), Y2
+	VPAND Y9, Y2, Y2
+	VPADDQ Y1, Y2, Y2
+	VPCMPEQQ Y3, Y3, Y3
+	VGATHERQPD Y3, (SI)(Y2*8), Y4
+	VADDPD Y4, Y0, Y0
+
+	ADDQ $16, DX
+
+	// (l0+l1)+(l2+l3), left operand of each add as first source.
+	VEXTRACTF128 $1, Y0, X2
+	VPERMILPD $1, X0, X3
+	VADDSD X3, X0, X5
+	VPERMILPD $1, X2, X4
+	VADDSD X4, X2, X4
+	VADDSD X4, X5, X5
+	VMOVSD X5, (R9)
+	ADDQ $8, R9
+	DECQ R10
+	JNZ  mdEntry
+
+mdDone:
+	VZEROUPPER
+	RET
+
+// func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,174 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// These tests pin the summation contract documented in the package
+// comment: the exported kernels (SIMD where detected) must be
+// bit-identical to the scalar oracle — checked via Float64bits so NaN
+// payloads count — for every length around the 4-lane and 16-block
+// boundaries, including special values.
+
+// contractLengths covers 1 .. 2*16+1: every tail residue mod 4 and mod
+// 16, the empty vector-loop case, and a couple of full blocks.
+func contractLengths() []int {
+	var ns []int
+	for n := 1; n <= 33; n++ {
+		ns = append(ns, n)
+	}
+	return append(ns, 64, 100, 256, 1000)
+}
+
+func specialF32(rng *rand.Rand) float32 {
+	switch rng.Intn(10) {
+	case 0:
+		return float32(math.NaN())
+	case 1:
+		return float32(math.Inf(1))
+	case 2:
+		return float32(math.Inf(-1))
+	case 3:
+		return math.Float32frombits(1) // smallest denormal
+	case 4:
+		return -math.Float32frombits(rng.Uint32() & 0x7fffff) // denormal range
+	case 5:
+		return float32(math.Copysign(0, -1))
+	case 6:
+		return math.Float32frombits(rng.Uint32()) // arbitrary bit pattern
+	default:
+		return float32(rng.NormFloat64()) * 1000
+	}
+}
+
+func specialVec(rng *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = specialF32(rng)
+	}
+	return v
+}
+
+// bitsEq is the contract comparison: exact bits, except any NaN matches
+// any NaN (payloads are unspecified — see the package comment).
+func bitsEq(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func TestSquaredEDContractOddLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range contractLengths() {
+		for trial := 0; trial < 20; trial++ {
+			a, b := specialVec(rng, n), specialVec(rng, n)
+			got, want := SquaredED(a, b), ScalarSquaredED(a, b)
+			if !bitsEq(got, want) {
+				t.Fatalf("n=%d impl=%s: SquaredED=%x scalar=%x (%v vs %v)",
+					n, Impl(), math.Float64bits(got), math.Float64bits(want), got, want)
+			}
+		}
+	}
+}
+
+func TestEarlyAbandonContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range contractLengths() {
+		for trial := 0; trial < 20; trial++ {
+			a, b := specialVec(rng, n), specialVec(rng, n)
+			for _, limit := range []float64{math.Inf(1), 0, 1, 100, 1e6, math.NaN(), math.Inf(-1)} {
+				got := SquaredEDEarlyAbandon(a, b, limit)
+				want := ScalarSquaredEDEarlyAbandon(a, b, limit)
+				if !bitsEq(got, want) {
+					t.Fatalf("n=%d limit=%v impl=%s: EA=%x scalar=%x",
+						n, limit, Impl(), math.Float64bits(got), math.Float64bits(want))
+				}
+			}
+		}
+	}
+}
+
+// TestEarlyAbandonInfEquivalence pins the guarantee conformance.go relies
+// on: with limit = +Inf the early-abandon kernel returns exactly the same
+// bits as the full distance, because both follow the same lane order.
+func TestEarlyAbandonInfEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range contractLengths() {
+		a, b := specialVec(rng, n), specialVec(rng, n)
+		if got, want := SquaredEDEarlyAbandon(a, b, math.Inf(1)), SquaredED(a, b); !bitsEq(got, want) {
+			t.Fatalf("n=%d impl=%s: EA(+Inf)=%v != SquaredED=%v", n, Impl(), got, want)
+		}
+	}
+}
+
+func TestMinDistContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, card := range []int{2, 4, 16, 64, 256} {
+		cells := make([]float64, 16*card)
+		for i := range cells {
+			switch rng.Intn(8) {
+			case 0:
+				cells[i] = math.NaN()
+			case 1:
+				cells[i] = math.Inf(1)
+			case 2:
+				cells[i] = math.Float64frombits(rng.Uint64()) // incl. denormals
+			default:
+				cells[i] = rng.NormFloat64()
+			}
+		}
+		for trial := 0; trial < 50; trial++ {
+			sax := make([]uint8, 16)
+			for i := range sax {
+				// Hostile symbols beyond card must reduce modulo card, not
+				// read out of bounds.
+				sax[i] = uint8(rng.Intn(256))
+			}
+			got := MinDistLookup16(cells, sax, card)
+			want := ScalarMinDistLookup16(cells, sax, card)
+			if !bitsEq(got, want) {
+				t.Fatalf("card=%d impl=%s: MinDistLookup16=%x scalar=%x",
+					card, Impl(), math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+		// Batched form over a stretch of entries, against the batch oracle.
+		const count = 23
+		sax := make([]uint8, count*16)
+		for i := range sax {
+			sax[i] = uint8(rng.Intn(256))
+		}
+		got := make([]float64, count)
+		want := make([]float64, count)
+		MinDistBatch(cells, sax, 16, card, got)
+		ScalarMinDistBatch(cells, sax, 16, card, want)
+		for i := range got {
+			if !bitsEq(got[i], want[i]) {
+				t.Fatalf("card=%d batch[%d] impl=%s: %x vs %x",
+					card, i, Impl(), math.Float64bits(got[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+}
+
+// TestContractBothImpls re-runs the bit-identity checks with ForceScalar
+// toggled, so on AVX2 machines a single test process exercises both
+// implementations and their agreement with each other.
+func TestContractBothImpls(t *testing.T) {
+	defer ForceScalar(false)
+	rng := rand.New(rand.NewSource(15))
+	for _, n := range []int{1, 3, 4, 15, 16, 17, 33, 256} {
+		a, b := specialVec(rng, n), specialVec(rng, n)
+		ForceScalar(false)
+		fast := SquaredED(a, b)
+		fastEA := SquaredEDEarlyAbandon(a, b, 10)
+		ForceScalar(true)
+		slow := SquaredED(a, b)
+		slowEA := SquaredEDEarlyAbandon(a, b, 10)
+		if !bitsEq(fast, slow) || !bitsEq(fastEA, slowEA) {
+			t.Fatalf("n=%d: impls disagree: %v/%v vs %v/%v", n, fast, fastEA, slow, slowEA)
+		}
+	}
+}

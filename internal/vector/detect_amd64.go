@@ -1,0 +1,54 @@
+//go:build amd64 && !purego
+
+package vector
+
+// CPU feature detection for the AVX2 kernel layer. The module is
+// dependency-free, so the CPUID/XGETBV probes are tiny assembly stubs in
+// asm_amd64.s rather than golang.org/x/sys/cpu. Detection runs exactly
+// once, at package initialization (package-level variable initialization
+// happens before any goroutine can call into the package, so haveAVX2
+// needs no synchronization); detectRuns lets the race test pin that.
+
+// hasAsm marks builds that carry the assembly layer at all.
+const hasAsm = true
+
+// detectCalls counts detectAVX2 invocations — must stay exactly 1.
+var detectCalls int
+
+var haveAVX2 = detectAVX2()
+
+// detectAVX2 reports whether this CPU and OS support the AVX2 kernels:
+// CPUID must advertise OSXSAVE and AVX, XGETBV must confirm the OS
+// preserves XMM+YMM state across context switches, and leaf 7 must
+// advertise AVX2 itself.
+func detectAVX2() bool {
+	detectCalls++
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsaveBit = 1 << 27
+	const avxBit = 1 << 28
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX) must both be set: the OS saves and
+	// restores the full YMM state.
+	xcr0, _ := xgetbv()
+	if xcr0&6 != 6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}
+
+// detectRuns reports how many times feature detection has executed.
+func detectRuns() int { return detectCalls }
+
+// cpuid executes the CPUID instruction with the given EAX/ECX arguments.
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0).
+func xgetbv() (eax, edx uint32)

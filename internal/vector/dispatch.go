@@ -1,0 +1,41 @@
+package vector
+
+import "sync/atomic"
+
+// forceScalar is the runtime escape hatch: when set, the exported kernels
+// run the scalar oracle even where AVX2 was detected. It is atomic so
+// tests (and operators debugging a suspected kernel issue) can flip it
+// while queries are in flight without a data race; haveAVX2 itself is
+// written exactly once, during package initialization, before any
+// goroutine can call a kernel.
+var forceScalar atomic.Bool
+
+// ForceScalar forces (v = true) or re-allows (v = false) the scalar
+// implementation at runtime. Safe for concurrent use; the switch applies
+// to kernel calls that start after it.
+func ForceScalar(v bool) { forceScalar.Store(v) }
+
+// Impl reports the implementation the next kernel call will use: "avx2"
+// or "scalar". Surfaced through the index Metrics snapshot and the
+// dsidx_vector_simd metric family.
+func Impl() string {
+	if useSIMD() {
+		return "avx2"
+	}
+	return "scalar"
+}
+
+// Detected reports what CPU feature detection found at startup, ignoring
+// ForceScalar: "avx2", or "none" when this build or machine has no SIMD
+// path (non-amd64, the purego build tag, or a CPU without AVX2).
+func Detected() string {
+	if haveAVX2 {
+		return "avx2"
+	}
+	return "none"
+}
+
+// useSIMD reports whether the assembly implementation serves the next
+// call. On builds without an assembly layer haveAVX2 is constant false
+// and the compiler removes the SIMD branches entirely.
+func useSIMD() bool { return haveAVX2 && !forceScalar.Load() }

@@ -1,0 +1,78 @@
+package vector
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestImplAndForceScalar(t *testing.T) {
+	defer ForceScalar(false)
+	ForceScalar(false)
+	switch Detected() {
+	case "avx2":
+		if !hasAsm {
+			t.Fatal("Detected()=avx2 on a build without the assembly layer")
+		}
+		if Impl() != "avx2" {
+			t.Fatalf("Impl()=%q with AVX2 detected and ForceScalar off", Impl())
+		}
+	case "none":
+		if Impl() != "scalar" {
+			t.Fatalf("Impl()=%q with no SIMD detected", Impl())
+		}
+	default:
+		t.Fatalf("Detected()=%q, want avx2 or none", Detected())
+	}
+	ForceScalar(true)
+	if Impl() != "scalar" {
+		t.Fatalf("Impl()=%q under ForceScalar(true)", Impl())
+	}
+	ForceScalar(false)
+	if Detected() == "avx2" && Impl() != "avx2" {
+		t.Fatalf("Impl()=%q after ForceScalar(false) on an AVX2 machine", Impl())
+	}
+}
+
+// TestDetectionRunsOnce pins that CPU feature detection happened exactly
+// once, at package init, and that concurrent kernel calls racing against
+// ForceScalar toggles neither re-run it nor trip the race detector.
+func TestDetectionRunsOnce(t *testing.T) {
+	defer ForceScalar(false)
+	if hasAsm {
+		if got := detectRuns(); got != 1 {
+			t.Fatalf("detection ran %d times, want exactly 1", got)
+		}
+	} else if got := detectRuns(); got != 0 {
+		t.Fatalf("detection ran %d times on a build without the assembly layer", got)
+	}
+
+	rng := rand.New(rand.NewSource(21))
+	a, b := randVec(rng, 128), randVec(rng, 128)
+	want := ScalarSquaredED(a, b)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if g == 0 {
+					ForceScalar(i%2 == 0)
+				}
+				if got := SquaredED(a, b); got != want {
+					t.Errorf("concurrent SquaredED=%v, want %v", got, want)
+					return
+				}
+				_ = Impl()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if hasAsm {
+		if got := detectRuns(); got != 1 {
+			t.Fatalf("detection re-ran under concurrency: %d runs", got)
+		}
+	}
+}

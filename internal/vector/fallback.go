@@ -1,0 +1,30 @@
+//go:build !amd64 || purego
+
+package vector
+
+// Scalar-only builds: every other architecture, and amd64 with the purego
+// build tag. haveAVX2 is a constant false here, so the compiler deletes
+// the SIMD branches in the exported kernels and this file's stubs are
+// never reached — they exist so the package compiles identically
+// everywhere.
+
+// hasAsm marks builds that carry the assembly layer at all.
+const hasAsm = false
+
+const haveAVX2 = false
+
+// detectRuns reports how many times feature detection has executed —
+// never, on a build with no assembly layer.
+func detectRuns() int { return 0 }
+
+func simdSquaredED(a, b []float32) float64 { return scalarSquaredED(a, b) }
+
+func simdSquaredEDEarlyAbandon(a, b []float32, limit float64) float64 {
+	return scalarSquaredEDEarlyAbandon(a, b, limit)
+}
+
+func simdMinDistBatch16(cells []float64, sax []uint8, card int, out []float64) {
+	for i := range out {
+		out[i] = scalarMinDistLookup16(cells, sax[i*16:i*16+16], card)
+	}
+}

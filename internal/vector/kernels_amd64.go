@@ -1,0 +1,28 @@
+//go:build amd64 && !purego
+
+package vector
+
+// Declarations for the AVX2 kernels in asm_amd64.s. All four are leaf
+// functions (NOSPLIT, no calls back into Go) and none retain their
+// arguments, so go:noescape keeps callers' slices — including the
+// stack-allocated single-entry out buffer in MinDistLookup16 — off the
+// heap.
+
+// simdSquaredED is the AVX2 form of the pinned SquaredED contract.
+// Preconditions (checked by the exported wrapper): len(b) >= len(a).
+//
+//go:noescape
+func simdSquaredED(a, b []float32) float64
+
+// simdSquaredEDEarlyAbandon is the AVX2 form of the pinned
+// SquaredEDEarlyAbandon contract, blockwise abandon included.
+//
+//go:noescape
+func simdSquaredEDEarlyAbandon(a, b []float32, limit float64) float64
+
+// simdMinDistBatch16 computes the w = 16 lower-bound kernel for
+// len(out) summaries. Preconditions (checked by the exported wrappers):
+// len(sax) >= 16*len(out), len(cells) >= 16*card, card a power of two.
+//
+//go:noescape
+func simdMinDistBatch16(cells []float64, sax []uint8, card int, out []float64)

@@ -3,37 +3,146 @@
 // index iSAX summaries from the query iSAX summary ... and the raw data
 // series from the query data series").
 //
-// Go's standard toolchain exposes no SIMD intrinsics, so the kernels here
-// are manually unrolled with independent accumulators — giving the compiler
-// and CPU the same instruction-level parallelism that explicit AVX code
-// gives the authors' C implementation. The semantics (and, where the
-// accumulation order matters, the tolerance expectations) are documented on
-// each kernel; the ablation benchmark BenchmarkAblationVectorKernels
-// measures the speedup over the scalar reference implementations.
+// # Implementation layers
+//
+// Every kernel exists twice: a pure-Go scalar implementation (the ORACLE:
+// Scalar* functions, always compiled on every platform) and, on amd64
+// without the purego build tag, a hand-written AVX2 assembly
+// implementation. The exported kernels dispatch to the assembly when CPU
+// feature detection (done once, at package init) found AVX2 support and
+// ForceScalar has not been set; otherwise they run the oracle. Impl
+// reports which implementation the next call will use.
+//
+// # The pinned summation contract
+//
+// The two implementations are BIT-IDENTICAL on every input — Inf and
+// denormal values included — because both commit to one floating-point
+// summation order, chosen so a 4-lane AVX2 register can implement it
+// directly:
+//
+//   - Element i is accumulated into lane (i mod 4); lanes advance through
+//     the input in element order, and every multiply is rounded before the
+//     add consumes it (no fused multiply-add, on any platform).
+//   - A result is produced by reducing the lanes as (l0+l1) + (l2+l3),
+//     then folding any remaining tail elements (n mod 4) into the reduced
+//     value sequentially.
+//   - SquaredEDEarlyAbandon accumulates identically and additionally
+//     performs the reduction after every 16 elements to compare against
+//     the abandon limit; an abandoned call returns that partial reduction.
+//     Because the check never perturbs the lanes, a call that never
+//     abandons — any call with limit +Inf — returns the same bits as
+//     SquaredED.
+//   - MinDistLookup16 accumulates segment j's table cell into lane
+//     (j mod 4), in segment order, and reduces the same way (tail-free:
+//     w = 16 is a lane multiple). MinDistBatch at w == 16 is exactly that
+//     kernel per entry; at any other width both implementations share the
+//     plain sequential loop and no assembly is dispatched.
+//
+// The scalar oracle spells the product rounding out with explicit
+// float64(d*d) conversions, which the Go spec defines as rounding points:
+// without them the compiler may fuse the multiply-add on arm64/ppc64 and
+// the oracle would stop matching itself across platforms, let alone the
+// assembly. The conformance harness (internal/conformance) and the
+// differential fuzz targets here and in internal/messi pin the contract:
+// vectorized answers must stay bit-identical to the serial ground truth
+// end to end.
+//
+// One carve-out, inherited from Go itself: when a result is NaN, its
+// payload bits are unspecified. The Go spec does not define NaN payload
+// propagation, and for a commutative add of two NaNs with different
+// payloads the compiler is free to emit either operand order — x86 ADDSD
+// returns its first source quieted, so the compiled oracle's payload
+// choice is a register-allocation accident, not a semantic one. Both
+// implementations are guaranteed to agree on WHETHER a result is NaN
+// (NaN-ness is operand-order independent for every operation in these
+// kernels); the tests and fuzzers therefore compare results with
+// Float64bits but treat any NaN as equal to any NaN.
 package vector
 
 // SquaredED returns the squared Euclidean distance between two equal-length
-// float32 vectors. The implementation is the plain single-accumulator loop:
-// measured on the benchmark host it runs ~2× faster than the manually
-// 8-way-unrolled variant (the Go compiler pipelines the simple loop better
-// than the unroll with its float64 conversions) — see the kernel ablation
-// in EXPERIMENTS.md. SquaredEDUnrolled preserves the unrolled form for
-// that comparison.
+// float32 vectors, accumulated in the pinned 4-lane order documented in the
+// package comment. Panics if b is shorter than a.
 func SquaredED(a, b []float32) float64 {
-	_ = b[len(a)-1] // eliminate bounds checks in the loop
-	var acc float64
-	for i, av := range a {
-		d := float64(av) - float64(b[i])
-		acc += d * d
+	_ = b[len(a)-1] // one bounds check; both implementations assume it
+	if useSIMD() {
+		return simdSquaredED(a, b)
 	}
-	return acc
+	return scalarSquaredED(a, b)
 }
 
-// SquaredEDUnrolled is the manually 8-way-unrolled kernel with 4
+// SquaredEDEarlyAbandon is SquaredED with an abandon check every 16
+// elements: as soon as the reduced partial sum exceeds limit, that partial
+// sum is returned. Used by the real-distance phases, where most candidates
+// abandon within the first few blocks. A call that never abandons (in
+// particular limit = +Inf) returns bits identical to SquaredED — the
+// property the conformance harness verifies answers against.
+func SquaredEDEarlyAbandon(a, b []float32, limit float64) float64 {
+	_ = b[len(a)-1]
+	if useSIMD() {
+		return simdSquaredEDEarlyAbandon(a, b, limit)
+	}
+	return scalarSquaredEDEarlyAbandon(a, b, limit)
+}
+
+// MinDistLookup16 sums 16 table lookups — the per-series inner loop of the
+// lower-bound scan over the SAX array when w = 16 (the paper's
+// configuration). cells is the query table laid out row-major
+// (segment × cardinality); sax is one 16-segment summary; card is the
+// cardinality (row stride), always a power of two.
+//
+// Accumulation follows the pinned 4-lane order (segment j lands in lane
+// j mod 4; reduce (l0+l1)+(l2+l3)), so the batched and per-entry
+// refinement paths make the same pruning decisions down to the last ulp.
+// Symbols are reduced modulo card (a mask with card-1), making the kernel
+// total: both implementations read the same cell for any input byte.
+func MinDistLookup16(cells []float64, sax []uint8, card int) float64 {
+	_ = sax[15]
+	_ = cells[16*card-1]
+	if useSIMD() {
+		var out [1]float64
+		simdMinDistBatch16(cells, sax[:16], card, out[:1])
+		return out[0]
+	}
+	return scalarMinDistLookup16(cells, sax, card)
+}
+
+// MinDistBatch computes lower bounds for a batch of w-segment summaries laid
+// out back-to-back in sax, writing one bound per summary into out. At
+// w == 16 each bound is the MinDistLookup16 kernel (SIMD when available);
+// other widths share one sequential scalar loop. Each bound is bit-identical
+// to the per-entry isax.QueryTable.MinDistSAX value — the contract the
+// batched refinement hot path relies on.
+func MinDistBatch(cells []float64, sax []uint8, w, card int, out []float64) {
+	if w == 16 {
+		if len(out) == 0 {
+			return
+		}
+		_ = sax[len(out)*16-1]
+		_ = cells[16*card-1]
+		if useSIMD() {
+			simdMinDistBatch16(cells, sax, card, out)
+			return
+		}
+		for i := range out {
+			out[i] = scalarMinDistLookup16(cells, sax[i*16:i*16+16], card)
+		}
+		return
+	}
+	for i := range out {
+		var acc float64
+		row := sax[i*w : (i+1)*w]
+		for j, s := range row {
+			acc += cells[j*card+int(s)]
+		}
+		out[i] = acc
+	}
+}
+
+// SquaredEDUnrolled is the manually 8-way-unrolled scalar kernel with 4
 // independent accumulators — the literal transcription of the paper's
-// SIMD-style distance code, kept for the kernel ablation. Its result can
-// differ from SquaredED by floating-point reassociation only (relative
-// error ~1e-15).
+// SIMD-style distance code, kept for the kernel ablation benchmark. Its
+// result can differ from the pinned contract by floating-point
+// reassociation only (relative error ~1e-15).
 func SquaredEDUnrolled(a, b []float32) float64 {
 	n := len(a)
 	_ = b[n-1]
@@ -58,106 +167,4 @@ func SquaredEDUnrolled(a, b []float32) float64 {
 		acc0 += d * d
 	}
 	return (acc0 + acc1) + (acc2 + acc3)
-}
-
-// SquaredEDEarlyAbandon is SquaredED with an abandon check every 16
-// elements: as soon as the partial sum exceeds limit the (partial) sum is
-// returned. Used by the real-distance phases, where most candidates abandon
-// within the first few blocks. Here the 4-accumulator unroll IS the fastest
-// measured variant — the abandon checks already break the simple loop's
-// pipelining, so the extra instruction-level parallelism pays.
-func SquaredEDEarlyAbandon(a, b []float32, limit float64) float64 {
-	n := len(a)
-	_ = b[n-1]
-	var acc0, acc1, acc2, acc3 float64
-	i := 0
-	for ; i+16 <= n; i += 16 {
-		for j := i; j < i+16; j += 4 {
-			d0 := float64(a[j]) - float64(b[j])
-			d1 := float64(a[j+1]) - float64(b[j+1])
-			d2 := float64(a[j+2]) - float64(b[j+2])
-			d3 := float64(a[j+3]) - float64(b[j+3])
-			acc0 += d0 * d0
-			acc1 += d1 * d1
-			acc2 += d2 * d2
-			acc3 += d3 * d3
-		}
-		if (acc0+acc1)+(acc2+acc3) > limit {
-			return (acc0 + acc1) + (acc2 + acc3)
-		}
-	}
-	for ; i < n; i++ {
-		d := float64(a[i]) - float64(b[i])
-		acc0 += d * d
-	}
-	return (acc0 + acc1) + (acc2 + acc3)
-}
-
-// MinDistLookup16 sums 16 table lookups — the per-series inner loop of the
-// lower-bound scan over the SAX array when w = 16 (the paper's
-// configuration). cells is the query table laid out row-major
-// (segment × cardinality); sax is one 16-segment summary; card is the
-// cardinality (row stride).
-//
-// The additions are kept in strict segment order: every batched lower
-// bound in this package is BIT-IDENTICAL to the scalar
-// isax.QueryTable.MinDistSAX accumulation (differential-fuzzed in
-// internal/messi), so the batched and per-entry refinement paths make the
-// same pruning decisions down to the last ulp. The unroll's win is the
-// eliminated bounds checks and loop control, not reassociation — a
-// multi-accumulator variant would be slightly faster but would round
-// differently.
-func MinDistLookup16(cells []float64, sax []uint8, card int) float64 {
-	_ = sax[15]
-	acc := cells[int(sax[0])]
-	acc += cells[card+int(sax[1])]
-	acc += cells[2*card+int(sax[2])]
-	acc += cells[3*card+int(sax[3])]
-	acc += cells[4*card+int(sax[4])]
-	acc += cells[5*card+int(sax[5])]
-	acc += cells[6*card+int(sax[6])]
-	acc += cells[7*card+int(sax[7])]
-	acc += cells[8*card+int(sax[8])]
-	acc += cells[9*card+int(sax[9])]
-	acc += cells[10*card+int(sax[10])]
-	acc += cells[11*card+int(sax[11])]
-	acc += cells[12*card+int(sax[12])]
-	acc += cells[13*card+int(sax[13])]
-	acc += cells[14*card+int(sax[14])]
-	acc += cells[15*card+int(sax[15])]
-	return acc
-}
-
-// MinDistBatch computes lower bounds for a batch of w-segment summaries laid
-// out back-to-back in sax, writing one bound per summary into out. It
-// dispatches to the unrolled 16-segment kernel when w == 16. Each bound is
-// bit-identical to the per-entry isax.QueryTable.MinDistSAX value (see
-// MinDistLookup16) — the contract the batched refinement hot path relies on.
-func MinDistBatch(cells []float64, sax []uint8, w, card int, out []float64) {
-	if w == 16 {
-		for i := range out {
-			out[i] = MinDistLookup16(cells, sax[i*16:i*16+16], card)
-		}
-		return
-	}
-	for i := range out {
-		var acc float64
-		row := sax[i*w : (i+1)*w]
-		for j, s := range row {
-			acc += cells[j*card+int(s)]
-		}
-		out[i] = acc
-	}
-}
-
-// ScalarSquaredED is the straightforward sequential implementation, kept
-// exported as the baseline for the kernel ablation benchmark and for
-// differential tests against the unrolled kernels.
-func ScalarSquaredED(a, b []float32) float64 {
-	var acc float64
-	for i := range a {
-		d := float64(a[i]) - float64(b[i])
-		acc += d * d
-	}
-	return acc
 }

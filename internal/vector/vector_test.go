@@ -76,12 +76,16 @@ func TestMinDistLookup16(t *testing.T) {
 		sax[i] = uint8(rng.Intn(card))
 	}
 	got := MinDistLookup16(cells, sax, card)
-	var want float64
-	for j, s := range sax {
-		want += cells[j*card+int(s)]
+	want := ScalarMinDistLookup16(cells, sax, card)
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("MinDistLookup16 = %v, want %v (must be bit-identical to the pinned 4-lane sum)", got, want)
 	}
-	if got != want {
-		t.Fatalf("MinDistLookup16 = %v, want %v (must be bit-identical to the sequential sum)", got, want)
+	var seq float64
+	for j, s := range sax {
+		seq += cells[j*card+int(s)]
+	}
+	if math.Abs(got-seq) > 1e-12*math.Max(1, seq) {
+		t.Fatalf("MinDistLookup16 = %v, sequential sum %v differ beyond reassociation tolerance", got, seq)
 	}
 }
 
@@ -102,11 +106,16 @@ func TestMinDistBatchGenericAndUnrolledAgree(t *testing.T) {
 		MinDistBatch(cells, sax, w, card, out)
 		for i := 0; i < count; i++ {
 			var want float64
-			for j := 0; j < w; j++ {
-				want += cells[j*card+int(sax[i*w+j])]
+			if w == 16 {
+				// w == 16 follows the pinned 4-lane contract.
+				want = ScalarMinDistLookup16(cells, sax[i*16:i*16+16], card)
+			} else {
+				for j := 0; j < w; j++ {
+					want += cells[j*card+int(sax[i*w+j])]
+				}
 			}
-			if out[i] != want {
-				t.Fatalf("w=%d batch[%d] = %v, want %v (must be bit-identical to the sequential sum)", w, i, out[i], want)
+			if math.Float64bits(out[i]) != math.Float64bits(want) {
+				t.Fatalf("w=%d batch[%d] = %v, want %v (must be bit-identical to the contract order)", w, i, out[i], want)
 			}
 		}
 	}

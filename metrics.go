@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dsidx/internal/metrics"
+	"dsidx/internal/vector"
 )
 
 // Observability: every index keeps its throughput, ingestion, cache and
@@ -23,6 +24,22 @@ type MetricsSource interface {
 
 func (ix *MESSI) metricsRegistry() *metrics.Registry  { return ix.inner.Registry() }
 func (s *Sharded) metricsRegistry() *metrics.Registry { return s.inner.Registry() }
+
+// VectorImpl reports the distance-kernel implementation that will serve
+// the next query: "avx2" on amd64 CPUs where startup feature detection
+// found AVX2 support (and ForceScalarKernels is off), "scalar" on every
+// other CPU, on builds with the purego build tag, and under
+// ForceScalarKernels(true). The implementations are bit-identical, so
+// this is a throughput property, never a correctness one.
+func VectorImpl() string { return vector.Impl() }
+
+// ForceScalarKernels is the runtime escape hatch for the SIMD distance
+// kernels: ForceScalarKernels(true) routes every subsequent kernel call
+// to the pure-Go scalar implementation even where AVX2 was detected;
+// ForceScalarKernels(false) restores detection's choice. Safe to toggle
+// while queries are in flight — answers are bit-identical either way.
+// Process-global, like the CPU it describes.
+func ForceScalarKernels(v bool) { vector.ForceScalar(v) }
 
 // MetricsHandler returns an http.Handler serving src's metrics in
 // Prometheus text exposition format (version 0.0.4). Mount it wherever
@@ -89,6 +106,12 @@ type Metrics struct {
 	Engine EngineStats
 	Ingest IngestStats
 	Tuning TuningStats
+	// VectorImpl is the distance-kernel implementation serving queries:
+	// "avx2" on amd64 CPUs where startup detection found AVX2 (and the
+	// ForceScalar escape hatch is off), "scalar" everywhere else. The
+	// two implementations are bit-identical, so this changes throughput,
+	// never answers.
+	VectorImpl string
 	// Shards has one entry per shard for a sharded index, nil for MESSI.
 	Shards []ShardStats
 	// Cold is the out-of-core tier's counters; zero when all-hot.
@@ -107,6 +130,7 @@ func (ix *MESSI) Metrics() Metrics {
 			MergeThreshold: tu.MergeThreshold,
 			Adjustments:    tu.Adjustments,
 		},
+		VectorImpl: vector.Impl(),
 	}
 }
 
@@ -132,7 +156,8 @@ func (s *Sharded) Metrics() Metrics {
 			MergeThreshold: tu.MergeThreshold,
 			Adjustments:    tu.Adjustments,
 		},
-		Shards: shards,
+		VectorImpl: vector.Impl(),
+		Shards:     shards,
 		Cold: ColdTierStats{
 			ColdShards:         cold.ColdShards,
 			CacheHits:          cold.Cache.Hits,

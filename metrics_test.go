@@ -122,6 +122,7 @@ func TestShardedMetricsSnapshotAndScrape(t *testing.T) {
 		"dsidx_tuning_autotune", "dsidx_tuning_probe_leaves",
 		"dsidx_shards", "dsidx_shard_base_series", "dsidx_shard_appends_total",
 		"dsidx_cold_shards", "dsidx_cold_cache_hits_total", "dsidx_cold_device_reads_total",
+		"dsidx_vector_simd",
 	} {
 		if _, ok := fams[want]; !ok {
 			t.Errorf("scrape lacks family %s", want)
@@ -162,6 +163,65 @@ func TestMESSIMetricsSnapshotAndScrape(t *testing.T) {
 		if _, ok := fams[want]; !ok {
 			t.Errorf("scrape lacks family %s", want)
 		}
+	}
+}
+
+// TestVectorImplExposure pins the three surfaces that report which
+// distance-kernel implementation serves queries — VectorImpl(), the
+// Metrics snapshot, and the dsidx_vector_simd gauge — and that the
+// ForceScalarKernels escape hatch moves all three together without
+// changing answers.
+func TestVectorImplExposure(t *testing.T) {
+	defer dsidx.ForceScalarKernels(false)
+	coll := dsidx.Generate(dsidx.Synthetic, 400, 64, 27)
+	idx, err := dsidx.NewMESSI(coll, dsidx.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	q := dsidx.GenerateQueries(dsidx.Synthetic, 1, 64, 27).At(0)
+
+	impl := dsidx.VectorImpl()
+	if impl != "avx2" && impl != "scalar" {
+		t.Fatalf("VectorImpl() = %q", impl)
+	}
+	if m := idx.Metrics(); m.VectorImpl != impl {
+		t.Fatalf("Metrics().VectorImpl = %q, VectorImpl() = %q", m.VectorImpl, impl)
+	}
+	text, fams := scrape(t, idx)
+	if _, ok := fams["dsidx_vector_simd"]; !ok {
+		t.Fatal("scrape lacks dsidx_vector_simd")
+	}
+	gauge := sampleValues(t, text, "dsidx_vector_simd")
+	wantGauge := 0.0
+	if impl == "avx2" {
+		wantGauge = 1
+	}
+	if len(gauge) != 1 || gauge[0] != wantGauge {
+		t.Fatalf("dsidx_vector_simd = %v with impl %q", gauge, impl)
+	}
+
+	fast, err := idx.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsidx.ForceScalarKernels(true)
+	if got := dsidx.VectorImpl(); got != "scalar" {
+		t.Fatalf("VectorImpl() = %q under ForceScalarKernels", got)
+	}
+	if m := idx.Metrics(); m.VectorImpl != "scalar" {
+		t.Fatalf("Metrics().VectorImpl = %q under ForceScalarKernels", m.VectorImpl)
+	}
+	text, _ = scrape(t, idx)
+	if g := sampleValues(t, text, "dsidx_vector_simd"); len(g) != 1 || g[0] != 0 {
+		t.Fatalf("dsidx_vector_simd = %v under ForceScalarKernels", g)
+	}
+	slow, err := idx.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Pos != slow.Pos || fast.Distance != slow.Distance {
+		t.Fatalf("answers differ across implementations: %+v vs %+v", fast, slow)
 	}
 }
 

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# kernel_smoke.sh — assert the SIMD distance kernels actually pay: one
+# dsbench -kerneljson run measures every kernel under both dispatch arms
+# (production dispatch vs forced scalar oracle) and the smallest of the
+# ED-kernel speedups must clear MIN_SPEEDUP. On machines without AVX2 the
+# record says simd="none" and the gate is skipped with a notice — the
+# differential tests still prove correctness there; only the perf claim
+# needs the hardware.
+#
+# Usage: scripts/kernel_smoke.sh [min-speedup]
+#
+# Used identically in CI (kernel smoke step) and locally. The record is a
+# trajectory point in the same envelope as BENCH_query.json; this script
+# writes to a fresh temp file so the field extraction below only sees the
+# run it just produced.
+set -euo pipefail
+
+MIN_SPEEDUP="${1:-1.2}"
+OUT="${BENCH_KERNEL_JSON:-$(mktemp /tmp/BENCH_kernels.XXXXXX.json)}"
+rm -f "$OUT"
+
+go run ./cmd/dsbench -kerneljson "$OUT"
+cat "$OUT"
+
+field() {
+    awk -F': *' -v key="\"$1\"" '$1 ~ key { gsub(/[,"]/, "", $2); print $2; exit }' "$OUT"
+}
+simd=$(field simd)
+speedup=$(field min_ed_speedup)
+mindist=$(field mindist_speedup)
+if [ -z "$simd" ] || [ -z "$speedup" ]; then
+    echo "kernel smoke: record in $OUT lacks simd/min_ed_speedup fields" >&2
+    exit 1
+fi
+
+if [ "$simd" = "none" ]; then
+    echo "kernel smoke: no AVX2 on this machine (simd=none) — speedup gate skipped; scalar oracle is the production path here"
+    exit 0
+fi
+
+awk -v s="$speedup" -v md="$mindist" -v lim="$MIN_SPEEDUP" 'BEGIN {
+    if (s + 0 < lim + 0) {
+        printf "kernel smoke: min ED speedup %.2fx below the %.2fx floor — the assembly kernels are not beating the scalar oracle\n", s, lim
+        exit 1
+    }
+    if (md + 0 < 1.0) {
+        printf "kernel smoke: MinDist speedup %.2fx — the gather kernel is slower than the scalar lookup loop\n", md
+        exit 1
+    }
+    printf "kernel smoke: simd kernels pay: min ED speedup %.2fx (floor %.2fx), MinDist %.2fx\n", s, lim, md
+}'

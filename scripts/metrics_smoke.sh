@@ -27,7 +27,8 @@ for family in \
     dsidx_index_query_seconds_bucket \
     dsidx_tuning_autotune \
     dsidx_shard_appends_total \
-    dsidx_cold_cache_hits_total
+    dsidx_cold_cache_hits_total \
+    dsidx_vector_simd
 do
     if ! grep -q "^$family" "$OUT"; then
         echo "metrics smoke: family $family missing from the scrape" >&2
